@@ -1,0 +1,126 @@
+//! Chained-teleportation error accumulation — **Figure 9**.
+//!
+//! An EPR pair destined for a channel's endpoints is relayed hop-by-hop
+//! through teleporter nodes (Figure 5). Each hop convolves the traveling
+//! pair's Pauli frame with a link pair's and adds gate/measurement noise,
+//! so error accumulates roughly linearly in the hop count. Figure 9 plots
+//! the resulting error for link fidelities from 1e-4 down to 1e-8 against
+//! the `1 − 7.5e-5` threshold.
+
+use qic_physics::bell::BellDiagonal;
+use qic_physics::error::ErrorRates;
+
+/// Teleports `moving` across `hops` hops, each consuming one `link` pair,
+/// and returns the state after every hop (index 0 = before any hop).
+pub fn chain_states(
+    moving: BellDiagonal,
+    link: &BellDiagonal,
+    hops: u32,
+    rates: &ErrorRates,
+) -> Vec<BellDiagonal> {
+    let mut out = Vec::with_capacity(hops as usize + 1);
+    let mut state = moving;
+    out.push(state);
+    for _ in 0..hops {
+        state = qic_physics::teleport::teleport_pair(&state, link, rates);
+        out.push(state);
+    }
+    out
+}
+
+/// The state after exactly `hops` chained teleports.
+pub fn chain_final(
+    moving: BellDiagonal,
+    link: &BellDiagonal,
+    hops: u32,
+    rates: &ErrorRates,
+) -> BellDiagonal {
+    // The per-hop map is state ↦ (state ∗ link) then isotropic mix; compose
+    // the (link ∗ noise) part once by exponentiation, then convolve.
+    chain_states(moving, link, hops, rates)
+        .pop()
+        .expect("chain_states is never empty")
+}
+
+/// One Figure 9 series: `(hops, error)` for a chained pair whose links all
+/// have the given `initial_error`, with the traveling pair starting at the
+/// same quality. Matches the figure's x-range of 0–70 hops.
+pub fn chained_error_series(
+    initial_error: f64,
+    max_hops: u32,
+    rates: &ErrorRates,
+) -> Vec<(u32, f64)> {
+    let link = BellDiagonal::werner(qic_physics::fidelity::Fidelity::from_error(initial_error));
+    chain_states(link, &link, max_hops, rates)
+        .into_iter()
+        .enumerate()
+        .map(|(h, s)| (h as u32, s.error()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qic_physics::constants::THRESHOLD_ERROR;
+
+    #[test]
+    fn error_accumulates_roughly_linearly() {
+        let rates = ErrorRates::ion_trap();
+        let series = chained_error_series(1e-5, 64, &rates);
+        let e16 = series[16].1;
+        let e32 = series[32].1;
+        let e64 = series[64].1;
+        assert!((e32 / e16 - 2.0).abs() < 0.2, "doubling hops ≈ doubles error");
+        assert!((e64 / e32 - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn figure9_factor_100_example() {
+        // §4.6: "teleporting 64 times could increase EPR pair qubit error
+        // by a factor of 100" (for 1e-6 initial error).
+        let rates = ErrorRates::ion_trap();
+        let series = chained_error_series(1e-6, 64, &rates);
+        let gain = series[64].1 / series[0].1;
+        assert!(
+            (30.0..300.0).contains(&gain),
+            "error grew {gain}x over 64 hops; paper says ~100x"
+        );
+    }
+
+    #[test]
+    fn threshold_crossing_depends_on_initial_error() {
+        let rates = ErrorRates::ion_trap();
+        // 1e-4 links: above threshold after very few hops.
+        let bad = chained_error_series(1e-4, 70, &rates);
+        assert!(bad[2].1 > THRESHOLD_ERROR);
+        // 1e-6 links: stays under threshold for ~50 hops.
+        let good = chained_error_series(1e-6, 70, &rates);
+        assert!(good[32].1 < THRESHOLD_ERROR);
+        assert!(good[70].1 > 0.5 * THRESHOLD_ERROR);
+    }
+
+    #[test]
+    fn gate_floor_dominates_tiny_initial_errors() {
+        // 1e-8 links: accumulation is set by per-hop gate noise, so the
+        // 1e-7 and 1e-8 curves nearly coincide (visible in Figure 9).
+        let rates = ErrorRates::ion_trap();
+        let e7 = chained_error_series(1e-7, 64, &rates)[64].1;
+        let e8 = chained_error_series(1e-8, 64, &rates)[64].1;
+        assert!((e7 - e8).abs() / e7 < 0.5, "curves collapse: {e7} vs {e8}");
+    }
+
+    #[test]
+    fn zero_hops_is_identity() {
+        let rates = ErrorRates::ion_trap();
+        let s = BellDiagonal::werner_f64(0.999).unwrap();
+        let out = chain_final(s, &s, 0, &rates);
+        assert!(out.approx_eq(&s, 1e-15));
+    }
+
+    #[test]
+    fn chain_states_length() {
+        let rates = ErrorRates::ion_trap();
+        let s = BellDiagonal::werner_f64(0.999).unwrap();
+        assert_eq!(chain_states(s, &s, 10, &rates).len(), 11);
+    }
+}

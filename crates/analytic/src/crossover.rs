@@ -1,0 +1,80 @@
+//! Ballistic vs teleportation latency crossover — **Section 4.6**.
+//!
+//! Teleportation costs ~122 µs regardless of distance (plus fast classical
+//! signalling), while ballistic transport costs 0.2 µs per cell; beyond
+//! ~600 cells, teleportation wins. This fixes the teleporter-node spacing
+//! of the mesh.
+
+use serde::{Deserialize, Serialize};
+
+use qic_physics::optime::OpTimes;
+use qic_physics::teleport;
+use qic_physics::time::Duration;
+
+/// A `(distance, ballistic, teleport)` latency sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossoverPoint {
+    /// Distance in ballistic cells.
+    pub cells: u64,
+    /// Latency of ballistic transport over this distance (Equation 2).
+    pub ballistic: Duration,
+    /// Latency of one teleportation over this distance (Equation 5).
+    pub teleport: Duration,
+}
+
+impl CrossoverPoint {
+    /// Whether teleportation is strictly faster at this distance.
+    pub fn teleport_wins(&self) -> bool {
+        self.teleport < self.ballistic
+    }
+}
+
+/// Samples both latency models at each distance in `cells`.
+pub fn ballistic_vs_teleport(cells: impl IntoIterator<Item = u64>, times: &OpTimes) -> Vec<CrossoverPoint> {
+    cells
+        .into_iter()
+        .map(|c| CrossoverPoint {
+            cells: c,
+            ballistic: times.ballistic(c),
+            teleport: times.teleport(c),
+        })
+        .collect()
+}
+
+/// The smallest distance at which teleportation beats ballistic transport,
+/// if any (`≈600` cells at Table 1 constants).
+pub fn crossover_cells(times: &OpTimes) -> Option<u64> {
+    teleport::latency_crossover_cells(times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_is_about_600_cells() {
+        let times = OpTimes::ion_trap();
+        let d = crossover_cells(&times).unwrap();
+        assert!((590..=620).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn samples_flip_at_crossover() {
+        let times = OpTimes::ion_trap();
+        let d = crossover_cells(&times).unwrap();
+        let pts = ballistic_vs_teleport([d - 50, d, d + 50], &times);
+        assert!(!pts[0].teleport_wins());
+        assert!(pts[1].teleport_wins());
+        assert!(pts[2].teleport_wins());
+    }
+
+    #[test]
+    fn ballistic_latency_is_linear() {
+        let times = OpTimes::ion_trap();
+        let pts = ballistic_vs_teleport([100, 200], &times);
+        assert_eq!(pts[1].ballistic, pts[0].ballistic * 2);
+        // Teleport latency is nearly flat over the same range.
+        let dt = pts[1].teleport - pts[0].teleport;
+        assert!(dt < Duration::from_micros(1));
+    }
+}

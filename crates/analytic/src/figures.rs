@@ -1,0 +1,285 @@
+//! Series generators for the paper's analytical figures (8–12).
+//!
+//! Each function returns the exact `(x, y)` series a figure plots, labelled
+//! with the paper's legend strings, so the bench harness and the plotting
+//! examples stay trivially thin.
+
+use serde::{Deserialize, Serialize};
+
+use qic_physics::error::ErrorRates;
+
+use qic_purify::analysis::figure8_series;
+use qic_purify::protocol::{Protocol, RoundNoise};
+
+use crate::chain::chained_error_series;
+use crate::plan::ChannelModel;
+use crate::strategy::Placement;
+
+/// One labelled data series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (matches the paper's legends).
+    pub label: String,
+    /// `(x, y)` points; `y = f64::INFINITY` marks an infeasible point
+    /// (a curve's "abrupt end" in Figure 12).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// The largest finite `y` in the series, if any.
+    pub fn max_finite(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .filter(|y| y.is_finite())
+            .fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.max(y))))
+    }
+
+    /// The `x` past which every point is infeasible, if the series ends.
+    pub fn breakdown_x(&self) -> Option<f64> {
+        let mut last_finite = None;
+        for (x, y) in &self.points {
+            if y.is_finite() {
+                last_finite = Some(*x);
+            }
+        }
+        let any_infinite = self.points.iter().any(|p| !p.1.is_finite());
+        any_infinite.then_some(last_finite).flatten()
+    }
+}
+
+/// **Figure 8**: EPR error after purification vs rounds, for both
+/// protocols at initial fidelities 0.99, 0.999 and 0.9999.
+pub fn figure8(rates: &ErrorRates, rounds: u32) -> Vec<Series> {
+    let noise = RoundNoise::from_rates(rates);
+    let mut out = Vec::new();
+    for &f0 in &[0.99, 0.999, 0.9999] {
+        for protocol in [Protocol::Bbpssw, Protocol::Dejmps] {
+            let pts = figure8_series(protocol, f0, rounds, &noise)
+                .into_iter()
+                .map(|(r, e)| (f64::from(r), e))
+                .collect();
+            out.push(Series {
+                label: format!("{protocol} protocol, initial fidelity={f0}"),
+                points: pts,
+            });
+        }
+    }
+    out
+}
+
+/// **Figure 9**: final EPR error vs teleportation hops, for initial link
+/// errors 1e-4 … 1e-8.
+pub fn figure9(rates: &ErrorRates, max_hops: u32) -> Vec<Series> {
+    [1e-4, 1e-5, 1e-6, 1e-7, 1e-8]
+        .iter()
+        .map(|&e0| Series {
+            label: format!("{e0:.0e} initial error"),
+            points: chained_error_series(e0, max_hops, rates)
+                .into_iter()
+                .map(|(h, e)| (f64::from(h), e))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Cap used to keep the exponential "after each teleport" schemes plottable,
+/// mirroring the paper's axes (Figure 10/11 top out at 1e8).
+pub const PAIR_COUNT_CAP: f64 = 1e12;
+
+fn placement_series(
+    model: &ChannelModel,
+    distances: impl Iterator<Item = u32> + Clone,
+    total: bool,
+) -> Vec<Series> {
+    Placement::FIGURE_SET
+        .iter()
+        .map(|&placement| {
+            let m = model.clone().with_placement(placement);
+            let points = distances
+                .clone()
+                .map(|hops| {
+                    let y = match m.plan(hops) {
+                        Ok(plan) => {
+                            let v = if total { plan.total_pairs } else { plan.teleported_pairs };
+                            if v > PAIR_COUNT_CAP {
+                                f64::INFINITY
+                            } else {
+                                v
+                            }
+                        }
+                        Err(_) => f64::INFINITY,
+                    };
+                    (f64::from(hops), y)
+                })
+                .collect();
+            Series { label: placement.legend(), points }
+        })
+        .collect()
+}
+
+/// **Figure 10**: total EPR pairs consumed vs distance (10–60 teleports)
+/// for the five purification placements.
+pub fn figure10(model: &ChannelModel, max_hops: u32) -> Vec<Series> {
+    placement_series(model, (10..=max_hops).step_by(2), true)
+}
+
+/// **Figure 11**: EPR pairs teleported vs distance for the same placements.
+pub fn figure11(model: &ChannelModel, max_hops: u32) -> Vec<Series> {
+    placement_series(model, (10..=max_hops).step_by(2), false)
+}
+
+/// **Figure 12**: EPR pairs teleported vs uniform operation error rate
+/// (1e-9 … 1e-4) at a fixed distance; every curve ends abruptly near 1e-5
+/// where purification stops reaching the threshold. A 16-hop channel keeps
+/// the nested schemes inside the paper's 1e12 axis at low error rates.
+pub fn figure12(hops: u32, points_per_decade: u32) -> Vec<Series> {
+    let base = ChannelModel::ion_trap();
+    Placement::FIGURE_SET
+        .iter()
+        .map(|&placement| {
+            let mut pts = Vec::new();
+            let total = 5 * points_per_decade + 1;
+            for i in 0..=total {
+                let exp = -9.0 + f64::from(i) / f64::from(points_per_decade);
+                let p = 10f64.powf(exp);
+                if p > 1e-4 {
+                    break;
+                }
+                let rates = ErrorRates::uniform(p).expect("sweep values are probabilities");
+                let m = base.clone().with_rates(rates).with_placement(placement);
+                let y = match m.plan(hops) {
+                    Ok(plan) if plan.teleported_pairs <= PAIR_COUNT_CAP => plan.teleported_pairs,
+                    _ => f64::INFINITY,
+                };
+                pts.push((p, y));
+            }
+            Series { label: placement.legend(), points: pts }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qic_physics::constants::THRESHOLD_ERROR;
+
+    #[test]
+    fn figure8_has_six_series() {
+        let series = figure8(&ErrorRates::ion_trap(), 25);
+        assert_eq!(series.len(), 6);
+        for s in &series {
+            assert_eq!(s.points.len(), 26);
+            // Error decreases from round 0 to the end.
+            assert!(s.points.last().unwrap().1 < s.points[0].1);
+        }
+    }
+
+    #[test]
+    fn figure9_threshold_crossings() {
+        let series = figure9(&ErrorRates::ion_trap(), 70);
+        assert_eq!(series.len(), 5);
+        // The 1e-4 series is above threshold almost immediately; the 1e-8
+        // series stays below it much longer.
+        let worst = &series[0];
+        let best = &series[4];
+        assert!(worst.points[2].1 > THRESHOLD_ERROR);
+        assert!(best.points[40].1 < THRESHOLD_ERROR);
+    }
+
+    /// Geometric mean of the finite y-values of a series.
+    fn geo_mean(s: &Series) -> f64 {
+        let logs: Vec<f64> =
+            s.points.iter().map(|p| p.1).filter(|y| y.is_finite()).map(f64::ln).collect();
+        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+    }
+
+    #[test]
+    fn figure10_endpoints_only_is_lowest() {
+        // The paper's claim is aggregate: "the Endpoints Only scheme uses
+        // the fewest total EPR resources". Individual distances can flip
+        // briefly where the endpoint-round count steps (the staircase
+        // visible in the published curves), so compare geometric means and
+        // bound any local excursion.
+        let series = figure10(&ChannelModel::ion_trap(), 60);
+        assert_eq!(series.len(), 5);
+        let only = series.iter().find(|s| s.label.contains("only at end")).unwrap();
+        let m_only = geo_mean(only);
+        for other in series.iter().filter(|s| !s.label.contains("only at end")) {
+            assert!(
+                m_only < geo_mean(other),
+                "{} beat endpoints-only on average",
+                other.label
+            );
+            for (a, b) in only.points.iter().zip(&other.points) {
+                assert!(
+                    a.1 <= b.1 * 2.5 + 1e-9,
+                    "{} beat endpoints-only by >2.5x at x={}",
+                    other.label,
+                    a.0
+                );
+            }
+        }
+        // The two virtual-wire schemes order by rounds on average.
+        let once = series.iter().find(|s| s.label.contains("once before")).unwrap();
+        let twice = series.iter().find(|s| s.label.contains("2x before")).unwrap();
+        assert!(geo_mean(once) < geo_mean(twice));
+    }
+
+    #[test]
+    fn figure11_before_teleport_is_lowest() {
+        let series = figure11(&ChannelModel::ion_trap(), 60);
+        let twice_before = series.iter().find(|s| s.label.contains("2x before")).unwrap();
+        for other in series.iter().filter(|s| !s.label.contains("2x before")) {
+            for (a, b) in twice_before.points.iter().zip(&other.points) {
+                assert!(a.1 <= b.1 + 1e-9, "{} beat 2x-before at x={}", other.label, a.0);
+            }
+        }
+    }
+
+    #[test]
+    fn after_each_teleport_leaves_the_chart() {
+        // The nested schemes exceed any plottable budget well before 60
+        // hops — their curves "run off the top" like the paper's.
+        let series = figure10(&ChannelModel::ion_trap(), 60);
+        let nested = series.iter().find(|s| s.label.contains("once after")).unwrap();
+        assert!(nested.points.last().unwrap().1.is_infinite());
+        assert!(nested.breakdown_x().is_some());
+    }
+
+    #[test]
+    fn figure12_breaks_down_near_1e5() {
+        let series = figure12(16, 4);
+        for s in &series {
+            let bx = s
+                .breakdown_x()
+                .unwrap_or_else(|| panic!("{} should break down", s.label));
+            assert!(
+                (1e-6..=1e-4).contains(&bx),
+                "{}: breakdown at {bx:.2e}, expected near 1e-5",
+                s.label
+            );
+        }
+        // Working-regime spread: over the span where all curves are finite,
+        // resources vary far less than the error rate does (paper: "only
+        // differ by a factor of up to 100 for a 10,000x difference").
+        let endpoints = series.iter().find(|s| s.label.contains("only at end")).unwrap();
+        let finite: Vec<f64> =
+            endpoints.points.iter().map(|p| p.1).filter(|y| y.is_finite()).collect();
+        let spread = finite.iter().cloned().fold(f64::MIN, f64::max)
+            / finite.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1000.0, "spread {spread}");
+    }
+
+    #[test]
+    fn series_helpers() {
+        let s = Series {
+            label: "x".into(),
+            points: vec![(1.0, 5.0), (2.0, f64::INFINITY), (3.0, 7.0), (4.0, f64::INFINITY)],
+        };
+        assert_eq!(s.max_finite(), Some(7.0));
+        assert_eq!(s.breakdown_x(), Some(3.0));
+        let all_finite = Series { label: "y".into(), points: vec![(1.0, 2.0)] };
+        assert_eq!(all_finite.breakdown_x(), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Purification placement strategies — **Section 4.7**.
+//!
+//! The paper evaluates three places to spend purification effort:
+//!
+//! * **Endpoints only** — purify just before the pairs are used to
+//!   teleport data. Fewest *total* pairs (Figure 10).
+//! * **Virtual wire** ("before teleport") — purify the link pairs feeding
+//!   each teleporter. Fewest *teleported* pairs (Figure 11), at the cost
+//!   of local pair consumption at every G node.
+//! * **Between teleports** ("after each teleport") — purify the traveling
+//!   pair after every hop. Exponentially wasteful (both figures), because
+//!   the sacrificial partners must themselves be distributed to the same
+//!   span.
+//!
+//! Endpoint purification to threshold is always applied on top; the
+//! variants only choose where *additional* rounds happen.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Where purification happens along a channel, beyond the always-present
+/// endpoint purification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Purify only at the endpoints ("DEJMPS protocol only at end").
+    EndpointsOnly,
+    /// Purify the virtual-wire link pairs `rounds` times before they are
+    /// used for chained teleportation ("before teleport").
+    VirtualWire {
+        /// Purification rounds applied to every link pair.
+        rounds: u32,
+    },
+    /// Purify the traveling pair `rounds` times after every teleport hop
+    /// ("after each teleport" — the nested scheme of footnote 4).
+    BetweenTeleports {
+        /// Purification rounds applied after each hop.
+        rounds: u32,
+    },
+}
+
+impl Placement {
+    /// The five configurations plotted by Figures 10–12, in the legends'
+    /// order.
+    pub const FIGURE_SET: [Placement; 5] = [
+        Placement::BetweenTeleports { rounds: 2 },
+        Placement::BetweenTeleports { rounds: 1 },
+        Placement::VirtualWire { rounds: 2 },
+        Placement::VirtualWire { rounds: 1 },
+        Placement::EndpointsOnly,
+    ];
+
+    /// Virtual-wire rounds implied by this placement.
+    pub fn virtual_wire_rounds(&self) -> u32 {
+        match self {
+            Placement::VirtualWire { rounds } => *rounds,
+            _ => 0,
+        }
+    }
+
+    /// Per-hop rounds applied to the traveling pair.
+    pub fn between_rounds(&self) -> u32 {
+        match self {
+            Placement::BetweenTeleports { rounds } => *rounds,
+            _ => 0,
+        }
+    }
+
+    /// The label used in the paper's figure legends.
+    pub fn legend(&self) -> String {
+        match self {
+            Placement::EndpointsOnly => "DEJMPS protocol only at end".to_string(),
+            Placement::VirtualWire { rounds: 1 } => {
+                "DEJMPS protocol once before teleport".to_string()
+            }
+            Placement::VirtualWire { rounds } => {
+                format!("DEJMPS protocol {}x before teleport", rounds)
+            }
+            Placement::BetweenTeleports { rounds: 1 } => {
+                "DEJMPS protocol once after each teleport".to_string()
+            }
+            Placement::BetweenTeleports { rounds } => {
+                format!("DEJMPS protocol {}x after each teleport", rounds)
+            }
+        }
+    }
+}
+
+impl Default for Placement {
+    /// The paper's recommendation is virtual-wire + endpoint purification;
+    /// one virtual-wire round is the default channel configuration.
+    fn default() -> Self {
+        Placement::VirtualWire { rounds: 1 }
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.legend())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_set_has_five_unique_entries() {
+        let set = Placement::FIGURE_SET;
+        assert_eq!(set.len(), 5);
+        for (i, a) in set.iter().enumerate() {
+            for b in &set[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Placement::EndpointsOnly.virtual_wire_rounds(), 0);
+        assert_eq!(Placement::VirtualWire { rounds: 2 }.virtual_wire_rounds(), 2);
+        assert_eq!(Placement::VirtualWire { rounds: 2 }.between_rounds(), 0);
+        assert_eq!(Placement::BetweenTeleports { rounds: 1 }.between_rounds(), 1);
+    }
+
+    #[test]
+    fn legends_match_paper() {
+        assert_eq!(Placement::EndpointsOnly.legend(), "DEJMPS protocol only at end");
+        assert_eq!(
+            Placement::VirtualWire { rounds: 1 }.legend(),
+            "DEJMPS protocol once before teleport"
+        );
+        assert_eq!(
+            Placement::BetweenTeleports { rounds: 2 }.legend(),
+            "DEJMPS protocol 2x after each teleport"
+        );
+        assert_eq!(Placement::default(), Placement::VirtualWire { rounds: 1 });
+    }
+}

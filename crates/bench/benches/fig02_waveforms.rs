@@ -1,0 +1,29 @@
+//! Figure 2: electrode layout and waveforms to shuttle an ion from cell 3
+//! to cell 9.
+
+use qic_bench::{header, verdict};
+use qic_iontrap::waveform::ShuttlePlan;
+use qic_physics::optime::OpTimes;
+
+fn main() {
+    header(
+        "Figure 2",
+        "Electrode waveforms for a 6-cell ballistic shuttle",
+        "ion moves from between electrodes 3/4 to between 9/10 via staged pulses",
+    );
+    let times = OpTimes::ion_trap();
+    let plan = ShuttlePlan::new(3, 9).expect("distinct cells");
+    let schedule = plan.waveforms(&times);
+    assert!(schedule.is_well_formed(), "well trajectory must be contiguous");
+
+    println!("\nelectrode drive per phase (columns = phases, T=trap, P=push, .=ground):\n");
+    print!("{}", schedule.render());
+    println!("\nwell trajectory (cell after each phase): {:?}", schedule.well_trajectory());
+    verdict("phases (one per cell)", 6.0, f64::from(schedule.phases()), 1.0001);
+    verdict(
+        "total shuttle time (µs, Eq. 2)",
+        1.2,
+        schedule.total_time().as_us_f64(),
+        1.0001,
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 10: total EPR pairs consumed vs distance, for the five
+//! purification placements.
+
+use qic_analytic::figures;
+use qic_analytic::plan::ChannelModel;
+use qic_bench::{header, print_series, verdict};
+
+fn main() {
+    header(
+        "Figure 10",
+        "Total EPR pairs used per data communication vs distance (teleport hops)",
+        "endpoints-only uses fewest total pairs; after-each-teleport is exponential (off-chart)",
+    );
+    let series = figures::figure10(&ChannelModel::ion_trap(), 60);
+    for s in &series {
+        let thin: Vec<(f64, f64)> =
+            s.points.iter().copied().filter(|p| (p.0 as u64) % 10 == 0).collect();
+        print_series(&s.label, &thin);
+    }
+
+    let at60 = |frag: &str| {
+        series
+            .iter()
+            .find(|s| s.label.contains(frag))
+            .and_then(|s| s.points.iter().find(|p| p.0 == 60.0))
+            .map(|p| p.1)
+            .unwrap_or(f64::NAN)
+    };
+    println!();
+    // Endpoints-only at 60 hops: ~8.8 endpoint pairs x 61 ≈ 5.4e2 (the
+    // paper's bottom curve sits between 1e2 and 1e3 at the right edge).
+    verdict("endpoints-only total pairs at 60 hops", 5.0e2, at60("only at end"), 2.0);
+    verdict("once-before total at 60 hops (above endpoints-only)", 5.7e2, at60("once before"), 2.0);
+    verdict("2x-before total at 60 hops (higher still)", 6.6e2, at60("2x before"), 2.0);
+    let nested = series.iter().find(|s| s.label.contains("once after")).unwrap();
+    println!(
+        "  nested (once after each teleport) leaves the 1e12 cap at ~{} hops (exponential)",
+        nested.breakdown_x().map(|x| x + 2.0).unwrap_or(f64::NAN)
+    );
+}

@@ -1,0 +1,22 @@
+//! Figure 12: EPR pairs teleported vs uniform operation error rate; all
+//! placements break down near 1e-5.
+
+use qic_analytic::figures;
+use qic_bench::{header, print_series, verdict};
+
+fn main() {
+    header(
+        "Figure 12",
+        "Teleported EPR pairs to stay within threshold vs uniform op error rate",
+        "all curves end abruptly near error 1e-5 where purification stops reaching threshold",
+    );
+    let series = figures::figure12(16, 4);
+    for s in &series {
+        print_series(&s.label, &s.points);
+    }
+    println!();
+    for s in &series {
+        let bx = s.breakdown_x().unwrap_or(f64::NAN);
+        verdict(&format!("breakdown error rate [{}]", &s.label[..28.min(s.label.len())]), 1e-5, bx, 4.0);
+    }
+}

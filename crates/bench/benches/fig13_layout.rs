@@ -1,0 +1,75 @@
+//! Figure 13: sample layout of a mesh grid containing Logical Qubits and
+//! G, T', C and P nodes.
+//!
+//! Renders the machine's actual floorplan: each site holds an LQ home (the
+//! snake placement), a T' router with its C/P endpoint nodes, and every
+//! edge carries a G node feeding the virtual wire.
+
+use qic_bench::header;
+use qic_core::layout::Placement;
+use qic_net::config::NetConfig;
+use qic_net::topology::{Coord, Mesh};
+use qic_workload::LogicalQubit;
+
+fn main() {
+    header(
+        "Figure 13",
+        "Sample layout of a 5x3 mesh grid (LQ + G, T', C, P nodes)",
+        "every LQ site has a T' node with C/P endpoints; G nodes sit on every edge",
+    );
+    let (w, h) = (5u16, 3u16);
+    let mesh = Mesh::new(w, h);
+    let placement = Placement::snake(w, h, u32::from(w) * u32::from(h)).expect("fits");
+
+    // Invert the placement: site -> logical qubit id.
+    let mut site_q = vec![None; mesh.nodes()];
+    for q in 0..u32::from(w) * u32::from(h) {
+        let home = placement.home(LogicalQubit(q));
+        site_q[mesh.node_index(home)] = Some(q);
+    }
+
+    println!();
+    for y in (0..h).rev() {
+        // Node row.
+        let mut row = String::new();
+        for x in 0..w {
+            let q = site_q[mesh.node_index(Coord::new(x, y))].expect("full placement");
+            row.push_str(&format!("[LQ{q:02} T'CP]"));
+            if x + 1 < w {
+                row.push_str("--G--");
+            }
+        }
+        println!("  {row}");
+        // Vertical edges.
+        if y > 0 {
+            let mut bars = String::from("  ");
+            for x in 0..w {
+                bars.push_str("     |     ");
+                if x + 1 < w {
+                    bars.push_str("     ");
+                }
+            }
+            println!("{bars}");
+            let mut gs = String::from("  ");
+            for x in 0..w {
+                gs.push_str("     G     ");
+                if x + 1 < w {
+                    gs.push_str("     ");
+                }
+            }
+            println!("{gs}");
+            println!("{bars}");
+        }
+    }
+    let cfg = NetConfig::paper_scale();
+    println!(
+        "\nlegend: [LQnn T'CP] = logical-qubit home with teleporter router (T'),\n\
+         corrector (C) and queue purifiers (P); G = generator node on each edge.\n\
+         LQ numbering follows the snake placement the Mobile-Qubit walk uses\n\
+         (Figure 15). At paper scale the grid is {}x{} with t={} teleporters,\n\
+         g={} generators and p={} queue purifiers per node.",
+        cfg.mesh_width, cfg.mesh_height, cfg.teleporters_per_node,
+        cfg.generators_per_edge, cfg.purifiers_per_site
+    );
+    println!("\nedges: {} (one G node each); nodes: {}", mesh.edges(), mesh.nodes());
+}

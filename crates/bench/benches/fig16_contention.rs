@@ -1,0 +1,43 @@
+//! Figure 16: QFT benchmark execution vs resource allocation, Home-Base
+//! and Mobile-Qubit layouts.
+//!
+//! Runs at reduced scale (QFT-64 on 8x8, level-1 code) by default;
+//! set `QIC_FULL=1` for the paper's QFT-256 on 16x16 with 392 pairs per
+//! communication (minutes of wall-clock time).
+
+use qic_bench::{full_scale, header};
+use qic_core::experiment::{figure16, Fig16Scale};
+
+fn main() {
+    let scale = if full_scale() { Fig16Scale::Paper } else { Fig16Scale::Reduced };
+    header(
+        "Figure 16",
+        "QFT execution time normalized to t=g=p=1024, vs resource allocation",
+        "Home Base tolerates sacrificing purifiers for teleporters; Mobile suffers at t=g=8p",
+    );
+    println!("scale: {scale:?} (set QIC_FULL=1 for paper scale)\n");
+    let result = figure16(scale);
+    println!(
+        "baseline makespans (t=g=p=1024): Home Base {:.1} ms, Mobile {:.1} ms\n",
+        result.baseline_us[0] / 1e3,
+        result.baseline_us[1] / 1e3
+    );
+    println!("{:<10} {:>4} {:>4} {:>4} {:>12} {:>12}", "config", "t", "g", "p", "HomeBase", "Mobile");
+    for p in &result.points {
+        println!(
+            "{:<10} {:>4} {:>4} {:>4} {:>12.3} {:>12.3}",
+            p.label, p.t, p.g, p.p, p.home_base, p.mobile
+        );
+    }
+    let r4 = result.points.iter().find(|p| p.label == "t=g=4p").expect("sweep point");
+    let r8 = result.points.iter().find(|p| p.label == "t=g=8p").expect("sweep point");
+    println!();
+    println!(
+        "Mobile degradation from 4p to 8p: {:+.1}%  (paper: 'performance suffers')",
+        (r8.mobile / r4.mobile - 1.0) * 100.0
+    );
+    println!(
+        "Home Base degradation from 4p to 8p: {:+.1}%  (paper: tolerates the trade better)",
+        (r8.home_base / r4.home_base - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the hot paths of the simulator stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qic_des::queue::EventQueue;
+use qic_net::config::NetConfig;
+use qic_net::sim::{NetworkSim, OneShotDriver};
+use qic_net::topology::{Coord, Mesh};
+use qic_physics::bell::BellDiagonal;
+use qic_physics::time::Duration;
+use qic_purify::protocol::{Protocol, RoundNoise};
+
+fn bench_purification(c: &mut Criterion) {
+    let state = BellDiagonal::werner_f64(0.99).unwrap();
+    let noise = RoundNoise::ion_trap();
+    c.bench_function("dejmps_noisy_step", |b| {
+        b.iter(|| Protocol::Dejmps.noisy_step(black_box(&state), black_box(&noise)))
+    });
+    c.bench_function("bell_convolve", |b| {
+        b.iter(|| black_box(&state).convolve(black_box(&state)))
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_1k_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule_after(Duration::from_nanos((i * 7919) % 10_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mesh = Mesh::new(16, 16);
+    c.bench_function("dimension_order_route_16x16", |b| {
+        b.iter(|| mesh.route(black_box(Coord::new(0, 0)), black_box(Coord::new(15, 15))))
+    });
+}
+
+fn bench_small_sim(c: &mut Criterion) {
+    c.bench_function("net_sim_one_comm_4x4", |b| {
+        b.iter(|| {
+            let mut driver = OneShotDriver::new(Coord::new(0, 0), Coord::new(3, 3));
+            NetworkSim::new(NetConfig::small_test()).run(&mut driver)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_purification,
+    bench_event_queue,
+    bench_routing,
+    bench_small_sim
+);
+criterion_main!(benches);

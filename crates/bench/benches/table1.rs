@@ -1,0 +1,31 @@
+//! Table 1: time constants for operations in ion-trap technology.
+
+use qic_bench::{header, verdict};
+use qic_physics::optime::OpTimes;
+
+fn main() {
+    header(
+        "Table 1",
+        "Operation time constants (ion trap)",
+        "t1q=1µs t2q=20µs tmv=0.2µs tms=100µs tgen=122µs ttprt~122µs tprfy~121µs",
+    );
+    let t = OpTimes::ion_trap();
+    verdict("one-qubit gate t1q (µs)", 1.0, t.one_qubit_gate().as_us_f64(), 1.0001);
+    verdict("two-qubit gate t2q (µs)", 20.0, t.two_qubit_gate().as_us_f64(), 1.0001);
+    verdict("move one cell tmv (µs)", 0.2, t.move_cell().as_us_f64(), 1.0001);
+    verdict("measure tms (µs)", 100.0, t.measure().as_us_f64(), 1.0001);
+    verdict("generate tgen (µs)", 122.0, t.generate().as_us_f64(), 1.0001);
+    verdict("teleport ttprt, local part (µs)", 122.0, t.teleport_local().as_us_f64(), 1.0001);
+    verdict(
+        "purify tprfy, ~600-cell channel (µs)",
+        121.0,
+        t.purify_round(600).as_us_f64(),
+        1.02,
+    );
+    println!(
+        "\nnote: the paper's prose derives 21µs for generation from its gates;\n\
+         Table 1 lists 122µs (matched to teleport bandwidth). We follow Table 1\n\
+         and expose the gates-only figure as OpTimes::generate_gates_only() = {}µs.",
+        t.generate_gates_only().as_us_f64()
+    );
+}

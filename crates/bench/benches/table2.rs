@@ -1,0 +1,23 @@
+//! Table 2: error probability constants for ion-trap operations.
+
+use qic_bench::{header, verdict};
+use qic_physics::error::ErrorRates;
+
+fn main() {
+    header(
+        "Table 2",
+        "Operation error probabilities (ion trap)",
+        "p1q=1e-8 p2q=1e-7 pmv=1e-6 pms=1e-8 (estimates from [19, 29])",
+    );
+    let r = ErrorRates::ion_trap();
+    verdict("one-qubit gate p1q", 1e-8, r.one_qubit_gate(), 1.0001);
+    verdict("two-qubit gate p2q", 1e-7, r.two_qubit_gate(), 1.0001);
+    verdict("move one cell pmv", 1e-6, r.move_cell(), 1.0001);
+    verdict("measure pms", 1e-8, r.measure(), 1.0001);
+
+    // The consequence the paper draws from these numbers (§4.6): for two
+    // teleporters 100 cells apart, ballistic movement error ≈ 1e-4 vs the
+    // 1e-7 two-qubit gate error.
+    let survival = qic_physics::transport::survival(100, &r);
+    verdict("movement error across 100 cells", 1e-4, 1.0 - survival, 1.1);
+}

@@ -1,0 +1,27 @@
+//! Section 4.6: the ~600-cell ballistic/teleport latency crossover that
+//! fixes the teleporter-node spacing.
+
+use qic_analytic::crossover;
+use qic_bench::{header, print_series, verdict};
+use qic_physics::optime::OpTimes;
+
+fn main() {
+    header(
+        "Crossover (Section 4.6)",
+        "Ballistic vs teleportation latency vs distance",
+        "teleportation becomes faster than ballistic movement at ~600 cells",
+    );
+    let times = OpTimes::ion_trap();
+    let pts = crossover::ballistic_vs_teleport((0..=1200).step_by(100), &times);
+    print_series(
+        "ballistic latency (µs)",
+        &pts.iter().map(|p| (p.cells as f64, p.ballistic.as_us_f64())).collect::<Vec<_>>(),
+    );
+    print_series(
+        "teleport latency (µs)",
+        &pts.iter().map(|p| (p.cells as f64, p.teleport.as_us_f64())).collect::<Vec<_>>(),
+    );
+    let d = crossover::crossover_cells(&times).expect("crossover exists");
+    println!();
+    verdict("crossover distance (cells)", 600.0, d as f64, 1.1);
+}

@@ -1,0 +1,31 @@
+//! Section 5.3: the expected 392 = 2^3 x 49 EPR pairs for the longest
+//! communication path.
+
+use qic_analytic::plan::ChannelModel;
+use qic_bench::{header, verdict};
+use qic_physics::constants::LEVEL2_STEANE_QUBITS;
+
+fn main() {
+    header(
+        "Pairs per communication (Section 5.3)",
+        "Endpoint pairs needed to move one level-2 logical qubit over the longest path",
+        "392 = (2^3 endpoint purification) x (49 physical qubits per logical qubit)",
+    );
+    let model = ChannelModel::ion_trap();
+    // Longest dimension-order path on the 16x16 grid: 30 hops.
+    let plan = model.plan(30).expect("feasible channel");
+    verdict("endpoint purification rounds", 3.0, f64::from(plan.endpoint_rounds), 1.0001);
+    verdict(
+        "raw pairs per purified pair (2^3 plus failures)",
+        8.0,
+        plan.endpoint_pairs,
+        1.25,
+    );
+    verdict(
+        "pairs per logical communication",
+        392.0,
+        plan.pairs_per_logical_comm(LEVEL2_STEANE_QUBITS),
+        1.25,
+    );
+    println!("\nchannel setup latency for the longest path: {}", plan.setup_latency);
+}

@@ -1,0 +1,44 @@
+//! Shared helpers for the figure/table regeneration benches.
+//!
+//! Every bench target prints a "paper vs measured" block; these helpers
+//! keep the formatting uniform and decide the run scale (set `QIC_FULL=1`
+//! for paper-scale runs where a reduced default exists).
+
+/// Whether the full paper-scale configuration was requested.
+pub fn full_scale() -> bool {
+    std::env::var("QIC_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Prints the standard bench header.
+pub fn header(id: &str, title: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_claim}");
+    println!("================================================================");
+}
+
+/// Prints one labelled series as aligned columns.
+pub fn print_series(label: &str, points: &[(f64, f64)]) {
+    println!("\n--- {label}");
+    for (x, y) in points {
+        if y.is_finite() {
+            println!("  {x:>12.4}  {y:>14.6e}");
+        } else {
+            println!("  {x:>12.4}  {:>14}", "off-chart");
+        }
+    }
+}
+
+/// Prints a one-line verdict comparing a measured value to the paper's.
+pub fn verdict(what: &str, paper: f64, measured: f64, tolerance_factor: f64) {
+    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ok = ratio.is_finite() && ratio >= 1.0 / tolerance_factor && ratio <= tolerance_factor;
+    println!(
+        "  {:<44} paper={:>12.4e} measured={:>12.4e} ratio={:>7.3} {}",
+        what,
+        paper,
+        measured,
+        ratio,
+        if ok { "OK" } else { "CHECK" }
+    );
+}

@@ -1,0 +1,174 @@
+//! The Figure 16 experiment: benchmark execution vs resource allocation.
+//!
+//! "By fixing the area dedicated to the interconnection network (T', G,
+//! and P nodes) and varying the size of T' and G nodes relative to P
+//! nodes, we can demonstrate where the bottlenecks in the system arise."
+//!
+//! The sweep holds `t + g + p` (in unit-area terms) constant while
+//! varying the ratio `t = g = R·p` for `R ∈ {1, 2, 4, 8}`, runs the QFT
+//! benchmark under both layouts, and normalises every execution time to
+//! the `t = g = p = 1024` run ("a close approximation of unlimited
+//! resources").
+
+use serde::{Deserialize, Serialize};
+
+use qic_net::config::NetConfig;
+use qic_workload::Program;
+
+use crate::layout::Layout;
+use crate::machine::Machine;
+
+/// Scale of the Figure 16 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fig16Scale {
+    /// The paper's configuration: QFT-256 on a 16×16 grid, 49 qubits per
+    /// logical qubit, depth-3 purifiers. Minutes of wall-clock time.
+    Paper,
+    /// QFT-64 on an 8×8 grid with a level-1 code (7 qubits per logical
+    /// qubit). Seconds of wall-clock time; same contention shape.
+    Reduced,
+    /// QFT-16 on a 4×4 grid, for tests.
+    Tiny,
+}
+
+impl Fig16Scale {
+    fn net(self) -> NetConfig {
+        match self {
+            Fig16Scale::Paper => NetConfig::paper_scale(),
+            Fig16Scale::Reduced => NetConfig::reduced(),
+            Fig16Scale::Tiny => {
+                let mut c = NetConfig::small_test();
+                c.purify_depth = 2;
+                c.outputs_per_comm = 3;
+                c
+            }
+        }
+    }
+
+    fn qft_size(self) -> u32 {
+        match self {
+            Fig16Scale::Paper => 256,
+            Fig16Scale::Reduced => 64,
+            Fig16Scale::Tiny => 16,
+        }
+    }
+
+    /// Interconnect area budget (unit-area resource slots per node group).
+    /// Large enough that every ratio in the sweep changes `p`:
+    /// at 90, `t=g=R·p` gives (30,30), (36,18), (40,10), (40,5); at 36 it
+    /// gives (12,12), (14,7), (16,4), (16,2).
+    fn area(self) -> u32 {
+        match self {
+            Fig16Scale::Paper | Fig16Scale::Reduced => 90,
+            Fig16Scale::Tiny => 36,
+        }
+    }
+}
+
+/// One x-axis point of Figure 16.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig16Point {
+    /// Human-readable configuration label (e.g. `"t=g=4p"`).
+    pub label: String,
+    /// Teleporters per T' node.
+    pub t: u32,
+    /// Generators per G node.
+    pub g: u32,
+    /// Queue purifiers per P node.
+    pub p: u32,
+    /// Home-Base execution time normalized to the unlimited baseline.
+    pub home_base: f64,
+    /// Mobile-Qubit execution time normalized to the unlimited baseline.
+    pub mobile: f64,
+}
+
+/// The full Figure 16 dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig16Result {
+    /// Scale the sweep ran at.
+    pub scale: Fig16Scale,
+    /// Baseline (t=g=p=1024) makespans in microseconds, per layout
+    /// `[home_base, mobile]`.
+    pub baseline_us: [f64; 2],
+    /// Sweep points in increasing `t:p` ratio.
+    pub points: Vec<Fig16Point>,
+}
+
+fn run_one(net: &NetConfig, layout: Layout, qft: &Program, t: u32, g: u32, p: u32) -> f64 {
+    let mut b = Machine::builder();
+    b.net_config(net.clone().with_resources(t, g, p)).layout(layout);
+    let machine = b.build().expect("sweep configs validate");
+    machine.run(qft).makespan.as_us_f64()
+}
+
+/// Runs the Figure 16 sweep at a given scale.
+pub fn figure16(scale: Fig16Scale) -> Fig16Result {
+    let net = scale.net();
+    let qft = Program::qft(scale.qft_size());
+    let baseline = [
+        run_one(&net, Layout::HomeBase, &qft, 1024, 1024, 1024),
+        run_one(&net, Layout::MobileQubit, &qft, 1024, 1024, 1024),
+    ];
+    let area = scale.area();
+    let mut points = Vec::new();
+    for ratio in [1u32, 2, 4, 8] {
+        // t = g = ratio·p with t + g + p ≈ area.
+        let p = (area / (2 * ratio + 1)).max(1);
+        let t = (ratio * p).max(2);
+        let g = t;
+        let hb = run_one(&net, Layout::HomeBase, &qft, t, g, p);
+        let mb = run_one(&net, Layout::MobileQubit, &qft, t, g, p);
+        points.push(Fig16Point {
+            label: format!("t=g={}p", ratio),
+            t,
+            g,
+            p,
+            home_base: hb / baseline[0],
+            mobile: mb / baseline[1],
+        });
+    }
+    Fig16Result { scale, baseline_us: baseline, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_shape() {
+        let result = figure16(Fig16Scale::Tiny);
+        assert_eq!(result.points.len(), 4);
+        for pt in &result.points {
+            assert!(pt.home_base >= 0.99, "{}: constrained ≥ baseline", pt.label);
+            assert!(pt.mobile >= 0.99, "{}", pt.label);
+            assert_eq!(pt.t, pt.g, "paper matches generator and teleporter bandwidth");
+            assert!(pt.t >= pt.p || pt.label == "t=g=1p");
+        }
+        assert!(result.baseline_us[0] > 0.0);
+        assert!(result.baseline_us[1] > 0.0);
+        // Mobile baseline beats Home-Base baseline (mostly 1-hop walks).
+        assert!(result.baseline_us[1] < result.baseline_us[0]);
+    }
+
+    #[test]
+    fn mobile_suffers_at_extreme_purifier_starvation() {
+        // The paper's key Mobile observation: taking resources away from
+        // P nodes eventually hurts (t=g=8p worse than t=g=4p).
+        let result = figure16(Fig16Scale::Tiny);
+        let at = |label: &str| {
+            result
+                .points
+                .iter()
+                .find(|p| p.label == label)
+                .unwrap_or_else(|| panic!("{label} missing"))
+        };
+        let r4 = at("t=g=4p");
+        let r8 = at("t=g=8p");
+        assert!(
+            r8.mobile >= r4.mobile,
+            "mobile at 8p ({}) should not beat 4p ({})",
+            r8.mobile,
+            r4.mobile
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Machine-level layer of the `qic` quantum-interconnect simulator.
+//!
+//! This crate binds the workload generators (`qic-workload`) to the
+//! event-driven network (`qic-net`) the way Section 5 of Isailovic et al.
+//! does: a classical scheduler issues two-logical-qubit instructions in
+//! dependency order, each instruction becomes one or more channel
+//! set-ups on the mesh, and the chosen **layout** decides who moves:
+//!
+//! * [`layout::Layout::HomeBase`] — every logical qubit owns a home site;
+//!   the second operand teleports in, interacts, and teleports home.
+//! * [`layout::Layout::MobileQubit`] — operands walk: the first operand
+//!   teleports to the second's site and *stays* (Figure 15's optimisation
+//!   for QFT's sequential structure), returning home only when its
+//!   instruction stream ends.
+//!
+//! [`machine::Machine`] wraps the whole stack behind a builder;
+//! [`experiment`] packages the Figure 16 resource-allocation sweep.
+//!
+//! # Example
+//!
+//! ```
+//! use qic_core::prelude::*;
+//! use qic_workload::Program;
+//!
+//! let machine = Machine::builder()
+//!     .grid(4, 4)
+//!     .resources(4, 4, 2)
+//!     .outputs_per_comm(2)
+//!     .purify_depth(1)
+//!     .layout(Layout::HomeBase)
+//!     .build()?;
+//! let report = machine.run(&Program::qft(4));
+//! assert_eq!(report.instructions, 6);
+//! # Ok::<(), qic_core::machine::MachineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod layout;
+pub mod machine;
+pub mod scheduler;
+
+/// Convenient glob-import surface: `use qic_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::experiment::{figure16, Fig16Point, Fig16Result, Fig16Scale};
+    pub use crate::layout::{Layout, Placement};
+    pub use crate::machine::{Machine, MachineBuilder, MachineError, RunReport};
+}
+
+pub use layout::{Layout, Placement};
+pub use machine::{Machine, MachineBuilder, MachineError, RunReport};

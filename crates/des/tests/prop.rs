@@ -1,0 +1,58 @@
+//! Property-based tests for the event engine.
+
+use proptest::prelude::*;
+
+use qic_des::queue::EventQueue;
+use qic_des::time::SimTime;
+
+proptest! {
+    #[test]
+    fn events_pop_in_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn equal_times_pop_fifo(n in 1usize..100, t in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_consistent(
+        batches in proptest::collection::vec(proptest::collection::vec(0u64..10_000, 1..10), 1..20),
+    ) {
+        // Alternate scheduling batches (relative to `now`) and popping one
+        // event; the clock must never run backwards.
+        let mut q = EventQueue::new();
+        let mut last = SimTime::ZERO;
+        for batch in &batches {
+            for &dt in batch {
+                q.schedule_after(qic_physics::time::Duration::from_nanos(dt), ());
+            }
+            if let Some((t, ())) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+        while let Some((t, ())) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+        prop_assert!(q.is_empty());
+    }
+}

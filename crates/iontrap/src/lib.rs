@@ -1,0 +1,56 @@
+//! Ion-trap physical layer — the substrate the paper's interconnect sits
+//! on (Section 2.3, Figure 2).
+//!
+//! An ion-trap quantum computer moves physical qubits (single ions)
+//! *ballistically*: a channel is a sequence of trap cells formed by
+//! electrode pairs, and applying staged voltage pulses walks the trapping
+//! well — and the ion in it — down the channel. This crate models that
+//! layer explicitly:
+//!
+//! * [`waveform`] — electrode pulse schedules for a shuttle operation
+//!   (reproducing Figure 2's staged waveforms) with well-continuity
+//!   checks,
+//! * [`channel`] — occupancy-checked linear channels of trap cells,
+//! * [`junction`] — T- and X-junctions (Hensinger et al.) that join
+//!   channels into two-dimensional floorplans, with turn costs,
+//! * [`floorplan`] — a grid floorplan with dimension-order route planning
+//!   in physical cells,
+//! * [`pool`] — the ion inventory and recycling mechanism the conclusion
+//!   calls for ("an efficient recycling mechanism to allow the constant
+//!   reuse of qubits").
+//!
+//! # Example
+//!
+//! ```
+//! use qic_iontrap::prelude::*;
+//! use qic_physics::optime::OpTimes;
+//!
+//! // Shuttle an ion 6 cells down a channel: 6 pulse phases, 1.2 µs.
+//! let plan = ShuttlePlan::new(3, 9).expect("forward shuttle");
+//! let schedule = plan.waveforms(&OpTimes::ion_trap());
+//! assert_eq!(schedule.phases(), 6);
+//! assert_eq!(schedule.total_time().as_us_f64(), 1.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod floorplan;
+pub mod junction;
+pub mod pool;
+pub mod waveform;
+
+/// Convenient glob-import surface: `use qic_iontrap::prelude::*;`.
+pub mod prelude {
+    pub use crate::channel::{Channel, ChannelError, IonId};
+    pub use crate::floorplan::{Floorplan, RoutePlan};
+    pub use crate::junction::{Junction, JunctionKind};
+    pub use crate::pool::IonPool;
+    pub use crate::waveform::{Level, ShuttlePlan, WaveformSchedule};
+}
+
+pub use channel::{Channel, ChannelError, IonId};
+pub use floorplan::{Floorplan, RoutePlan};
+pub use pool::IonPool;
+pub use waveform::{ShuttlePlan, WaveformSchedule};

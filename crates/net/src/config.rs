@@ -1,0 +1,223 @@
+//! Simulator configuration — the resource-allocation knobs of Section 5.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qic_physics::constants;
+use qic_physics::error::ErrorRates;
+use qic_physics::optime::OpTimes;
+
+/// Errors raised by [`NetConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid network config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Full configuration of the communication simulator.
+///
+/// The three headline knobs are the paper's `t`, `g` and `p`
+/// (Section 5.3): teleporters per T' node, generators per G node and
+/// queue purifiers per P node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Mesh width in T'/LQ sites.
+    pub mesh_width: u16,
+    /// Mesh height in T'/LQ sites.
+    pub mesh_height: u16,
+    /// Teleporters per T' node (`t`), split between the X and Y sets.
+    pub teleporters_per_node: u32,
+    /// Generators per G node (`g`), one G node per mesh edge.
+    pub generators_per_edge: u32,
+    /// Queue purifiers per endpoint P node (`p`).
+    pub purifiers_per_site: u32,
+    /// Queue purifier depth (purification rounds per delivered pair);
+    /// the paper uses 3.
+    pub purify_depth: u32,
+    /// Purified pairs needed per logical communication (qubits per
+    /// logical qubit; the paper uses 49).
+    pub outputs_per_comm: u32,
+    /// Physical cells per mesh hop (teleporter spacing; ~600).
+    pub hop_cells: u64,
+    /// Extra ballistic cells for a turn between a router's X and Y
+    /// teleporter sets (Figure 6's bold arrows).
+    pub turn_cells: u64,
+    /// Raw link pairs consumed per teleport (1.0 unless modelling
+    /// virtual-wire purification overhead).
+    pub link_cost_factor: f64,
+    /// Operation time constants.
+    pub times: OpTimes,
+    /// Operation error rates.
+    pub rates: ErrorRates,
+    /// RNG seed (classical correction bits).
+    pub seed: u64,
+    /// Safety valve: abort after this many events.
+    pub max_events: u64,
+}
+
+impl NetConfig {
+    /// The paper's simulation scale: 16×16 logical qubits, queue purifiers
+    /// of depth 3, 49 physical qubits per logical qubit, 600-cell hops.
+    pub fn paper_scale() -> Self {
+        NetConfig {
+            mesh_width: constants::SIM_GRID_EDGE as u16,
+            mesh_height: constants::SIM_GRID_EDGE as u16,
+            teleporters_per_node: 16,
+            generators_per_edge: 16,
+            purifiers_per_site: 16,
+            purify_depth: constants::SIM_PURIFY_ROUNDS,
+            outputs_per_comm: constants::LEVEL2_STEANE_QUBITS,
+            hop_cells: constants::DEFAULT_HOP_CELLS,
+            turn_cells: 10,
+            link_cost_factor: 1.0,
+            times: OpTimes::ion_trap(),
+            rates: ErrorRates::ion_trap(),
+            seed: 2006,
+            max_events: 2_000_000_000,
+        }
+    }
+
+    /// A reduced scale for fast benchmarking: 8×8 grid, level-1 code
+    /// (7 qubits per logical qubit), same purifier depth.
+    pub fn reduced() -> Self {
+        NetConfig {
+            mesh_width: 8,
+            mesh_height: 8,
+            outputs_per_comm: constants::LEVEL1_STEANE_QUBITS,
+            ..NetConfig::paper_scale()
+        }
+    }
+
+    /// A tiny deterministic configuration for unit tests.
+    pub fn small_test() -> Self {
+        NetConfig {
+            mesh_width: 4,
+            mesh_height: 4,
+            teleporters_per_node: 4,
+            generators_per_edge: 4,
+            purifiers_per_site: 2,
+            purify_depth: 1,
+            outputs_per_comm: 2,
+            max_events: 10_000_000,
+            ..NetConfig::paper_scale()
+        }
+    }
+
+    /// Sets `t`, `g` and `p` together (the Figure 16 sweep axis).
+    pub fn with_resources(mut self, t: u32, g: u32, p: u32) -> Self {
+        self.teleporters_per_node = t;
+        self.generators_per_edge = g;
+        self.purifiers_per_site = p;
+        self
+    }
+
+    /// Raw chained pairs needed per communication
+    /// (`outputs × 2^depth`; 392 at paper scale).
+    pub fn raw_pairs_per_comm(&self) -> u64 {
+        u64::from(self.outputs_per_comm) << self.purify_depth.min(62)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on a zero-sized mesh, zero resource counts,
+    /// zero purifier depth/outputs, or a non-positive link cost factor.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.mesh_width == 0 || self.mesh_height == 0 {
+            return Err(ConfigError("mesh dimensions must be positive".into()));
+        }
+        if self.mesh_width * self.mesh_height < 2 {
+            return Err(ConfigError("mesh must have at least two sites".into()));
+        }
+        if self.teleporters_per_node == 0 {
+            return Err(ConfigError("need at least one teleporter per node".into()));
+        }
+        if self.generators_per_edge == 0 {
+            return Err(ConfigError("need at least one generator per edge".into()));
+        }
+        if self.purifiers_per_site == 0 {
+            return Err(ConfigError("need at least one purifier per site".into()));
+        }
+        if self.purify_depth == 0 || self.purify_depth > 20 {
+            return Err(ConfigError("purifier depth must be in 1..=20".into()));
+        }
+        if self.outputs_per_comm == 0 {
+            return Err(ConfigError("communications must need at least one pair".into()));
+        }
+        if !(self.link_cost_factor.is_finite() && self.link_cost_factor >= 1.0) {
+            return Err(ConfigError("link cost factor must be ≥ 1".into()));
+        }
+        if self.hop_cells == 0 {
+            return Err(ConfigError("hops must span at least one cell".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for NetConfig {
+    /// Same as [`NetConfig::paper_scale`].
+    fn default() -> Self {
+        NetConfig::paper_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_constants() {
+        let c = NetConfig::paper_scale();
+        assert_eq!(c.mesh_width, 16);
+        assert_eq!(c.purify_depth, 3);
+        assert_eq!(c.outputs_per_comm, 49);
+        assert_eq!(c.raw_pairs_per_comm(), 392);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn presets_validate() {
+        assert!(NetConfig::reduced().validate().is_ok());
+        assert!(NetConfig::small_test().validate().is_ok());
+        assert_eq!(NetConfig::default(), NetConfig::paper_scale());
+    }
+
+    #[test]
+    fn with_resources() {
+        let c = NetConfig::small_test().with_resources(8, 6, 2);
+        assert_eq!(c.teleporters_per_node, 8);
+        assert_eq!(c.generators_per_edge, 6);
+        assert_eq!(c.purifiers_per_site, 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let base = NetConfig::small_test();
+        let mut c = base.clone();
+        c.mesh_width = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.teleporters_per_node = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.purify_depth = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.link_cost_factor = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.outputs_per_comm = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.hop_cells = 0;
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("at least one cell"));
+    }
+}

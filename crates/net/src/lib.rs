@@ -1,0 +1,58 @@
+//! The EPR distribution network — **Sections 3 and 5** of Isailovic et al.
+//!
+//! This crate is the event-driven communication simulator the paper built
+//! (in Java) to study resource contention. It models:
+//!
+//! * a **mesh of teleporter (T') nodes** with per-node teleporter pools
+//!   split into X and Y sets (Figure 6), time-multiplexed among the
+//!   channels crossing them,
+//! * **generator (G) nodes** on every mesh edge, continuously producing
+//!   link EPR pairs into bounded buffers ("virtual wires", Figure 5),
+//! * **per-link, non-multiplexed storage** at each router (deadlock
+//!   avoidance, Section 5.3),
+//! * **queue purifiers** (Figure 14) at every endpoint site,
+//! * **dimension-order routing** of chained pairs, with classical control
+//!   messages carrying IDs and cumulative Pauli-frame corrections,
+//! * a logical-communication lifecycle: open channel → stream pairs →
+//!   endpoint purification → data teleport → gate.
+//!
+//! The machine-level layer (`qic-core`) drives the simulator through the
+//! [`sim::Driver`] trait: it submits logical communications and reacts to
+//! their completions, which is how the Home-Base and Mobile-Qubit layouts
+//! of Figure 15 are expressed.
+//!
+//! # Example
+//!
+//! ```
+//! use qic_net::prelude::*;
+//!
+//! // One communication corner-to-corner on a 4×4 mesh.
+//! let config = NetConfig::small_test();
+//! let mut driver = OneShotDriver::new(Coord::new(0, 0), Coord::new(3, 3));
+//! let report = NetworkSim::new(config).run(&mut driver);
+//! assert_eq!(report.comms_completed, 1);
+//! assert!(report.makespan.as_us_f64() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod message;
+pub mod report;
+pub mod resources;
+pub mod sim;
+pub mod topology;
+
+/// Convenient glob-import surface: `use qic_net::prelude::*;`.
+pub mod prelude {
+    pub use crate::config::NetConfig;
+    pub use crate::report::NetReport;
+    pub use crate::sim::{CommId, Driver, NetworkSim, OneShotDriver, SimApi};
+    pub use crate::topology::{Coord, Dir, Mesh};
+}
+
+pub use config::NetConfig;
+pub use report::NetReport;
+pub use sim::{CommId, Driver, NetworkSim, SimApi};
+pub use topology::{Coord, Dir, Mesh};

@@ -1,0 +1,944 @@
+//! The event-driven communication simulator — **Section 5**.
+//!
+//! A logical communication opens a *channel*: a dimension-ordered route of
+//! teleport hops from source to destination. The channel streams
+//! `outputs × 2^depth` chained EPR pairs; every hop consumes one link pair
+//! from the edge's G node, one teleporter slot in the router's X or Y set,
+//! and one storage cell at the downstream router (non-multiplexed per
+//! incoming link). Arriving pairs cascade through the endpoint's queue
+//! purifiers; when enough purified pairs accumulate, the logical qubit is
+//! teleported and the driver is notified.
+//!
+//! All contention is explicit: teleporter sets are time-multiplexed FIFO,
+//! wires produce at finite rate into bounded buffers, and storage exerts
+//! backpressure upstream. Determinism: FIFO tie-breaking plus a seeded RNG
+//! for the classical correction bits.
+
+use std::collections::VecDeque;
+
+use qic_des::queue::EventQueue;
+use qic_des::rng::SimRng;
+use qic_des::stats::Tally;
+use qic_des::time::SimTime;
+use qic_physics::time::Duration;
+
+use crate::config::NetConfig;
+use crate::message::PauliFrame;
+use crate::report::NetReport;
+use crate::resources::{LinkWire, ServerPool, Storage};
+use crate::topology::{Coord, Dir, Mesh};
+
+/// Identifier of a logical communication within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommId(pub u32);
+
+/// Completion record handed to the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommDone {
+    /// The completed communication.
+    pub id: CommId,
+    /// Caller-supplied tag.
+    pub tag: u64,
+    /// Channel source.
+    pub src: Coord,
+    /// Channel destination.
+    pub dst: Coord,
+    /// Submission time.
+    pub issued_at: SimTime,
+    /// Completion time (data teleport finished).
+    pub completed_at: SimTime,
+}
+
+/// The workload side of a simulation: submits communications and reacts
+/// to completions. Implemented by the layout schedulers in `qic-core`.
+pub trait Driver {
+    /// Called once at time zero; submit the initial communications here.
+    fn start(&mut self, api: &mut SimApi<'_>);
+
+    /// Called whenever a communication completes.
+    fn on_complete(&mut self, done: CommDone, api: &mut SimApi<'_>);
+
+    /// Called when a timer set by [`SimApi::notify_after`] fires. Layout
+    /// schedulers use this to model logical gate latency between a
+    /// channel's completion and the follow-up communication.
+    fn on_notify(&mut self, tag: u64, api: &mut SimApi<'_>) {
+        let _ = (tag, api);
+    }
+}
+
+/// A driver that submits exactly one communication.
+#[derive(Debug, Clone)]
+pub struct OneShotDriver {
+    src: Coord,
+    dst: Coord,
+    /// Completion record, if finished.
+    pub done: Option<CommDone>,
+}
+
+impl OneShotDriver {
+    /// One communication from `src` to `dst`.
+    pub fn new(src: Coord, dst: Coord) -> Self {
+        OneShotDriver { src, dst, done: None }
+    }
+}
+
+impl Driver for OneShotDriver {
+    fn start(&mut self, api: &mut SimApi<'_>) {
+        api.submit_now(self.src, self.dst, 0);
+    }
+
+    fn on_complete(&mut self, done: CommDone, _api: &mut SimApi<'_>) {
+        self.done = Some(done);
+    }
+}
+
+/// A driver that submits a fixed batch at time zero.
+#[derive(Debug, Clone)]
+pub struct BatchDriver {
+    batch: Vec<(Coord, Coord)>,
+    /// Completion records in completion order.
+    pub completions: Vec<CommDone>,
+}
+
+impl BatchDriver {
+    /// Submits every `(src, dst)` pair at start.
+    pub fn new(batch: Vec<(Coord, Coord)>) -> Self {
+        BatchDriver { batch, completions: Vec::new() }
+    }
+}
+
+impl Driver for BatchDriver {
+    fn start(&mut self, api: &mut SimApi<'_>) {
+        for (i, &(src, dst)) in self.batch.iter().enumerate() {
+            api.submit_now(src, dst, i as u64);
+        }
+    }
+
+    fn on_complete(&mut self, done: CommDone, _api: &mut SimApi<'_>) {
+        self.completions.push(done);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events and world state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The comm's head-of-line pair attempts injection at the source.
+    SourceTry { comm: u32 },
+    /// A chained pair finished a teleport hop.
+    TeleportDone { token: u32 },
+    /// A wire may have produced pairs for its waiters.
+    WireWake { edge: u32 },
+    /// A purifier unit finished a cascade job.
+    PurifyDone { site: u32, comm: u32, ops: u32, produces: bool },
+    /// The final data teleport of a communication finished.
+    DataTeleportDone { comm: u32 },
+    /// A deferred driver submission.
+    Submit { src: Coord, dst: Coord, tag: u64 },
+    /// A driver timer.
+    Notify { tag: u64 },
+}
+
+/// Waiter-id encoding: tokens use their index, comm sources set the high
+/// bit.
+const SOURCE_FLAG: u64 = 1 << 63;
+
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    comm: u32,
+    /// Index into the comm's route nodes where the pair currently sits.
+    pos: u16,
+    /// Accumulated classical correction frame.
+    frame: PauliFrame,
+    alive: bool,
+}
+
+#[derive(Debug)]
+struct Comm {
+    src: Coord,
+    dst: Coord,
+    tag: u64,
+    dirs: Vec<Dir>,
+    nodes: Vec<Coord>,
+    raw_to_spawn: u64,
+    arrivals: u64,
+    outputs: u64,
+    needed_outputs: u64,
+    issued_at: SimTime,
+    purify_op_time: Duration,
+    data_teleport_time: Duration,
+    source_waiting: bool,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct PurifySite {
+    units: u32,
+    units_busy: u32,
+    queue: VecDeque<(u32, u32, bool, Duration)>, // (comm, ops, produces, dur)
+    busy_ns: u128,
+}
+
+struct World {
+    cfg: NetConfig,
+    mesh: Mesh,
+    queue: EventQueue<Event>,
+    rng: SimRng,
+    comms: Vec<Comm>,
+    tokens: Vec<Token>,
+    free_tokens: Vec<u32>,
+    /// Teleporter pools: `node_index * 2 + (0 = X set, 1 = Y set)`.
+    telesets: Vec<ServerPool>,
+    /// Link wires by edge index.
+    wires: Vec<LinkWire>,
+    /// Storage: `node_index * 4 + incoming direction index`.
+    storage: Vec<Storage>,
+    /// Purifier nodes by node index.
+    sites: Vec<PurifySite>,
+    live_comms: u64,
+    // statistics
+    teleport_ops: u64,
+    purify_ops: u64,
+    purified_outputs: u64,
+    teleporter_stalls: u64,
+    wire_stalls: u64,
+    storage_stalls: u64,
+    comms_completed: u64,
+    comm_latency_us: Tally,
+}
+
+/// The driver-facing API: submit communications, read the clock.
+pub struct SimApi<'a> {
+    world: &'a mut World,
+}
+
+impl SimApi<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.queue.now()
+    }
+
+    /// Submits a communication immediately. Returns its id.
+    pub fn submit_now(&mut self, src: Coord, dst: Coord, tag: u64) -> CommId {
+        self.world.submit(src, dst, tag)
+    }
+
+    /// Submits a communication after a delay (e.g. a logical gate time).
+    pub fn submit_after(&mut self, delay: Duration, src: Coord, dst: Coord, tag: u64) {
+        self.world.queue.schedule_after(delay, Event::Submit { src, dst, tag });
+    }
+
+    /// Requests a [`Driver::on_notify`] callback after `delay`.
+    pub fn notify_after(&mut self, delay: Duration, tag: u64) {
+        self.world.queue.schedule_after(delay, Event::Notify { tag });
+    }
+
+    /// Communications submitted so far that have not completed.
+    pub fn live_comms(&self) -> u64 {
+        self.world.live_comms
+    }
+}
+
+// ---------------------------------------------------------------------------
+// World mechanics
+// ---------------------------------------------------------------------------
+
+impl World {
+    fn new(cfg: NetConfig) -> World {
+        cfg.validate().expect("configuration must validate");
+        let mesh = Mesh::new(cfg.mesh_width, cfg.mesh_height);
+        let t = cfg.teleporters_per_node;
+        let x_set = t.div_ceil(2).max(1);
+        let y_set = (t / 2).max(1);
+        let mut telesets = Vec::with_capacity(mesh.nodes() * 2);
+        let mut storage = Vec::with_capacity(mesh.nodes() * 4);
+        let mut sites = Vec::with_capacity(mesh.nodes());
+        for _ in 0..mesh.nodes() {
+            telesets.push(ServerPool::new(x_set));
+            telesets.push(ServerPool::new(y_set));
+            for _ in 0..4 {
+                storage.push(Storage::new(t.max(1)));
+            }
+            sites.push(PurifySite {
+                units: cfg.purifiers_per_site,
+                units_busy: 0,
+                queue: VecDeque::new(),
+                busy_ns: 0,
+            });
+        }
+        // One pair per tgen per generator; `link_cost_factor` models extra
+        // raw-pair consumption (virtual-wire purification).
+        let tgen = cfg.times.generate();
+        let interval_ns = (tgen.as_nanos() as f64 * cfg.link_cost_factor
+            / f64::from(cfg.generators_per_edge))
+        .round()
+        .max(1.0) as u64;
+        let wires = (0..mesh.edges())
+            .map(|_| {
+                LinkWire::new(
+                    Duration::from_nanos(interval_ns),
+                    u64::from(cfg.teleporters_per_node.max(1)),
+                )
+            })
+            .collect();
+        let seed = cfg.seed;
+        World {
+            cfg,
+            mesh,
+            queue: EventQueue::new(),
+            rng: SimRng::seed_from(seed),
+            comms: Vec::new(),
+            tokens: Vec::new(),
+            free_tokens: Vec::new(),
+            telesets,
+            wires,
+            storage,
+            sites,
+            live_comms: 0,
+            teleport_ops: 0,
+            purify_ops: 0,
+            purified_outputs: 0,
+            teleporter_stalls: 0,
+            wire_stalls: 0,
+            storage_stalls: 0,
+            comms_completed: 0,
+            comm_latency_us: Tally::new(),
+        }
+    }
+
+    fn submit(&mut self, src: Coord, dst: Coord, tag: u64) -> CommId {
+        assert!(self.mesh.contains(src) && self.mesh.contains(dst), "endpoints must be on mesh");
+        let id = self.comms.len() as u32;
+        let dirs = self.mesh.route(src, dst);
+        let nodes = self.mesh.route_nodes(src, dst);
+        let hops = dirs.len() as u64;
+        let span_cells = hops * self.cfg.hop_cells;
+        let comm = Comm {
+            src,
+            dst,
+            tag,
+            dirs,
+            nodes,
+            raw_to_spawn: self.cfg.raw_pairs_per_comm(),
+            arrivals: 0,
+            outputs: 0,
+            needed_outputs: u64::from(self.cfg.outputs_per_comm),
+            issued_at: self.queue.now(),
+            purify_op_time: self.cfg.times.purify_round(span_cells),
+            data_teleport_time: self.cfg.times.teleport(span_cells),
+            source_waiting: false,
+            done: false,
+        };
+        self.live_comms += 1;
+        if hops == 0 {
+            // Co-located endpoints: only the local data handoff remains.
+            let dt = comm.data_teleport_time;
+            self.comms.push(comm);
+            self.queue.schedule_after(dt, Event::DataTeleportDone { comm: id });
+        } else {
+            self.comms.push(comm);
+            self.queue.schedule_now(Event::SourceTry { comm: id });
+        }
+        CommId(id)
+    }
+
+    // --- resource indexing helpers -----------------------------------
+
+    fn teleset_index(&self, node: Coord, d: Dir) -> usize {
+        self.mesh.node_index(node) * 2 + usize::from(!d.is_x())
+    }
+
+    fn storage_index(&self, node: Coord, incoming: Dir) -> usize {
+        self.mesh.node_index(node) * 4 + incoming.index()
+    }
+
+    /// The resources hop `pos` of `comm` needs: (edge, teleset, storage).
+    fn hop_resources(&self, comm: &Comm, pos: usize) -> (usize, usize, usize) {
+        let here = comm.nodes[pos];
+        let dir = comm.dirs[pos];
+        let next = comm.nodes[pos + 1];
+        let edge = self.mesh.edge_index(self.mesh.edge(here, dir));
+        let teleset = self.teleset_index(here, dir);
+        let storage = self.storage_index(next, dir.opposite());
+        (edge, teleset, storage)
+    }
+
+    /// Service time of hop `pos`: turn penalty (dimension change) plus the
+    /// local teleport operations plus the classical notification.
+    fn hop_service(&self, comm: &Comm, pos: usize) -> Duration {
+        let turn = if pos > 0 && comm.dirs[pos - 1].is_x() != comm.dirs[pos].is_x() {
+            self.cfg.times.ballistic(self.cfg.turn_cells)
+        } else {
+            Duration::ZERO
+        };
+        turn + self.cfg.times.teleport(self.cfg.hop_cells)
+    }
+
+    // --- token machinery ----------------------------------------------
+
+    fn alloc_token(&mut self, comm: u32) -> u32 {
+        let token = Token { comm, pos: 0, frame: PauliFrame::IDENTITY, alive: true };
+        if let Some(idx) = self.free_tokens.pop() {
+            self.tokens[idx as usize] = token;
+            idx
+        } else {
+            self.tokens.push(token);
+            (self.tokens.len() - 1) as u32
+        }
+    }
+
+    fn free_token(&mut self, idx: u32) {
+        self.tokens[idx as usize].alive = false;
+        self.free_tokens.push(idx);
+    }
+
+    /// Attempts to fire hop `pos` for `comm`: returns `false` (after
+    /// queueing the waiter) if any resource is missing.
+    ///
+    /// `waiter` is the id to enqueue on the blocking resource: the token
+    /// id for in-flight pairs, or `SOURCE_FLAG | comm` for injection.
+    fn try_fire_hop(&mut self, comm_id: u32, pos: usize, waiter: u64) -> bool {
+        let (edge, teleset, storage) = {
+            let comm = &self.comms[comm_id as usize];
+            self.hop_resources(comm, pos)
+        };
+        let now = self.queue.now();
+        // Check all three, commit only if all are available.
+        if !self.storage[storage].available() {
+            self.storage_stalls += 1;
+            self.storage[storage].enqueue_waiter(waiter);
+            return false;
+        }
+        {
+            let wire = &mut self.wires[edge];
+            wire.refresh(now);
+            if wire.stock(now) == 0 {
+                self.wire_stalls += 1;
+                wire.enqueue_waiter(waiter);
+                let at = wire.next_available(now);
+                if !wire.wake_pending() {
+                    wire.set_wake_pending(true);
+                    self.queue.schedule_at(at, Event::WireWake { edge: edge as u32 });
+                }
+                return false;
+            }
+        }
+        if !self.telesets[teleset].available() {
+            self.teleporter_stalls += 1;
+            self.telesets[teleset].enqueue_waiter(waiter);
+            return false;
+        }
+        // Commit.
+        let service = {
+            let comm = &self.comms[comm_id as usize];
+            self.hop_service(comm, pos)
+        };
+        assert!(self.wires[edge].try_take(now), "stock checked above");
+        self.telesets[teleset].acquire(service);
+        self.storage[storage].reserve();
+        self.teleport_ops += 1;
+        let token_idx = if waiter & SOURCE_FLAG != 0 {
+            self.alloc_token(comm_id)
+        } else {
+            waiter as u32
+        };
+        // Record the classical correction bits of this teleport.
+        let (x, z) = (self.rng.chance(0.5), self.rng.chance(0.5));
+        let t = &mut self.tokens[token_idx as usize];
+        t.frame = t.frame.accumulate(x, z);
+        t.pos = pos as u16; // position it fired FROM; lands at pos+1
+        self.queue.schedule_after(service, Event::TeleportDone { token: token_idx });
+        true
+    }
+
+    /// Re-activates a waiter after a resource freed up.
+    fn wake(&mut self, waiter: u64) {
+        if waiter & SOURCE_FLAG != 0 {
+            let comm = (waiter & !SOURCE_FLAG) as u32;
+            self.comms[comm as usize].source_waiting = false;
+            self.source_try(comm);
+        } else {
+            let token = waiter as u32;
+            if !self.tokens[token as usize].alive {
+                return;
+            }
+            let pos = usize::from(self.tokens[token as usize].pos);
+            let comm = self.tokens[token as usize].comm;
+            let _ = self.try_fire_hop(comm, pos, u64::from(token));
+        }
+    }
+
+    fn drain_teleset_waiters(&mut self, teleset: usize) {
+        while self.telesets[teleset].available() {
+            match self.telesets[teleset].pop_waiter() {
+                Some(w) => self.wake(w),
+                None => break,
+            }
+        }
+    }
+
+    fn drain_storage_waiters(&mut self, storage: usize) {
+        while self.storage[storage].available() {
+            match self.storage[storage].pop_waiter() {
+                Some(w) => self.wake(w),
+                None => break,
+            }
+        }
+    }
+
+    /// The comm's head-of-line injection attempt.
+    fn source_try(&mut self, comm_id: u32) {
+        let c = &mut self.comms[comm_id as usize];
+        if c.raw_to_spawn == 0 || c.source_waiting {
+            return;
+        }
+        let waiter = SOURCE_FLAG | u64::from(comm_id);
+        // Mark waiting before the attempt; cleared on success.
+        self.comms[comm_id as usize].source_waiting = true;
+        if self.try_fire_hop(comm_id, 0, waiter) {
+            let c = &mut self.comms[comm_id as usize];
+            c.source_waiting = false;
+            c.raw_to_spawn -= 1;
+            if c.raw_to_spawn > 0 {
+                self.queue.schedule_now(Event::SourceTry { comm: comm_id });
+            }
+        }
+    }
+
+    // --- endpoint purification ----------------------------------------
+
+    fn feed_purifier(&mut self, comm_id: u32) {
+        let depth = self.cfg.purify_depth;
+        let (site_idx, ops, produces, dur) = {
+            let c = &mut self.comms[comm_id as usize];
+            c.arrivals += 1;
+            let period = 1u64 << depth;
+            let k = (c.arrivals - 1) % period;
+            let ops = k.trailing_ones().min(depth);
+            let produces = c.arrivals % period == 0;
+            (
+                self.mesh.node_index(c.dst),
+                ops,
+                produces,
+                c.purify_op_time,
+            )
+        };
+        if ops == 0 {
+            // Parked at L0; no purifier time consumed.
+            return;
+        }
+        let job_dur = dur * u64::from(ops);
+        let site = &mut self.sites[site_idx];
+        if site.units_busy < site.units {
+            site.units_busy += 1;
+            site.busy_ns += u128::from(job_dur.as_nanos());
+            self.queue.schedule_after(
+                job_dur,
+                Event::PurifyDone { site: site_idx as u32, comm: comm_id, ops, produces },
+            );
+        } else {
+            site.queue.push_back((comm_id, ops, produces, job_dur));
+        }
+    }
+
+    fn purify_done(&mut self, site_idx: u32, comm_id: u32, ops: u32, produces: bool) {
+        self.purify_ops += u64::from(ops);
+        if produces {
+            self.purified_outputs += 1;
+            let c = &mut self.comms[comm_id as usize];
+            c.outputs += 1;
+            if c.outputs == c.needed_outputs && !c.done {
+                c.done = true;
+                let dt = c.data_teleport_time;
+                self.queue.schedule_after(dt, Event::DataTeleportDone { comm: comm_id });
+            }
+        }
+        // Free the unit; start the next queued job.
+        let site = &mut self.sites[site_idx as usize];
+        site.units_busy -= 1;
+        if let Some((c, ops, produces, dur)) = site.queue.pop_front() {
+            site.units_busy += 1;
+            site.busy_ns += u128::from(dur.as_nanos());
+            self.queue.schedule_after(
+                dur,
+                Event::PurifyDone { site: site_idx, comm: c, ops, produces },
+            );
+        }
+    }
+
+    // --- event dispatch -------------------------------------------------
+
+    fn handle(&mut self, ev: Event, driver: &mut dyn Driver) {
+        match ev {
+            Event::SourceTry { comm } => {
+                // Clear the waiting latch set by a previous failed attempt
+                // only if it was set by this path; source_try handles it.
+                if !self.comms[comm as usize].source_waiting {
+                    self.source_try(comm);
+                }
+            }
+            Event::TeleportDone { token } => self.teleport_done(token),
+            Event::WireWake { edge } => self.wire_wake(edge as usize),
+            Event::PurifyDone { site, comm, ops, produces } => {
+                self.purify_done(site, comm, ops, produces);
+            }
+            Event::DataTeleportDone { comm } => {
+                let done = {
+                    let c = &mut self.comms[comm as usize];
+                    c.done = true;
+                    CommDone {
+                        id: CommId(comm),
+                        tag: c.tag,
+                        src: c.src,
+                        dst: c.dst,
+                        issued_at: c.issued_at,
+                        completed_at: self.queue.now(),
+                    }
+                };
+                self.live_comms -= 1;
+                self.comms_completed += 1;
+                self.comm_latency_us
+                    .record_duration(done.completed_at.since(done.issued_at));
+                driver.on_complete(done, &mut SimApi { world: self });
+            }
+            Event::Submit { src, dst, tag } => {
+                let _ = self.submit(src, dst, tag);
+            }
+            Event::Notify { tag } => {
+                driver.on_notify(tag, &mut SimApi { world: self });
+            }
+        }
+    }
+
+    fn teleport_done(&mut self, token_idx: u32) {
+        let (comm_id, fired_pos) = {
+            let t = &self.tokens[token_idx as usize];
+            (t.comm, usize::from(t.pos))
+        };
+        let landed = fired_pos + 1;
+        let (edge, teleset, _) = {
+            let comm = &self.comms[comm_id as usize];
+            self.hop_resources(comm, fired_pos)
+        };
+        let _ = edge;
+        // Free the teleporter that served this hop.
+        self.telesets[teleset].release();
+        // Free the storage this token held at the node it fired from
+        // (injection hops fire from the source and hold none).
+        if fired_pos > 0 {
+            let comm = &self.comms[comm_id as usize];
+            let incoming = comm.dirs[fired_pos - 1].opposite();
+            let node = comm.nodes[fired_pos];
+            let sidx = self.storage_index(node, incoming);
+            self.storage[sidx].free();
+            self.drain_storage_waiters(sidx);
+        }
+        self.drain_teleset_waiters(teleset);
+
+        let hops = self.comms[comm_id as usize].dirs.len();
+        self.tokens[token_idx as usize].pos = landed as u16;
+        if landed == hops {
+            // Arrived: hand off to the P node, freeing network storage.
+            let comm = &self.comms[comm_id as usize];
+            let incoming = comm.dirs[landed - 1].opposite();
+            let node = comm.nodes[landed];
+            let sidx = self.storage_index(node, incoming);
+            self.storage[sidx].free();
+            self.free_token(token_idx);
+            self.drain_storage_waiters(sidx);
+            self.feed_purifier(comm_id);
+        } else {
+            let _ = self.try_fire_hop(comm_id, landed, u64::from(token_idx));
+        }
+    }
+
+    fn wire_wake(&mut self, edge: usize) {
+        let now = self.queue.now();
+        self.wires[edge].set_wake_pending(false);
+        loop {
+            let stock = self.wires[edge].stock(now);
+            if stock == 0 || !self.wires[edge].has_waiters() {
+                break;
+            }
+            let w = self.wires[edge].pop_waiter().expect("has_waiters checked");
+            self.wake(w);
+        }
+        // If tokens still wait and the wire is dry, re-arm the wake.
+        if self.wires[edge].has_waiters() && self.wires[edge].stock(now) == 0 {
+            let at = self.wires[edge].next_available(now);
+            if !self.wires[edge].wake_pending() {
+                self.wires[edge].set_wake_pending(true);
+                self.queue.schedule_at(at, Event::WireWake { edge: edge as u32 });
+            }
+        }
+    }
+
+    fn report(&mut self) -> NetReport {
+        let makespan = self.queue.now().as_duration();
+        let pairs_generated: u64 = self.wires.iter().map(LinkWire::produced).sum();
+        let pairs_consumed: u64 = self.wires.iter().map(LinkWire::consumed).sum();
+        let tele_util = if makespan == Duration::ZERO {
+            0.0
+        } else {
+            let total: f64 = self.telesets.iter().map(|s| s.utilization(makespan)).sum();
+            total / self.telesets.len() as f64
+        };
+        let puri_util = if makespan == Duration::ZERO {
+            0.0
+        } else {
+            let mut total = 0.0;
+            for s in &self.sites {
+                total += s.busy_ns as f64
+                    / (u128::from(makespan.as_nanos()) * u128::from(s.units)) as f64;
+            }
+            total / self.sites.len() as f64
+        };
+        NetReport {
+            makespan,
+            comms_completed: self.comms_completed,
+            teleport_ops: self.teleport_ops,
+            pairs_generated,
+            pairs_consumed,
+            purify_ops: self.purify_ops,
+            purified_outputs: self.purified_outputs,
+            teleporter_stalls: self.teleporter_stalls,
+            wire_stalls: self.wire_stalls,
+            storage_stalls: self.storage_stalls,
+            comm_latency_us: self.comm_latency_us,
+            teleporter_utilization: tele_util,
+            purifier_utilization: puri_util,
+            events: self.queue.events_processed(),
+        }
+    }
+}
+
+/// The communication simulator.
+///
+/// See the crate docs for an overview; construct with a validated
+/// [`NetConfig`] and run a [`Driver`] to completion.
+pub struct NetworkSim {
+    world: World,
+}
+
+impl NetworkSim {
+    /// Builds a simulator for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NetConfig::validate`].
+    pub fn new(cfg: NetConfig) -> Self {
+        NetworkSim { world: World::new(cfg) }
+    }
+
+    /// Runs the driver's workload to completion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event budget (`max_events`) is exhausted — a sign of
+    /// a runaway workload or a configuration far beyond the intended
+    /// scale.
+    pub fn run(mut self, driver: &mut dyn Driver) -> NetReport {
+        driver.start(&mut SimApi { world: &mut self.world });
+        let max_events = self.world.cfg.max_events;
+        while let Some((_, ev)) = self.world.queue.pop() {
+            self.world.handle(ev, driver);
+            if self.world.queue.events_processed() > max_events {
+                panic!(
+                    "event budget exceeded ({max_events}); {} comms incomplete",
+                    self.world.live_comms
+                );
+            }
+        }
+        assert_eq!(self.world.live_comms, 0, "simulation drained with live comms");
+        self.world.report()
+    }
+}
+
+impl std::fmt::Debug for NetworkSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkSim")
+            .field("mesh", &self.world.mesh)
+            .field("queue", &self.world.queue)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NetConfig {
+        NetConfig::small_test()
+    }
+
+    #[test]
+    fn single_comm_completes() {
+        let mut driver = OneShotDriver::new(Coord::new(0, 0), Coord::new(3, 3));
+        let report = NetworkSim::new(cfg()).run(&mut driver);
+        assert_eq!(report.comms_completed, 1);
+        let done = driver.done.expect("completion recorded");
+        assert_eq!(done.src, Coord::new(0, 0));
+        assert!(done.completed_at > done.issued_at);
+        // raw pairs = outputs × 2^depth = 2 × 2 = 4; hops = 6.
+        assert_eq!(report.teleport_ops, 4 * 6);
+        assert_eq!(report.pairs_consumed, 4 * 6);
+        assert_eq!(report.purified_outputs, 2);
+        assert!(report.pairs_generated >= report.pairs_consumed);
+    }
+
+    #[test]
+    fn latency_exceeds_physical_floor() {
+        let c = cfg();
+        let mut driver = OneShotDriver::new(Coord::new(0, 0), Coord::new(3, 0));
+        let report = NetworkSim::new(c.clone()).run(&mut driver);
+        // At minimum: 3 sequential hops for the last pair + a purify op +
+        // the data teleport.
+        let floor = c.times.teleport(c.hop_cells) * 3;
+        assert!(report.makespan > floor);
+        assert!(report.mean_latency().unwrap() > floor);
+    }
+
+    #[test]
+    fn zero_hop_comm() {
+        let mut driver = OneShotDriver::new(Coord::new(1, 1), Coord::new(1, 1));
+        let report = NetworkSim::new(cfg()).run(&mut driver);
+        assert_eq!(report.comms_completed, 1);
+        assert_eq!(report.teleport_ops, 0);
+        assert_eq!(report.purify_ops, 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut driver = BatchDriver::new(vec![
+                (Coord::new(0, 0), Coord::new(3, 2)),
+                (Coord::new(3, 0), Coord::new(0, 3)),
+                (Coord::new(1, 1), Coord::new(2, 2)),
+            ]);
+            NetworkSim::new(cfg()).run(&mut driver)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn contention_slows_sharing_channels() {
+        // Two channels crossing the same column contend for teleporters;
+        // two disjoint rows do not.
+        let mut c = cfg();
+        c.teleporters_per_node = 2;
+        c.generators_per_edge = 2;
+        let mut crossing = BatchDriver::new(vec![
+            (Coord::new(0, 0), Coord::new(3, 0)),
+            (Coord::new(0, 0), Coord::new(3, 0)),
+        ]);
+        let shared = NetworkSim::new(c.clone()).run(&mut crossing);
+        let mut disjoint = BatchDriver::new(vec![
+            (Coord::new(0, 0), Coord::new(3, 0)),
+            (Coord::new(0, 2), Coord::new(3, 2)),
+        ]);
+        let apart = NetworkSim::new(c).run(&mut disjoint);
+        assert!(
+            shared.makespan > apart.makespan,
+            "shared {} vs disjoint {}",
+            shared.makespan,
+            apart.makespan
+        );
+        assert!(shared.teleporter_stalls + shared.wire_stalls > 0);
+    }
+
+    #[test]
+    fn more_generators_help_when_wire_limited() {
+        let mut starved = cfg();
+        starved.generators_per_edge = 1;
+        starved.teleporters_per_node = 8;
+        let mut rich = starved.clone();
+        rich.generators_per_edge = 8;
+        let route = (Coord::new(0, 0), Coord::new(3, 3));
+        let slow = NetworkSim::new(starved).run(&mut OneShotDriver::new(route.0, route.1));
+        let fast = NetworkSim::new(rich).run(&mut OneShotDriver::new(route.0, route.1));
+        assert!(slow.makespan > fast.makespan);
+        assert!(slow.wire_stalls > 0, "the starved run must hit empty wires");
+    }
+
+    #[test]
+    fn driver_chaining_submits_follow_ups() {
+        struct PingPong {
+            remaining: u32,
+        }
+        impl Driver for PingPong {
+            fn start(&mut self, api: &mut SimApi<'_>) {
+                api.submit_now(Coord::new(0, 0), Coord::new(2, 2), 1);
+            }
+            fn on_complete(&mut self, done: CommDone, api: &mut SimApi<'_>) {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    // Return trip after a 20µs "gate".
+                    api.submit_after(Duration::from_micros(20), done.dst, done.src, done.tag + 1);
+                }
+            }
+        }
+        let mut driver = PingPong { remaining: 3 };
+        let report = NetworkSim::new(cfg()).run(&mut driver);
+        assert_eq!(report.comms_completed, 4);
+        assert_eq!(driver.remaining, 0);
+    }
+
+    #[test]
+    fn no_deadlock_under_tight_storage() {
+        // Minimal resources everywhere; four crossing channels.
+        let mut c = cfg();
+        c.teleporters_per_node = 2;
+        c.generators_per_edge = 1;
+        c.purifiers_per_site = 1;
+        let mut driver = BatchDriver::new(vec![
+            (Coord::new(0, 0), Coord::new(3, 3)),
+            (Coord::new(3, 3), Coord::new(0, 0)),
+            (Coord::new(0, 3), Coord::new(3, 0)),
+            (Coord::new(3, 0), Coord::new(0, 3)),
+        ]);
+        let report = NetworkSim::new(c).run(&mut driver);
+        assert_eq!(report.comms_completed, 4, "dimension-order + per-link storage is deadlock-free");
+        assert!(report.storage_stalls > 0 || report.teleporter_stalls > 0);
+    }
+
+    #[test]
+    fn purifier_counts_are_exact() {
+        // Depth 2, 3 outputs: raw = 12; per output the cascade does
+        // 2^2 − 1 = 3 ops → 9 ops total.
+        let mut c = cfg();
+        c.purify_depth = 2;
+        c.outputs_per_comm = 3;
+        let mut driver = OneShotDriver::new(Coord::new(0, 0), Coord::new(2, 0));
+        let report = NetworkSim::new(c).run(&mut driver);
+        assert_eq!(report.purified_outputs, 3);
+        assert_eq!(report.purify_ops, 9);
+        assert_eq!(report.teleport_ops, 12 * 2);
+    }
+
+    #[test]
+    fn utilizations_are_probabilities() {
+        let mut driver = BatchDriver::new(vec![
+            (Coord::new(0, 0), Coord::new(3, 3)),
+            (Coord::new(1, 0), Coord::new(2, 3)),
+        ]);
+        let report = NetworkSim::new(cfg()).run(&mut driver);
+        assert!((0.0..=1.0).contains(&report.teleporter_utilization));
+        assert!((0.0..=1.0).contains(&report.purifier_utilization));
+        assert!(report.teleporter_utilization > 0.0);
+        assert!(report.purifier_utilization > 0.0);
+        assert!(report.events > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget exceeded")]
+    fn event_budget_guard() {
+        let mut c = cfg();
+        c.max_events = 10;
+        let mut driver = OneShotDriver::new(Coord::new(0, 0), Coord::new(3, 3));
+        let _ = NetworkSim::new(c).run(&mut driver);
+    }
+}

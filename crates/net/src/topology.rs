@@ -1,0 +1,316 @@
+//! Mesh topology and dimension-order routing — **Section 3.2**.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A site on the mesh (column `x`, row `y`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column index.
+    pub x: u16,
+    /// Row index.
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan distance to another coordinate.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        u32::from(self.x.abs_diff(other.x)) + u32::from(self.y.abs_diff(other.y))
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// A hop direction on the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// +x.
+    East,
+    /// −x.
+    West,
+    /// +y.
+    North,
+    /// −y.
+    South,
+}
+
+impl Dir {
+    /// All four directions.
+    pub const ALL: [Dir; 4] = [Dir::East, Dir::West, Dir::North, Dir::South];
+
+    /// Whether this direction moves along the X dimension.
+    pub fn is_x(self) -> bool {
+        matches!(self, Dir::East | Dir::West)
+    }
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+        }
+    }
+
+    /// Index 0..4 for dense per-direction arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Dir::East => 0,
+            Dir::West => 1,
+            Dir::North => 2,
+            Dir::South => 3,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dir::East => "E",
+            Dir::West => "W",
+            Dir::North => "N",
+            Dir::South => "S",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An undirected mesh edge, identified by its lower-left endpoint and
+/// orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId {
+    /// The endpoint with the smaller coordinate.
+    pub base: Coord,
+    /// `true` for a horizontal (x-direction) edge.
+    pub horizontal: bool,
+}
+
+/// A rectangular mesh of T' nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    width: u16,
+    height: u16,
+}
+
+impl Mesh {
+    /// A `width × height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "mesh must be non-empty");
+        Mesh { width, height }
+    }
+
+    /// Mesh width.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Mesh height.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        usize::from(self.width) * usize::from(self.height)
+    }
+
+    /// Number of undirected edges.
+    pub fn edges(&self) -> usize {
+        let w = usize::from(self.width);
+        let h = usize::from(self.height);
+        (w - 1) * h + w * (h - 1)
+    }
+
+    /// Whether a coordinate lies on the mesh.
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x < self.width && c.y < self.height
+    }
+
+    /// Dense index of a node.
+    pub fn node_index(&self, c: Coord) -> usize {
+        usize::from(c.y) * usize::from(self.width) + usize::from(c.x)
+    }
+
+    /// The neighbour of `c` in direction `d`, if on the mesh.
+    pub fn step(&self, c: Coord, d: Dir) -> Option<Coord> {
+        let next = match d {
+            Dir::East => Coord { x: c.x.checked_add(1)?, y: c.y },
+            Dir::West => Coord { x: c.x.checked_sub(1)?, y: c.y },
+            Dir::North => Coord { x: c.x, y: c.y.checked_add(1)? },
+            Dir::South => Coord { x: c.x, y: c.y.checked_sub(1)? },
+        };
+        self.contains(next).then_some(next)
+    }
+
+    /// The edge crossed when stepping from `c` in direction `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step leaves the mesh.
+    pub fn edge(&self, c: Coord, d: Dir) -> EdgeId {
+        let next = self.step(c, d).expect("edge step must stay on the mesh");
+        let base = if (next.x, next.y) < (c.x, c.y) { next } else { c };
+        EdgeId { base, horizontal: d.is_x() }
+    }
+
+    /// Dense index of an edge (horizontal edges first, row-major).
+    pub fn edge_index(&self, e: EdgeId) -> usize {
+        let w = usize::from(self.width);
+        let h = usize::from(self.height);
+        if e.horizontal {
+            usize::from(e.base.y) * (w - 1) + usize::from(e.base.x)
+        } else {
+            (w - 1) * h + usize::from(e.base.y) * w + usize::from(e.base.x)
+        }
+    }
+
+    /// The dimension-order (X then Y) route from `from` to `to`: the
+    /// sequence of directions to follow. Empty when `from == to`.
+    pub fn route(&self, from: Coord, to: Coord) -> Vec<Dir> {
+        assert!(self.contains(from) && self.contains(to), "route endpoints must be on the mesh");
+        let mut dirs = Vec::with_capacity(from.manhattan(to) as usize);
+        let dx = i32::from(to.x) - i32::from(from.x);
+        let dy = i32::from(to.y) - i32::from(from.y);
+        for _ in 0..dx.abs() {
+            dirs.push(if dx > 0 { Dir::East } else { Dir::West });
+        }
+        for _ in 0..dy.abs() {
+            dirs.push(if dy > 0 { Dir::North } else { Dir::South });
+        }
+        dirs
+    }
+
+    /// The node sequence of a route, including both endpoints.
+    pub fn route_nodes(&self, from: Coord, to: Coord) -> Vec<Coord> {
+        let mut nodes = vec![from];
+        let mut at = from;
+        for d in self.route(from, to) {
+            at = self.step(at, d).expect("route stays on mesh");
+            nodes.push(at);
+        }
+        nodes
+    }
+
+    /// Iterates over all node coordinates in row-major order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = Coord> + '_ {
+        let w = self.width;
+        (0..self.height).flat_map(move |y| (0..w).map(move |x| Coord { x, y }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let m = Mesh::new(4, 3);
+        assert_eq!(m.nodes(), 12);
+        assert_eq!(m.edges(), 3 * 3 + 4 * 2);
+        assert_eq!(m.iter_nodes().count(), 12);
+    }
+
+    #[test]
+    fn node_indices_are_dense_and_unique() {
+        let m = Mesh::new(5, 7);
+        let mut seen = vec![false; m.nodes()];
+        for c in m.iter_nodes() {
+            let i = m.node_index(c);
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn edge_indices_are_dense_and_unique() {
+        let m = Mesh::new(4, 4);
+        let mut seen = vec![false; m.edges()];
+        for c in m.iter_nodes() {
+            for d in [Dir::East, Dir::North] {
+                if m.step(c, d).is_some() {
+                    let i = m.edge_index(m.edge(c, d));
+                    assert!(!seen[i], "duplicate edge index {i}");
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn edges_are_direction_symmetric() {
+        let m = Mesh::new(4, 4);
+        let c = Coord::new(1, 1);
+        let e_east = m.edge(c, Dir::East);
+        let e_back = m.edge(Coord::new(2, 1), Dir::West);
+        assert_eq!(e_east, e_back);
+        let e_north = m.edge(c, Dir::North);
+        let e_south = m.edge(Coord::new(1, 2), Dir::South);
+        assert_eq!(e_north, e_south);
+    }
+
+    #[test]
+    fn steps_respect_borders() {
+        let m = Mesh::new(3, 3);
+        assert_eq!(m.step(Coord::new(0, 0), Dir::West), None);
+        assert_eq!(m.step(Coord::new(0, 0), Dir::South), None);
+        assert_eq!(m.step(Coord::new(2, 2), Dir::East), None);
+        assert_eq!(m.step(Coord::new(1, 1), Dir::East), Some(Coord::new(2, 1)));
+    }
+
+    #[test]
+    fn dimension_order_routes_x_first() {
+        let m = Mesh::new(8, 8);
+        let r = m.route(Coord::new(1, 1), Coord::new(4, 6));
+        assert_eq!(r.len(), 8);
+        assert!(r[..3].iter().all(|d| *d == Dir::East));
+        assert!(r[3..].iter().all(|d| *d == Dir::North));
+        // At most one turn.
+        let turns = r.windows(2).filter(|w| w[0].is_x() != w[1].is_x()).count();
+        assert!(turns <= 1);
+    }
+
+    #[test]
+    fn route_nodes_connect() {
+        let m = Mesh::new(8, 8);
+        let nodes = m.route_nodes(Coord::new(7, 0), Coord::new(0, 3));
+        assert_eq!(nodes.len(), 11);
+        assert_eq!(nodes[0], Coord::new(7, 0));
+        assert_eq!(*nodes.last().unwrap(), Coord::new(0, 3));
+        for w in nodes.windows(2) {
+            assert_eq!(w[0].manhattan(w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn directions() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.is_x(), d.opposite().is_x());
+        }
+        let idx: Vec<usize> = Dir::ALL.iter().map(|d| d.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn manhattan() {
+        assert_eq!(Coord::new(0, 0).manhattan(Coord::new(3, 4)), 7);
+        assert_eq!(Coord::new(5, 5).manhattan(Coord::new(5, 5)), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for topology and the simulator's conservation
+//! laws.
+
+use proptest::prelude::*;
+
+use qic_net::config::NetConfig;
+use qic_net::sim::{NetworkSim, OneShotDriver};
+use qic_net::topology::{Coord, Mesh};
+
+proptest! {
+    #[test]
+    fn routes_have_manhattan_length_and_one_turn(
+        w in 2u16..20, h in 2u16..20,
+        x1 in 0u16..20, y1 in 0u16..20, x2 in 0u16..20, y2 in 0u16..20,
+    ) {
+        let mesh = Mesh::new(w, h);
+        let a = Coord::new(x1 % w, y1 % h);
+        let b = Coord::new(x2 % w, y2 % h);
+        let route = mesh.route(a, b);
+        prop_assert_eq!(route.len() as u32, a.manhattan(b));
+        let turns = route.windows(2).filter(|p| p[0].is_x() != p[1].is_x()).count();
+        prop_assert!(turns <= 1, "dimension-order routes turn at most once");
+        // The route must land exactly on b.
+        let nodes = mesh.route_nodes(a, b);
+        prop_assert_eq!(*nodes.last().unwrap(), b);
+        prop_assert!(nodes.iter().all(|&n| mesh.contains(n)));
+    }
+
+    #[test]
+    fn single_comm_conservation_laws(
+        x1 in 0u16..4, y1 in 0u16..4, x2 in 0u16..4, y2 in 0u16..4,
+        outputs in 1u32..5, depth in 1u32..4,
+        seed in 0u64..1000,
+    ) {
+        let mut cfg = NetConfig::small_test();
+        cfg.outputs_per_comm = outputs;
+        cfg.purify_depth = depth;
+        cfg.seed = seed;
+        let src = Coord::new(x1, y1);
+        let dst = Coord::new(x2, y2);
+        let hops = u64::from(src.manhattan(dst));
+        let mut driver = OneShotDriver::new(src, dst);
+        let report = NetworkSim::new(cfg.clone()).run(&mut driver);
+
+        prop_assert_eq!(report.comms_completed, 1);
+        let raw = cfg.raw_pairs_per_comm();
+        // Conservation: every teleport consumed exactly one link pair.
+        prop_assert_eq!(report.teleport_ops, raw * hops);
+        prop_assert_eq!(report.pairs_consumed, report.teleport_ops);
+        prop_assert!(report.pairs_generated >= report.pairs_consumed);
+        if hops > 0 {
+            prop_assert_eq!(report.purified_outputs, u64::from(outputs));
+            // Queue purifier: (2^depth − 1) ops per output.
+            prop_assert_eq!(
+                report.purify_ops,
+                u64::from(outputs) * ((1 << depth) - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_do_not_change_accounting(seed in 0u64..10_000) {
+        // The classical correction bits are random, but pair accounting is
+        // deterministic regardless of seed.
+        let mut cfg = NetConfig::small_test();
+        cfg.seed = seed;
+        let mut driver = OneShotDriver::new(Coord::new(0, 0), Coord::new(3, 1));
+        let report = NetworkSim::new(cfg).run(&mut driver);
+        prop_assert_eq!(report.teleport_ops, 4 * 4);
+        prop_assert_eq!(report.purified_outputs, 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Architectural constants fixed by the paper.
+
+use crate::fidelity::Fidelity;
+
+/// The fault-tolerance threshold on data-grade EPR-pair error: EPR pairs
+/// used to teleport data must have fidelity at least `1 − 7.5e-5`
+/// (Section 4.6, citing Svore et al., "Local Fault-Tolerant Quantum
+/// Computation").
+pub const THRESHOLD_ERROR: f64 = 7.5e-5;
+
+/// [`THRESHOLD_ERROR`] as a [`Fidelity`].
+pub fn threshold_fidelity() -> Fidelity {
+    Fidelity::from_error(THRESHOLD_ERROR)
+}
+
+/// Default spacing between adjacent teleporter (T') nodes, in ballistic
+/// cells. Section 4.6 derives ~600 cells as the distance at which
+/// teleportation (122 µs) becomes faster than ballistic movement
+/// (0.2 µs/cell).
+pub const DEFAULT_HOP_CELLS: u64 = 600;
+
+/// Physical qubits per logical qubit for a level-2 Steane code
+/// (7² = 49, Section 4.7: "we are transporting 49 physical data qubits").
+pub const LEVEL2_STEANE_QUBITS: u32 = 49;
+
+/// Physical qubits per logical qubit for a level-1 Steane code (7). Used by
+/// reduced-scale simulation presets.
+pub const LEVEL1_STEANE_QUBITS: u32 = 7;
+
+/// Physical qubits per logical qubit for a level-3 Steane code (343,
+/// Section 2.2: "not uncommon to see proposals to use 49 or 343 physical
+/// qubits").
+pub const LEVEL3_STEANE_QUBITS: u32 = 343;
+
+/// Purification tree depth the paper uses in simulation: "we will need a
+/// maximum purification tree of depth three (for distances under
+/// consideration); consequently, we use Queue Purifiers of depth three"
+/// (Section 5.3).
+pub const SIM_PURIFY_ROUNDS: u32 = 3;
+
+/// Expected EPR pairs for the longest communication path in the Section 5
+/// simulations: `2^3 × 49 = 392` (pairs for endpoint purification × qubits
+/// per logical qubit).
+pub const PAIRS_PER_LOGICAL_COMM: u32 = (1 << SIM_PURIFY_ROUNDS) * LEVEL2_STEANE_QUBITS;
+
+/// Grid edge of the Section 5 simulations (16×16 logical qubits).
+pub const SIM_GRID_EDGE: u32 = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_per_comm_is_392() {
+        assert_eq!(PAIRS_PER_LOGICAL_COMM, 392);
+    }
+
+    #[test]
+    fn threshold_is_stricter_than_gate_errors() {
+        // The threshold must be loose enough that purification can reach it
+        // under Table 2 noise (gate error 1e-7 ≪ 7.5e-5).
+        assert!(THRESHOLD_ERROR > 1e-7);
+        assert!(threshold_fidelity().value() > 0.9999);
+    }
+
+    #[test]
+    fn steane_code_sizes() {
+        assert_eq!(LEVEL1_STEANE_QUBITS.pow(2), LEVEL2_STEANE_QUBITS);
+        assert_eq!(LEVEL1_STEANE_QUBITS.pow(3), LEVEL3_STEANE_QUBITS);
+    }
+}

@@ -1,0 +1,190 @@
+//! Standard one- and two-qubit gates as explicit matrices.
+//!
+//! These feed the exact density-matrix simulator in [`crate::density`];
+//! the event-driven network simulator never multiplies matrices — it uses
+//! the Bell-diagonal fast path validated against these.
+
+use std::f64::consts::FRAC_1_SQRT_2;
+
+use crate::complex::C64;
+use crate::matrix::{Mat2, Mat4};
+
+/// The single-qubit identity.
+pub fn identity2() -> Mat2 {
+    Mat2::identity()
+}
+
+/// Pauli X (bit flip).
+pub fn pauli_x() -> Mat2 {
+    Mat2::from_rows([[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]])
+}
+
+/// Pauli Y.
+pub fn pauli_y() -> Mat2 {
+    Mat2::from_rows([
+        [C64::ZERO, C64::new(0.0, -1.0)],
+        [C64::new(0.0, 1.0), C64::ZERO],
+    ])
+}
+
+/// Pauli Z (phase flip).
+pub fn pauli_z() -> Mat2 {
+    Mat2::from_rows([[C64::ONE, C64::ZERO], [C64::ZERO, C64::new(-1.0, 0.0)]])
+}
+
+/// Hadamard gate.
+pub fn hadamard() -> Mat2 {
+    Mat2::from_rows([
+        [C64::real(FRAC_1_SQRT_2), C64::real(FRAC_1_SQRT_2)],
+        [C64::real(FRAC_1_SQRT_2), C64::real(-FRAC_1_SQRT_2)],
+    ])
+}
+
+/// Phase gate `diag(1, e^{iθ})`; `phase(π/2)` is S, `phase(π/4)` is T.
+pub fn phase(theta: f64) -> Mat2 {
+    Mat2::from_rows([[C64::ONE, C64::ZERO], [C64::ZERO, C64::cis(theta)]])
+}
+
+/// `R_x(θ) = e^{-iθX/2}` — the σx rotation; DEJMPS uses ±π/2 instances.
+pub fn rx(theta: f64) -> Mat2 {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::new(0.0, -(theta / 2.0).sin());
+    Mat2::from_rows([[c, s], [s, c]])
+}
+
+/// CNOT with qubit 0 as control and qubit 1 as target (basis order
+/// `|00⟩,|01⟩,|10⟩,|11⟩`).
+pub fn cnot() -> Mat4 {
+    let mut m = Mat4::default();
+    m.0[0][0] = C64::ONE;
+    m.0[1][1] = C64::ONE;
+    m.0[2][3] = C64::ONE;
+    m.0[3][2] = C64::ONE;
+    m
+}
+
+/// Controlled-Z (symmetric in its operands).
+pub fn cz() -> Mat4 {
+    let mut m = Mat4::identity();
+    m.0[3][3] = C64::new(-1.0, 0.0);
+    m
+}
+
+/// Controlled phase `diag(1,1,1,e^{iθ})` — the gate family the Quantum
+/// Fourier Transform is built from (`θ = 2π/2^k`).
+pub fn controlled_phase(theta: f64) -> Mat4 {
+    let mut m = Mat4::identity();
+    m.0[3][3] = C64::cis(theta);
+    m
+}
+
+/// SWAP gate.
+pub fn swap() -> Mat4 {
+    let mut m = Mat4::default();
+    m.0[0][0] = C64::ONE;
+    m.0[1][2] = C64::ONE;
+    m.0[2][1] = C64::ONE;
+    m.0[3][3] = C64::ONE;
+    m
+}
+
+/// Applies `u` to the first qubit of a two-qubit system: `u ⊗ I`.
+pub fn on_first(u: &Mat2) -> Mat4 {
+    u.kron(&Mat2::identity())
+}
+
+/// Applies `u` to the second qubit of a two-qubit system: `I ⊗ u`.
+pub fn on_second(u: &Mat2) -> Mat4 {
+    Mat2::identity().kron(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Mat4;
+
+    #[test]
+    fn paulis_are_unitary_and_hermitian() {
+        for g in [pauli_x(), pauli_y(), pauli_z(), hadamard()] {
+            assert!(g.is_unitary(1e-12));
+            assert!(g.approx_eq(&g.adjoint(), 1e-12), "involutive gates are Hermitian");
+        }
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        // XY = iZ
+        let xy = pauli_x() * pauli_y();
+        let mut iz = pauli_z();
+        for r in 0..2 {
+            for c in 0..2 {
+                iz.0[r][c] = iz.0[r][c] * C64::I;
+            }
+        }
+        assert!(xy.approx_eq(&iz, 1e-12));
+        // H X H = Z
+        let hxh = hadamard() * pauli_x() * hadamard();
+        assert!(hxh.approx_eq(&pauli_z(), 1e-12));
+    }
+
+    #[test]
+    fn two_qubit_gates_are_unitary() {
+        for g in [cnot(), cz(), swap(), controlled_phase(0.7)] {
+            assert!(g.is_unitary(1e-12));
+        }
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        let u = cnot();
+        // |10> -> |11>
+        assert_eq!(u.0[3][2], C64::ONE);
+        // |11> -> |10>
+        assert_eq!(u.0[2][3], C64::ONE);
+        // |00>, |01> fixed
+        assert_eq!(u.0[0][0], C64::ONE);
+        assert_eq!(u.0[1][1], C64::ONE);
+    }
+
+    #[test]
+    fn cz_commutes_with_swap() {
+        let lhs = swap() * cz() * swap();
+        assert!(lhs.approx_eq(&cz(), 1e-12));
+    }
+
+    #[test]
+    fn rx_composes() {
+        // Rx(π/2)·Rx(-π/2) = I (the DEJMPS pre-rotations cancel).
+        let id = rx(std::f64::consts::FRAC_PI_2) * rx(-std::f64::consts::FRAC_PI_2);
+        assert!(id.approx_eq(&Mat2::identity(), 1e-12));
+        // Rx(π) ∝ X (up to global phase -i).
+        let r = rx(std::f64::consts::PI);
+        let mut minus_ix = pauli_x();
+        for row in 0..2 {
+            for c in 0..2 {
+                minus_ix.0[row][c] = minus_ix.0[row][c] * C64::new(0.0, -1.0);
+            }
+        }
+        assert!(r.approx_eq(&minus_ix, 1e-12));
+    }
+
+    #[test]
+    fn controlled_phase_at_pi_is_cz() {
+        assert!(controlled_phase(std::f64::consts::PI).approx_eq(&cz(), 1e-12));
+    }
+
+    #[test]
+    fn lift_helpers_act_on_correct_qubit() {
+        let x1 = on_first(&pauli_x());
+        let x2 = on_second(&pauli_x());
+        assert!(x1.is_unitary(1e-12) && x2.is_unitary(1e-12));
+        // X⊗I maps |00⟩ to |10⟩ (index 0 → 2); I⊗X maps |00⟩ to |01⟩.
+        assert_eq!(x1.0[2][0], C64::ONE);
+        assert_eq!(x2.0[1][0], C64::ONE);
+        // They commute.
+        let lhs = x1 * x2;
+        let rhs = x2 * x1;
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+        let _: Mat4 = lhs;
+    }
+}

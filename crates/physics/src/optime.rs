@@ -1,0 +1,243 @@
+//! Operation time constants — **Table 1** of the paper.
+//!
+//! | Operation      | Variable | Time (µs) |
+//! |----------------|----------|-----------|
+//! | One-qubit gate | `t1q`    | 1         |
+//! | Two-qubit gate | `t2q`    | 20        |
+//! | Move one cell  | `tmv`    | 0.2       |
+//! | Measure        | `tms`    | 100       |
+//! | Generate       | `tgen`   | 122       |
+//! | Teleport       | `ttprt`  | ~122      |
+//! | Purify         | `tprfy`  | ~121      |
+//!
+//! One *cell* is the minimum distance of a ballistic move (one ion trap).
+//! Teleportation and purification also require classical bits to be routed
+//! between the endpoints, so their total latency grows with distance; the
+//! `~` entries of Table 1 are the distance-independent parts, recovered here
+//! by [`OpTimes::teleport_local`] and [`OpTimes::purify_round_local`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Duration;
+
+/// Time constants for the primitive operations of an ion-trap quantum
+/// computer (Table 1 of the paper).
+///
+/// Construct the published values with [`OpTimes::ion_trap`]; the `with_*`
+/// builder methods derive variants for sensitivity studies.
+///
+/// # Example
+///
+/// ```
+/// use qic_physics::optime::OpTimes;
+/// use qic_physics::time::Duration;
+///
+/// let t = OpTimes::ion_trap();
+/// // Teleport latency (Eq. 5): 2·t1q + t2q + tms = 122 µs plus classical bits.
+/// assert_eq!(t.teleport_local(), Duration::from_micros(122));
+/// // One purification round (Eq. 6): t2q + tms = 120 µs plus a classical bit.
+/// assert_eq!(t.purify_round_local(), Duration::from_micros(120));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpTimes {
+    one_qubit_gate: Duration,
+    two_qubit_gate: Duration,
+    move_cell: Duration,
+    measure: Duration,
+    /// Classical communication cost per ballistic cell of distance. The paper
+    /// assumes classical signalling is "orders of magnitude faster than the
+    /// quantum operations"; the default models 1 ns per cell.
+    classical_per_cell: Duration,
+}
+
+impl OpTimes {
+    /// The experimental ion-trap values of Table 1
+    /// (`t1q`=1 µs, `t2q`=20 µs, `tmv`=0.2 µs/cell, `tms`=100 µs).
+    pub fn ion_trap() -> Self {
+        OpTimes {
+            one_qubit_gate: Duration::from_micros(1),
+            two_qubit_gate: Duration::from_micros(20),
+            move_cell: Duration::from_nanos(200),
+            measure: Duration::from_micros(100),
+            classical_per_cell: Duration::from_nanos(1),
+        }
+    }
+
+    /// Duration of a one-qubit gate (`t1q`).
+    pub fn one_qubit_gate(&self) -> Duration {
+        self.one_qubit_gate
+    }
+
+    /// Duration of a two-qubit gate (`t2q`).
+    pub fn two_qubit_gate(&self) -> Duration {
+        self.two_qubit_gate
+    }
+
+    /// Duration of one ballistic move across a single cell (`tmv`).
+    pub fn move_cell(&self) -> Duration {
+        self.move_cell
+    }
+
+    /// Duration of a projective measurement (`tms`).
+    pub fn measure(&self) -> Duration {
+        self.measure
+    }
+
+    /// Classical signalling time per cell of physical distance.
+    pub fn classical_per_cell(&self) -> Duration {
+        self.classical_per_cell
+    }
+
+    /// Replaces the one-qubit gate time.
+    pub fn with_one_qubit_gate(mut self, d: Duration) -> Self {
+        self.one_qubit_gate = d;
+        self
+    }
+
+    /// Replaces the two-qubit gate time.
+    pub fn with_two_qubit_gate(mut self, d: Duration) -> Self {
+        self.two_qubit_gate = d;
+        self
+    }
+
+    /// Replaces the per-cell ballistic move time.
+    pub fn with_move_cell(mut self, d: Duration) -> Self {
+        self.move_cell = d;
+        self
+    }
+
+    /// Replaces the measurement time.
+    pub fn with_measure(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Replaces the per-cell classical signalling time.
+    pub fn with_classical_per_cell(mut self, d: Duration) -> Self {
+        self.classical_per_cell = d;
+        self
+    }
+
+    /// Ballistic movement time across `cells` traps (Equation 2:
+    /// `t = tmv · D`).
+    pub fn ballistic(&self, cells: u64) -> Duration {
+        self.move_cell * cells
+    }
+
+    /// Classical signalling latency across `cells` of physical distance.
+    pub fn classical(&self, cells: u64) -> Duration {
+        self.classical_per_cell * cells
+    }
+
+    /// The distance-independent part of a teleportation (Equation 5 with
+    /// `D = 0`): two one-qubit gates, one two-qubit gate and a measurement.
+    /// Equals the "~122 µs" `ttprt` entry of Table 1.
+    pub fn teleport_local(&self) -> Duration {
+        self.one_qubit_gate * 2 + self.two_qubit_gate + self.measure
+    }
+
+    /// Full teleportation latency over a distance of `cells`
+    /// (Equation 5: `2·t1q + t2q + tms + t_classical·D`).
+    pub fn teleport(&self, cells: u64) -> Duration {
+        self.teleport_local() + self.classical(cells)
+    }
+
+    /// The distance-independent part of one purification round (Equation 6
+    /// with zero-distance classical exchange): one two-qubit gate and one
+    /// measurement. The "~121 µs" `tprfy` entry of Table 1 is this value
+    /// plus the classical bit exchange.
+    pub fn purify_round_local(&self) -> Duration {
+        self.two_qubit_gate + self.measure
+    }
+
+    /// Full single-round purification latency when the endpoints are `cells`
+    /// apart (Equation 6: `t2q + tms + t_classical`).
+    pub fn purify_round(&self, cells: u64) -> Duration {
+        self.purify_round_local() + self.classical(cells)
+    }
+
+    /// EPR-pair generation time as listed in Table 1 (122 µs). The paper
+    /// sizes generator and teleporter bandwidth against each other using
+    /// this value ("generation and teleportation have nearly equivalent
+    /// latency", Section 5.3).
+    pub fn generate(&self) -> Duration {
+        // Table 1 lists tgen = 122 µs, matching teleport latency.
+        self.teleport_local()
+    }
+
+    /// EPR-pair generation time counting only the gates it is built from
+    /// (one single- plus one double-qubit gate, Section 4.4's "projected to
+    /// be 21 µs"). Exposed because the paper's prose and its Table 1
+    /// disagree; see DESIGN.md §5.
+    pub fn generate_gates_only(&self) -> Duration {
+        self.one_qubit_gate + self.two_qubit_gate
+    }
+}
+
+impl Default for OpTimes {
+    /// Same as [`OpTimes::ion_trap`].
+    fn default() -> Self {
+        OpTimes::ion_trap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let t = OpTimes::ion_trap();
+        assert_eq!(t.one_qubit_gate(), Duration::from_micros(1));
+        assert_eq!(t.two_qubit_gate(), Duration::from_micros(20));
+        assert_eq!(t.move_cell(), Duration::from_us_f64(0.2));
+        assert_eq!(t.measure(), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn teleport_matches_table1() {
+        let t = OpTimes::ion_trap();
+        assert_eq!(t.teleport_local(), Duration::from_micros(122));
+        assert_eq!(t.generate(), Duration::from_micros(122));
+        assert_eq!(t.generate_gates_only(), Duration::from_micros(21));
+    }
+
+    #[test]
+    fn purify_round_matches_table1() {
+        let t = OpTimes::ion_trap();
+        // 120 µs of quantum ops + ~1 µs classical for a ~600-cell span ≈
+        // the "~121 µs" of Table 1.
+        assert_eq!(t.purify_round_local(), Duration::from_micros(120));
+        let with_classical = t.purify_round(600);
+        assert!(with_classical > t.purify_round_local());
+        assert!(with_classical < Duration::from_micros(122));
+    }
+
+    #[test]
+    fn ballistic_is_linear_in_distance() {
+        let t = OpTimes::ion_trap();
+        assert_eq!(t.ballistic(0), Duration::ZERO);
+        assert_eq!(t.ballistic(5), Duration::from_micros(1));
+        assert_eq!(t.ballistic(600), Duration::from_micros(120));
+    }
+
+    #[test]
+    fn teleport_grows_with_classical_distance() {
+        let t = OpTimes::ion_trap();
+        assert!(t.teleport(10_000) > t.teleport(0));
+        assert_eq!(t.teleport(0), t.teleport_local());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let t = OpTimes::ion_trap()
+            .with_one_qubit_gate(Duration::from_micros(2))
+            .with_two_qubit_gate(Duration::from_micros(10))
+            .with_measure(Duration::from_micros(50))
+            .with_move_cell(Duration::from_nanos(100))
+            .with_classical_per_cell(Duration::from_nanos(2));
+        assert_eq!(t.teleport_local(), Duration::from_micros(2 * 2 + 10 + 50));
+        assert_eq!(t.ballistic(10), Duration::from_micros(1));
+        assert_eq!(t.classical(500), Duration::from_micros(1));
+    }
+}

@@ -1,0 +1,205 @@
+//! Teleportation and EPR-generation models — **Section 4.4,
+//! Equations 3–5**.
+//!
+//! Teleporting a qubit of fidelity `F_old` using an EPR pair of fidelity
+//! `F_EPR` yields (Equation 3):
+//!
+//! ```text
+//! F_new = 1/4 · (1 + 3·(1−p1q)(1−p2q) · (4(1−pms)² − 1)/3
+//!                  · (4F_old − 1)/3 · (4F_EPR − 1)/3)
+//! ```
+//!
+//! The module provides this scalar model, its Bell-diagonal refinement
+//! (Pauli-frame convolution plus isotropic gate noise — exact for Werner
+//! inputs, strictly more informative otherwise), EPR generation
+//! (Equation 4) and teleportation latency (Equation 5).
+
+use crate::bell::BellDiagonal;
+use crate::error::ErrorRates;
+use crate::fidelity::Fidelity;
+use crate::optime::OpTimes;
+use crate::time::Duration;
+
+/// The gate/measurement attenuation factor of Equation 3:
+/// `(1−p1q)(1−p2q) · (4(1−pms)² − 1)/3`.
+pub fn gate_attenuation(rates: &ErrorRates) -> f64 {
+    let gates = (1.0 - rates.one_qubit_gate()) * (1.0 - rates.two_qubit_gate());
+    let meas = (4.0 * (1.0 - rates.measure()).powi(2) - 1.0) / 3.0;
+    gates * meas
+}
+
+/// Fidelity after one teleportation (Equation 3).
+///
+/// # Example
+///
+/// ```
+/// use qic_physics::prelude::*;
+///
+/// let rates = ErrorRates::noiseless();
+/// // With perfect operations and a perfect pair, teleportation is exact.
+/// let f = teleport::teleport_fidelity(Fidelity::new(0.9)?, Fidelity::ONE, &rates);
+/// assert!((f.value() - 0.9).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn teleport_fidelity(f_old: Fidelity, f_epr: Fidelity, rates: &ErrorRates) -> Fidelity {
+    let s = gate_attenuation(rates) * f_old.polarization() * f_epr.polarization();
+    Fidelity::new_clamped(0.25 * (1.0 + 3.0 * s))
+}
+
+/// Bell-diagonal refinement of Equation 3: the teleported pair's Pauli
+/// frame is the convolution of the input frames, attenuated by isotropic
+/// gate/measurement noise.
+///
+/// For Werner-state inputs the fidelity of the result equals
+/// [`teleport_fidelity`] exactly (see tests); for structured states it
+/// tracks the full error composition that the scalar model collapses.
+pub fn teleport_pair(
+    moving: &BellDiagonal,
+    resource: &BellDiagonal,
+    rates: &ErrorRates,
+) -> BellDiagonal {
+    let eps = 1.0 - gate_attenuation(rates);
+    moving.convolve(resource).depolarize(eps.clamp(0.0, 1.0))
+}
+
+/// Fidelity of a freshly generated EPR pair (Equation 4:
+/// `F_gen ∝ (1−p1q)(1−p2q)·F_zero`).
+pub fn generation_fidelity(rates: &ErrorRates, f_zero: Fidelity) -> Fidelity {
+    Fidelity::new_clamped(
+        (1.0 - rates.one_qubit_gate()) * (1.0 - rates.two_qubit_gate()) * f_zero.value(),
+    )
+}
+
+/// A freshly generated pair at the Bell-diagonal level: the generation
+/// gates' error is spread isotropically.
+pub fn generated_pair(rates: &ErrorRates, f_zero: Fidelity) -> BellDiagonal {
+    let f = generation_fidelity(rates, f_zero);
+    BellDiagonal::werner(f)
+}
+
+/// Teleportation latency over a separation of `cells`
+/// (Equation 5: `2·t1q + t2q + tms + t_classical·D`).
+pub fn teleport_time(cells: u64, times: &OpTimes) -> Duration {
+    times.teleport(cells)
+}
+
+/// The distance (in cells) beyond which a single teleportation is faster
+/// than ballistic movement — "for a distance of about 600 cells,
+/// teleportation is faster" (Section 4.6).
+///
+/// Returns `None` if ballistic movement is faster at every distance (e.g.
+/// zero per-cell cost).
+pub fn latency_crossover_cells(times: &OpTimes) -> Option<u64> {
+    let per_cell_ballistic = times.move_cell().as_nanos();
+    let per_cell_teleport = times.classical_per_cell().as_nanos();
+    if per_cell_ballistic <= per_cell_teleport {
+        return None;
+    }
+    let fixed = times.teleport_local().as_nanos();
+    // Smallest D with fixed + tcl·D < tmv·D.
+    Some(fixed / (per_cell_ballistic - per_cell_teleport) + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bell::BellState;
+
+    #[test]
+    fn noiseless_teleport_is_identity_on_fidelity() {
+        let rates = ErrorRates::noiseless();
+        for f in [0.25, 0.5, 0.9, 1.0] {
+            let f_old = Fidelity::new(f).unwrap();
+            let out = teleport_fidelity(f_old, Fidelity::ONE, &rates);
+            assert!((out.value() - f).abs() < 1e-12, "F={f}");
+        }
+    }
+
+    #[test]
+    fn equation3_worked_example() {
+        // With Table 2 rates and perfect inputs the residual error is the
+        // gate/measurement term: ≈ (3/4)(p1q + p2q + 2·pms·4/3...) ~ 1e-7.
+        let rates = ErrorRates::ion_trap();
+        let f = teleport_fidelity(Fidelity::ONE, Fidelity::ONE, &rates);
+        assert!(f.infidelity() > 0.0);
+        assert!(f.infidelity() < 3e-7, "gate-limited error, got {}", f.infidelity());
+    }
+
+    #[test]
+    fn epr_error_dominates_when_pair_is_degraded() {
+        // §4.6: for teleporters 100 cells apart, movement error ~1e-4
+        // dwarfs the 1e-7 two-qubit gate error.
+        let rates = ErrorRates::ion_trap();
+        let epr = Fidelity::from_error(1e-4);
+        let f = teleport_fidelity(Fidelity::ONE, epr, &rates);
+        assert!(f.infidelity() > 0.9e-4 && f.infidelity() < 1.2e-4);
+    }
+
+    #[test]
+    fn pair_teleport_matches_scalar_on_werner_inputs() {
+        let rates = ErrorRates::ion_trap();
+        let f_old = Fidelity::new(0.999).unwrap();
+        let f_epr = Fidelity::new(0.9995).unwrap();
+        let pair = teleport_pair(
+            &BellDiagonal::werner(f_old),
+            &BellDiagonal::werner(f_epr),
+            &rates,
+        );
+        let scalar = teleport_fidelity(f_old, f_epr, &rates);
+        assert!(
+            (pair.fidelity().value() - scalar.value()).abs() < 1e-9,
+            "pair {} vs scalar {}",
+            pair.fidelity(),
+            scalar
+        );
+    }
+
+    #[test]
+    fn pair_teleport_composes_pauli_frames() {
+        // Teleporting with a Φ⁻ resource applies a phase flip: the
+        // correction operations of Figure 3 would cancel it, and the error
+        // tracking must know where it went.
+        let rates = ErrorRates::noiseless();
+        let moving = BellDiagonal::perfect();
+        let resource = BellDiagonal::new([0.0, 0.0, 0.0, 1.0]).unwrap();
+        let out = teleport_pair(&moving, &resource, &rates);
+        assert!((out.coeff(BellState::PhiMinus) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_fidelity_equation4() {
+        let rates = ErrorRates::ion_trap();
+        let f = generation_fidelity(&rates, Fidelity::ONE);
+        let expected = (1.0 - 1e-8) * (1.0 - 1e-7);
+        assert!((f.value() - expected).abs() < 1e-15);
+        let pair = generated_pair(&rates, Fidelity::ONE);
+        assert!((pair.fidelity().value() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn teleport_time_equation5() {
+        let times = OpTimes::ion_trap();
+        assert_eq!(teleport_time(0, &times), Duration::from_micros(122));
+        let far = teleport_time(10_000, &times);
+        assert_eq!(far, Duration::from_micros(122) + Duration::from_micros(10));
+    }
+
+    #[test]
+    fn crossover_near_600_cells() {
+        let times = OpTimes::ion_trap();
+        let d = latency_crossover_cells(&times).expect("ballistic is slower per cell");
+        assert!(
+            (590..=620).contains(&d),
+            "crossover should be ~600 cells (Section 4.6), got {d}"
+        );
+        // At the crossover, teleport really is faster.
+        assert!(teleport_time(d, &times) < times.ballistic(d));
+        assert!(teleport_time(d - 2, &times) >= times.ballistic(d - 2));
+    }
+
+    #[test]
+    fn crossover_none_when_ballistic_is_free() {
+        let times = OpTimes::ion_trap().with_move_cell(Duration::ZERO);
+        assert_eq!(latency_crossover_cells(&times), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! Ballistic transport model — **Section 4.3, Equations 1–2**.
+//!
+//! An ion moved ballistically through `D` trap cells decoheres at each hop:
+//!
+//! > `F_new = F_old · (1 − pmv)^D`      (Equation 1)
+//! >
+//! > `t_ballistic = tmv · D`            (Equation 2)
+//!
+//! The same per-cell channel is expressed at the Bell-diagonal level for
+//! EPR halves in transit, so the analytical and event-driven layers agree.
+
+use crate::bell::BellDiagonal;
+use crate::error::ErrorRates;
+use crate::fidelity::Fidelity;
+use crate::optime::OpTimes;
+use crate::time::Duration;
+
+/// Fidelity after ballistically moving a qubit across `cells` traps
+/// (Equation 1).
+///
+/// # Example
+///
+/// ```
+/// use qic_physics::prelude::*;
+///
+/// let rates = ErrorRates::ion_trap();
+/// // Corner-to-corner on a 1000×1000 grid: error > 1e-3 (Section 1).
+/// let f = transport::ballistic_fidelity(Fidelity::ONE, 2000, &rates);
+/// assert!(f.infidelity() > 1e-3);
+/// ```
+pub fn ballistic_fidelity(start: Fidelity, cells: u64, rates: &ErrorRates) -> Fidelity {
+    start.attenuate(survival(cells, rates))
+}
+
+/// The survival probability `(1 − pmv)^D` of Equation 1.
+pub fn survival(cells: u64, rates: &ErrorRates) -> f64 {
+    (1.0 - rates.move_cell()).powi(cells.min(i32::MAX as u64) as i32)
+}
+
+/// Time to ballistically move a qubit across `cells` traps (Equation 2).
+pub fn ballistic_time(cells: u64, times: &OpTimes) -> Duration {
+    times.ballistic(cells)
+}
+
+/// Moves **one half** of an EPR pair ballistically across `cells` traps,
+/// at the Bell-diagonal level.
+///
+/// Per-cell decoherence is modelled as an isotropic Pauli channel of total
+/// strength `pmv` on the moving half (X, Y, Z equally likely), whose
+/// fidelity trace matches Equation 1 to first order.
+pub fn ballistic_pair(state: &BellDiagonal, cells: u64, rates: &ErrorRates) -> BellDiagonal {
+    let p = rates.move_cell();
+    let mut out = *state;
+    if p == 0.0 || cells == 0 {
+        return out;
+    }
+    // Applying the same channel `cells` times is a convolution power;
+    // compute it by exponentiation-by-squaring on the Pauli weights.
+    let single = BellDiagonal::perfect().apply_pauli_noise(p / 3.0, p / 3.0, p / 3.0);
+    let mut acc = BellDiagonal::perfect();
+    let mut base = single;
+    let mut n = cells;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc = acc.convolve(&base);
+        }
+        base = base.convolve(&base);
+        n >>= 1;
+    }
+    out = out.convolve(&acc);
+    out
+}
+
+/// Both halves of a generated pair move outward from a midpoint generator
+/// (Figure 4): each half travels `cells_each`, so the pair convolves two
+/// one-half channels.
+pub fn distribute_from_midpoint(
+    state: &BellDiagonal,
+    cells_each: u64,
+    rates: &ErrorRates,
+) -> BellDiagonal {
+    ballistic_pair(&ballistic_pair(state, cells_each, rates), cells_each, rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation1_matches_closed_form() {
+        let rates = ErrorRates::ion_trap();
+        let f = ballistic_fidelity(Fidelity::ONE, 100, &rates);
+        let expected = (1.0 - 1e-6f64).powi(100);
+        assert!((f.value() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn one_cell_error_is_pmv() {
+        let rates = ErrorRates::ion_trap();
+        let f = ballistic_fidelity(Fidelity::ONE, 1, &rates);
+        assert!((f.infidelity() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn section1_grid_example() {
+        // "a qubit would experience a probability of error of more than
+        // 1e-3 in traveling from corner to corner" of a 1000×1000 grid.
+        let rates = ErrorRates::ion_trap();
+        let f = ballistic_fidelity(Fidelity::ONE, 1998, &rates);
+        assert!(f.infidelity() > 1e-3);
+        assert!(f.infidelity() < 3e-3);
+    }
+
+    #[test]
+    fn equation2_timing() {
+        let times = OpTimes::ion_trap();
+        assert_eq!(ballistic_time(600, &times), Duration::from_micros(120));
+        assert_eq!(ballistic_time(0, &times), Duration::ZERO);
+    }
+
+    #[test]
+    fn pair_transport_fidelity_tracks_equation1() {
+        // The isotropic per-cell channel must reproduce Equation 1's
+        // fidelity loss to first order in pmv·D.
+        let rates = ErrorRates::ion_trap();
+        for cells in [1u64, 10, 100, 600] {
+            let pair = ballistic_pair(&BellDiagonal::perfect(), cells, &rates);
+            let scalar = ballistic_fidelity(Fidelity::ONE, cells, &rates);
+            let drift = (pair.error() - scalar.infidelity()).abs();
+            assert!(
+                drift < 1e-3 * scalar.infidelity().max(1e-12),
+                "cells={cells}: pair error {} vs scalar {}",
+                pair.error(),
+                scalar.infidelity()
+            );
+        }
+    }
+
+    #[test]
+    fn pair_transport_zero_cases() {
+        let rates = ErrorRates::ion_trap();
+        let s = BellDiagonal::werner_f64(0.9).unwrap();
+        assert!(ballistic_pair(&s, 0, &rates).approx_eq(&s, 1e-15));
+        let noiseless = ErrorRates::noiseless();
+        assert!(ballistic_pair(&s, 1000, &noiseless).approx_eq(&s, 1e-15));
+    }
+
+    #[test]
+    fn midpoint_distribution_doubles_exposure() {
+        let rates = ErrorRates::ion_trap();
+        let one_side = ballistic_pair(&BellDiagonal::perfect(), 300, &rates);
+        let both = distribute_from_midpoint(&BellDiagonal::perfect(), 300, &rates);
+        assert!(both.error() > one_side.error() * 1.9);
+        assert!(both.error() < one_side.error() * 2.1);
+    }
+
+    #[test]
+    fn exponentiation_by_squaring_matches_iteration() {
+        let rates = ErrorRates::uniform(1e-3).unwrap();
+        let fast = ballistic_pair(&BellDiagonal::perfect(), 13, &rates);
+        let mut slow = BellDiagonal::perfect();
+        for _ in 0..13 {
+            slow = slow.apply_pauli_noise(
+                rates.move_cell() / 3.0,
+                rates.move_cell() / 3.0,
+                rates.move_cell() / 3.0,
+            );
+        }
+        assert!(fast.approx_eq(&slow, 1e-12));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the physics substrate.
+
+use proptest::prelude::*;
+
+use qic_physics::bell::{BellDiagonal, BellState};
+use qic_physics::density::PairState;
+use qic_physics::error::ErrorRates;
+use qic_physics::fidelity::Fidelity;
+use qic_physics::teleport;
+use qic_physics::time::Duration;
+
+/// Strategy: an arbitrary Bell-diagonal state.
+fn bell_diagonal() -> impl Strategy<Value = BellDiagonal> {
+    (0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64)
+        .prop_filter("non-degenerate", |(a, b, c, d)| a + b + c + d > 1e-6)
+        .prop_map(|(a, b, c, d)| {
+            let sum = a + b + c + d;
+            BellDiagonal::new([a / sum, b / sum, c / sum, d / sum])
+                .expect("normalised coefficients are valid")
+        })
+}
+
+fn is_distribution(s: &BellDiagonal) -> bool {
+    let coeffs = s.coeffs();
+    coeffs.iter().all(|&c| (0.0..=1.0 + 1e-12).contains(&c))
+        && (coeffs.iter().sum::<f64>() - 1.0).abs() < 1e-9
+}
+
+proptest! {
+    #[test]
+    fn convolution_preserves_distribution(a in bell_diagonal(), b in bell_diagonal()) {
+        let c = a.convolve(&b);
+        prop_assert!(is_distribution(&c));
+    }
+
+    #[test]
+    fn convolution_commutes(a in bell_diagonal(), b in bell_diagonal()) {
+        prop_assert!(a.convolve(&b).approx_eq(&b.convolve(&a), 1e-12));
+    }
+
+    #[test]
+    fn convolution_associates(
+        a in bell_diagonal(),
+        b in bell_diagonal(),
+        c in bell_diagonal(),
+    ) {
+        let left = a.convolve(&b).convolve(&c);
+        let right = a.convolve(&b.convolve(&c));
+        prop_assert!(left.approx_eq(&right, 1e-12));
+    }
+
+    #[test]
+    fn perfect_state_is_convolution_identity(a in bell_diagonal()) {
+        prop_assert!(a.convolve(&BellDiagonal::perfect()).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn depolarize_interpolates_to_mixed(a in bell_diagonal(), eps in 0.0..1.0f64) {
+        let d = a.depolarize(eps);
+        prop_assert!(is_distribution(&d));
+        // Fidelity moves toward 1/4 monotonically in eps.
+        let towards = 0.25 + (a.fidelity().value() - 0.25) * (1.0 - eps);
+        prop_assert!((d.fidelity().value() - towards).abs() < 1e-12);
+    }
+
+    #[test]
+    fn twirl_preserves_fidelity_exactly(a in bell_diagonal()) {
+        prop_assert!((a.twirl().fidelity().value() - a.fidelity().value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn density_matrix_round_trip(a in bell_diagonal()) {
+        let rho = PairState::from_bell_diagonal(&a);
+        prop_assert!(rho.is_bell_diagonal(1e-9));
+        prop_assert!(rho.bell_diagonal().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn density_pauli_channel_agrees_with_fast_path(
+        a in bell_diagonal(),
+        px in 0.0..0.3f64,
+        py in 0.0..0.3f64,
+        pz in 0.0..0.3f64,
+    ) {
+        let exact = PairState::from_bell_diagonal(&a)
+            .pauli_channel_first(px, py, pz)
+            .bell_diagonal();
+        let fast = a.apply_pauli_noise(px, py, pz);
+        prop_assert!(exact.approx_eq(&fast, 1e-9), "exact {exact} vs fast {fast}");
+    }
+
+    #[test]
+    fn teleport_pair_outputs_are_physical(a in bell_diagonal(), b in bell_diagonal()) {
+        let rates = ErrorRates::ion_trap();
+        let out = teleport::teleport_pair(&a, &b, &rates);
+        prop_assert!(is_distribution(&out));
+    }
+
+    #[test]
+    fn werner_teleport_never_beats_its_inputs(f1 in 0.25..1.0f64, f2 in 0.25..1.0f64) {
+        // For Werner resources the polarizations multiply, so the output
+        // fidelity cannot exceed either input's.
+        let rates = ErrorRates::noiseless();
+        let out = teleport::teleport_pair(
+            &BellDiagonal::werner(Fidelity::new(f1).unwrap()),
+            &BellDiagonal::werner(Fidelity::new(f2).unwrap()),
+            &rates,
+        );
+        prop_assert!(out.fidelity().value() <= f1.max(f2) + 1e-12);
+    }
+
+    #[test]
+    fn equation3_matches_pauli_convolution_on_werner(
+        f1 in 0.25..1.0f64,
+        f2 in 0.25..1.0f64,
+    ) {
+        let rates = ErrorRates::ion_trap();
+        let w1 = BellDiagonal::werner(Fidelity::new(f1).unwrap());
+        let w2 = BellDiagonal::werner(Fidelity::new(f2).unwrap());
+        let pair = teleport::teleport_pair(&w1, &w2, &rates);
+        let scalar = teleport::teleport_fidelity(
+            Fidelity::new(f1).unwrap(),
+            Fidelity::new(f2).unwrap(),
+            &rates,
+        );
+        prop_assert!((pair.fidelity().value() - scalar.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(us_a in 0u64..10_000_000, us_b in 0u64..10_000_000) {
+        let a = Duration::from_micros(us_a);
+        let b = Duration::from_micros(us_b);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b).saturating_sub(b), a);
+        prop_assert_eq!(a * 2, a + a);
+    }
+
+    #[test]
+    fn pauli_labels_biject(x in any::<bool>(), z in any::<bool>()) {
+        let s = BellState::from_pauli_label(x, z);
+        prop_assert_eq!(s.pauli_label(), (x, z));
+    }
+}

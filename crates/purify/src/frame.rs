@@ -1,0 +1,184 @@
+//! Pauli-frame simulation of the purification circuit (Figure 7).
+//!
+//! The purification hardware applies, at *both* endpoints: optional local
+//! pre-rotations, a CNOT from the kept pair's qubit onto the sacrificed
+//! pair's qubit, and a measurement of the sacrificed qubit; the endpoints
+//! keep the pair iff their classical bits agree.
+//!
+//! Because Bell-diagonal states are classical mixtures of Pauli frames,
+//! this whole circuit can be simulated *exactly* by enumerating the 16
+//! combinations of input frames and tracking how the bilateral CNOT
+//! propagates X and Z labels:
+//!
+//! * X on the control (kept) half copies onto the target (sacrificed) half,
+//! * Z on the target half copies back onto the control half,
+//!
+//! so frames `(x₁,z₁),(x₂,z₂)` map to `(x₁, z₁⊕z₂), (x₁⊕x₂, z₂)`, and the
+//! endpoint measurements agree iff `x₁⊕x₂ = 0`.
+//!
+//! This module is an independent derivation of the closed-form recurrences
+//! in [`crate::protocol`]; the test suites of both modules cross-check
+//! them against each other — a bug would have to be made twice, in two
+//! different formalisms, to go unnoticed.
+
+use qic_physics::bell::{BellDiagonal, BellState};
+
+use crate::protocol::PurifyOutcome;
+
+/// How each endpoint pre-rotates its qubits before the bilateral CNOT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PreRotation {
+    /// No pre-rotation (the BBPSSW circuit, which instead relies on
+    /// twirled/Werner inputs).
+    None,
+    /// The DEJMPS `Rx(π/2)` / `Rx(−π/2)` bilateral rotation, which swaps
+    /// the `Ψ⁻` and `Φ⁻` weights of each pair's frame distribution.
+    Dejmps,
+}
+
+fn rotate(state: &BellDiagonal, r: PreRotation) -> BellDiagonal {
+    match r {
+        PreRotation::None => *state,
+        PreRotation::Dejmps => state.dejmps_rotate(),
+    }
+}
+
+/// Simulates one bilateral-CNOT purification attempt by exhaustive
+/// Pauli-frame enumeration.
+///
+/// `kept` is the control pair (it survives a successful round);
+/// `sacrificed` is the target pair (it is measured and destroyed). The
+/// output state is conditioned on success.
+pub fn simulate(kept: &BellDiagonal, sacrificed: &BellDiagonal, pre: PreRotation) -> PurifyOutcome {
+    let kept = rotate(kept, pre);
+    let sacrificed = rotate(sacrificed, pre);
+
+    let mut out = [0.0f64; 4];
+    let mut success = 0.0f64;
+    for s1 in BellState::ALL {
+        let (x1, z1) = s1.pauli_label();
+        let p1 = kept.coeff(s1);
+        for s2 in BellState::ALL {
+            let (x2, z2) = s2.pauli_label();
+            let p = p1 * sacrificed.coeff(s2);
+            // Bilateral CNOT frame propagation.
+            let kept_after = (x1, z1 ^ z2);
+            let sac_x_after = x1 ^ x2;
+            // Endpoint Z-measurements of the sacrificed pair agree iff its
+            // X frame is trivial.
+            if !sac_x_after {
+                success += p;
+                let s = BellState::from_pauli_label(kept_after.0, kept_after.1);
+                out[s as usize] += p;
+            }
+        }
+    }
+
+    if success <= f64::EPSILON {
+        return PurifyOutcome { state: BellDiagonal::maximally_mixed(), success_prob: 0.0 };
+    }
+    for c in &mut out {
+        *c /= success;
+    }
+    PurifyOutcome {
+        state: BellDiagonal::new(out).expect("conditioned frame weights form a distribution"),
+        success_prob: success,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn frame_simulation_matches_dejmps_recurrence() {
+        let states = [
+            BellDiagonal::werner_f64(0.9).unwrap(),
+            BellDiagonal::new([0.7, 0.1, 0.15, 0.05]).unwrap(),
+            BellDiagonal::new([0.85, 0.0, 0.05, 0.1]).unwrap(),
+        ];
+        for s in &states {
+            let sim = simulate(s, s, PreRotation::Dejmps);
+            let formula = Protocol::Dejmps.step(s);
+            assert!(
+                sim.state.approx_eq(&formula.state, 1e-12),
+                "state {} vs {}",
+                sim.state,
+                formula.state
+            );
+            assert!(close(sim.success_prob, formula.success_prob));
+        }
+    }
+
+    #[test]
+    fn frame_simulation_matches_dejmps_asymmetric() {
+        let a = BellDiagonal::new([0.8, 0.05, 0.1, 0.05]).unwrap();
+        let b = BellDiagonal::new([0.9, 0.02, 0.05, 0.03]).unwrap();
+        let sim = simulate(&a, &b, PreRotation::Dejmps);
+        let formula = Protocol::Dejmps.step_asymmetric(&a, &b);
+        assert!(sim.state.approx_eq(&formula.state, 1e-12));
+        assert!(close(sim.success_prob, formula.success_prob));
+    }
+
+    #[test]
+    fn frame_simulation_matches_bbpssw_on_werner_inputs() {
+        // BBPSSW = bare bilateral CNOT on Werner states + final twirl.
+        let w = BellDiagonal::werner_f64(0.87).unwrap();
+        let sim = simulate(&w, &w, PreRotation::None);
+        let formula = Protocol::Bbpssw.step(&w);
+        assert!(close(sim.state.fidelity().value(), formula.state.fidelity().value()));
+        assert!(close(sim.success_prob, formula.success_prob));
+        // The simulated survivor is not Werner before the twirl…
+        assert!(!sim.state.approx_eq(&formula.state, 1e-12));
+        // …but twirling it reproduces the BBPSSW output exactly.
+        assert!(sim.state.twirl().approx_eq(&formula.state, 1e-12));
+    }
+
+    #[test]
+    fn perfect_inputs_always_succeed() {
+        let p = BellDiagonal::perfect();
+        for pre in [PreRotation::None, PreRotation::Dejmps] {
+            let out = simulate(&p, &p, pre);
+            assert!(close(out.success_prob, 1.0));
+            assert!(out.state.approx_eq(&p, 1e-12));
+        }
+    }
+
+    #[test]
+    fn pure_x_error_on_sacrificed_pair_is_always_caught() {
+        // A Ψ⁺ (X-frame) sacrificed pair flips the parity of the endpoint
+        // measurements: without pre-rotation the round must always fail...
+        let kept = BellDiagonal::perfect();
+        let bad = BellDiagonal::new([0.0, 0.0, 1.0, 0.0]).unwrap();
+        let out = simulate(&kept, &bad, PreRotation::None);
+        assert!(close(out.success_prob, 0.0));
+    }
+
+    #[test]
+    fn pure_z_error_on_sacrificed_pair_escapes_detection() {
+        // ...while a Φ⁻ (Z-frame) error is invisible to the measurement and
+        // instead contaminates the kept pair: this is exactly why DEJMPS
+        // pre-rotates (swapping Z-heavy weight into the detectable frame).
+        let kept = BellDiagonal::perfect();
+        let bad = BellDiagonal::new([0.0, 0.0, 0.0, 1.0]).unwrap();
+        let out = simulate(&kept, &bad, PreRotation::None);
+        assert!(close(out.success_prob, 1.0), "Z error goes undetected");
+        assert!(close(out.state.coeff(BellState::PhiMinus), 1.0), "and lands on the kept pair");
+        // With the DEJMPS rotation the same error becomes detectable.
+        let out = simulate(&kept, &bad, PreRotation::Dejmps);
+        assert!(close(out.success_prob, 0.0));
+    }
+
+    #[test]
+    fn maximally_mixed_input_succeeds_half_the_time() {
+        let m = BellDiagonal::maximally_mixed();
+        let out = simulate(&m, &m, PreRotation::Dejmps);
+        assert!(close(out.success_prob, 0.5));
+        assert!(out.state.approx_eq(&m, 1e-12), "mixed stays mixed");
+    }
+}

@@ -1,0 +1,176 @@
+//! Dependency analysis of logical programs.
+//!
+//! The classical scheduler "attempts to execute as many logical
+//! instructions in parallel as possible while maintaining instruction
+//! order dependencies" (Section 5). The only dependencies in this model
+//! are per-qubit program order; the induced wavefront structure determines
+//! the parallelism available to the machine.
+
+use std::collections::HashMap;
+
+use crate::program::{LogicalQubit, Program};
+
+impl Program {
+    /// Assigns each instruction its earliest dependency level (1-based):
+    /// an instruction's level is one more than the latest level among
+    /// earlier instructions touching either operand.
+    pub fn dependency_levels(&self) -> Vec<u32> {
+        let mut last: HashMap<LogicalQubit, u32> = HashMap::new();
+        let mut levels = Vec::with_capacity(self.len());
+        for ins in self {
+            let level = 1 + last.get(&ins.a).copied().unwrap_or(0).max(
+                last.get(&ins.b).copied().unwrap_or(0),
+            );
+            last.insert(ins.a, level);
+            last.insert(ins.b, level);
+            levels.push(level);
+        }
+        levels
+    }
+
+    /// Number of instructions at each dependency level (index 0 = level 1).
+    /// The critical-path length is the vector's length; the maximum entry
+    /// is the peak parallelism.
+    pub fn parallelism_profile(&self) -> Vec<u32> {
+        let levels = self.dependency_levels();
+        let depth = levels.iter().copied().max().unwrap_or(0) as usize;
+        let mut profile = vec![0u32; depth];
+        for l in levels {
+            profile[l as usize - 1] += 1;
+        }
+        profile
+    }
+
+    /// The critical-path length in dependency levels.
+    pub fn critical_path(&self) -> u32 {
+        self.dependency_levels().into_iter().max().unwrap_or(0)
+    }
+
+    /// Average instructions per level — the mean parallelism a machine
+    /// with unlimited resources could exploit.
+    pub fn mean_parallelism(&self) -> f64 {
+        let depth = self.critical_path();
+        if depth == 0 {
+            return 0.0;
+        }
+        self.len() as f64 / f64::from(depth)
+    }
+
+    /// Whether `order` (a permutation of instruction indices) is a valid
+    /// execution order: every pair of instructions sharing a qubit keeps
+    /// its program-order relation.
+    pub fn is_valid_order(&self, order: &[usize]) -> bool {
+        if order.len() != self.len() {
+            return false;
+        }
+        let mut position = vec![usize::MAX; self.len()];
+        for (pos, &idx) in order.iter().enumerate() {
+            if idx >= self.len() || position[idx] != usize::MAX {
+                return false;
+            }
+            position[idx] = pos;
+        }
+        let ins = self.instructions();
+        for i in 0..ins.len() {
+            for j in (i + 1)..ins.len() {
+                let share = ins[j].touches(ins[i].a) || ins[j].touches(ins[i].b);
+                if share && position[i] > position[j] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Instruction;
+
+    #[test]
+    fn qft_levels_are_anti_diagonals() {
+        // Level of 0-based pair (i, j) in the QFT wavefront is i + j.
+        let p = Program::qft(8);
+        let levels = p.dependency_levels();
+        for (ins, level) in p.iter().zip(levels) {
+            assert_eq!(level, ins.a.index() + ins.b.index(), "{ins}");
+        }
+    }
+
+    #[test]
+    fn qft_profile_shape() {
+        // QFT-n has 2n−3 levels; the middle level has the most pairs.
+        let n = 16u32;
+        let p = Program::qft(n);
+        let profile = p.parallelism_profile();
+        assert_eq!(profile.len() as u32, 2 * n - 3);
+        assert_eq!(profile[0], 1);
+        let peak = *profile.iter().max().unwrap();
+        assert_eq!(peak, n / 2, "peak parallelism of all-to-all is n/2");
+        assert_eq!(profile.iter().sum::<u32>() as usize, p.len());
+        assert_eq!(p.critical_path(), 2 * n - 3);
+    }
+
+    #[test]
+    fn mm_profile_is_flat() {
+        // Each rotated round of MM is fully parallel: profile = [n; n].
+        let n = 6u32;
+        let p = Program::modular_multiplication(n);
+        let profile = p.parallelism_profile();
+        assert_eq!(profile, vec![n; n as usize]);
+        assert!((p.mean_parallelism() - f64::from(n)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_chain_has_no_parallelism() {
+        let p = Program::new(
+            3,
+            vec![
+                Instruction::interact(0, 1),
+                Instruction::interact(1, 2),
+                Instruction::interact(0, 2),
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.dependency_levels(), vec![1, 2, 3]);
+        assert_eq!(p.mean_parallelism(), 1.0);
+    }
+
+    #[test]
+    fn independent_pairs_share_level_one() {
+        let p = Program::new(
+            4,
+            vec![Instruction::interact(0, 1), Instruction::interact(2, 3)],
+        )
+        .unwrap();
+        assert_eq!(p.dependency_levels(), vec![1, 1]);
+    }
+
+    #[test]
+    fn order_validation() {
+        let p = Program::new(
+            4,
+            vec![
+                Instruction::interact(0, 1), // 0
+                Instruction::interact(2, 3), // 1
+                Instruction::interact(0, 2), // 2 (depends on both)
+            ],
+        )
+        .unwrap();
+        assert!(p.is_valid_order(&[0, 1, 2]));
+        assert!(p.is_valid_order(&[1, 0, 2]), "independent prefix may swap");
+        assert!(!p.is_valid_order(&[2, 0, 1]), "dependent op cannot lead");
+        assert!(!p.is_valid_order(&[0, 1]), "must be a permutation");
+        assert!(!p.is_valid_order(&[0, 0, 1]), "no duplicates");
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::new(4, vec![]).unwrap();
+        assert_eq!(p.critical_path(), 0);
+        assert_eq!(p.mean_parallelism(), 0.0);
+        assert!(p.parallelism_profile().is_empty());
+        assert!(p.is_valid_order(&[]));
+    }
+}

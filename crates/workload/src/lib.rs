@@ -1,0 +1,44 @@
+//! Quantum workload generators — **Section 5.2** of Isailovic et al.
+//!
+//! The paper drives its communication simulator with the kernels of Shor's
+//! factorisation algorithm:
+//!
+//! * **QFT** — the Quantum Fourier Transform: each logical qubit interacts
+//!   once with every other, in numerical order ("1-2, 1-3, (1-4, 2-3),
+//!   (1-5, 2-4), …"), giving an all-to-all pattern;
+//! * **MM** — modular multiplication: a bipartite pattern between two
+//!   register sets;
+//! * **ME** — modular exponentiation: squaring steps (all-to-all within a
+//!   set) alternating with multiplication steps (bipartite);
+//! * the composed **Shor kernel**.
+//!
+//! Programs are purely logical: a sequence of two-logical-qubit
+//! instructions with program-order dependencies per qubit. Mapping onto a
+//! machine (layouts, routes) happens in `qic-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use qic_workload::prelude::*;
+//!
+//! let qft = Program::qft(6);
+//! assert_eq!(qft.len(), 6 * 5 / 2);
+//! // The dependency wavefronts follow the paper's anti-diagonals:
+//! let levels = qft.dependency_levels();
+//! assert_eq!(levels[0], 1);               // 1-2
+//! assert_eq!(qft.parallelism_profile().len(), 2 * 6 - 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod generators;
+pub mod program;
+
+/// Convenient glob-import surface: `use qic_workload::prelude::*;`.
+pub mod prelude {
+    pub use crate::program::{Instruction, InstructionKind, LogicalQubit, Program, ProgramError};
+}
+
+pub use program::{Instruction, InstructionKind, LogicalQubit, Program, ProgramError};

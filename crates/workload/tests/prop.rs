@@ -1,0 +1,90 @@
+//! Property-based tests for workload generation and dependency analysis.
+
+use proptest::prelude::*;
+
+use qic_workload::{Instruction, LogicalQubit, Program};
+
+fn random_program() -> impl Strategy<Value = Program> {
+    (2u32..12, 1usize..40).prop_flat_map(|(n, len)| {
+        proptest::collection::vec((0..n, 0..n), len).prop_map(move |pairs| {
+            let instructions = pairs
+                .into_iter()
+                .map(|(a, b)| if a == b { Instruction::interact(a, (a + 1) % n) } else { Instruction::interact(a, b) })
+                .collect();
+            Program::new(n, instructions).expect("constructed pairs are valid")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn qft_has_all_pairs_once(n in 2u32..40) {
+        let p = Program::qft(n);
+        prop_assert_eq!(p.len() as u32, n * (n - 1) / 2);
+        let mut seen = std::collections::HashSet::new();
+        for ins in &p {
+            prop_assert!(ins.a < ins.b);
+            prop_assert!(seen.insert((ins.a, ins.b)));
+        }
+    }
+
+    #[test]
+    fn qft_levels_are_anti_diagonals(n in 2u32..24) {
+        let p = Program::qft(n);
+        for (ins, level) in p.iter().zip(p.dependency_levels()) {
+            prop_assert_eq!(level, ins.a.index() + ins.b.index());
+        }
+    }
+
+    #[test]
+    fn program_order_is_a_valid_order(p in random_program()) {
+        let identity: Vec<usize> = (0..p.len()).collect();
+        prop_assert!(p.is_valid_order(&identity));
+    }
+
+    #[test]
+    fn level_sorted_order_is_valid(p in random_program()) {
+        // Stable-sorting instructions by dependency level must remain a
+        // valid execution order.
+        let levels = p.dependency_levels();
+        let mut order: Vec<usize> = (0..p.len()).collect();
+        order.sort_by_key(|&i| levels[i]);
+        prop_assert!(p.is_valid_order(&order));
+    }
+
+    #[test]
+    fn profile_accounts_every_instruction(p in random_program()) {
+        let profile = p.parallelism_profile();
+        prop_assert_eq!(profile.iter().sum::<u32>() as usize, p.len());
+        prop_assert_eq!(profile.len() as u32, p.critical_path());
+        if !p.is_empty() {
+            prop_assert!(p.mean_parallelism() >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn levels_respect_per_qubit_order(p in random_program()) {
+        let levels = p.dependency_levels();
+        let ins = p.instructions();
+        for q in 0..p.n_qubits() {
+            let qubit = LogicalQubit(q);
+            let mut last = 0;
+            for (i, instruction) in ins.iter().enumerate() {
+                if instruction.touches(qubit) {
+                    prop_assert!(levels[i] > last, "levels strictly increase per qubit");
+                    last = levels[i];
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mm_is_complete_bipartite(n in 1u32..16) {
+        let p = Program::modular_multiplication(n);
+        prop_assert_eq!(p.len() as u32, n * n);
+        for ins in &p {
+            prop_assert!(ins.a.index() < n);
+            prop_assert!((n..2 * n).contains(&ins.b.index()));
+        }
+    }
+}

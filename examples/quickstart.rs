@@ -1,0 +1,69 @@
+//! Quickstart: why quantum computers need an EPR distribution network,
+//! and how to plan a channel with `qic`.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use qic::prelude::*;
+use qic_analytic::plan::ChannelError;
+
+fn main() -> Result<(), ChannelError> {
+    let times = OpTimes::ion_trap();
+    let rates = ErrorRates::ion_trap();
+
+    // 1. The problem: ballistic transport decoheres with distance.
+    println!("== Ballistic transport (Equation 1) ==");
+    for cells in [100u64, 600, 2_000, 10_000] {
+        let f = transport::ballistic_fidelity(Fidelity::ONE, cells, &rates);
+        println!(
+            "  {cells:>6} cells: error {:.2e}, time {}",
+            f.infidelity(),
+            times.ballistic(cells)
+        );
+    }
+    println!(
+        "  -> corner to corner of a 1000x1000 grid already exceeds 1e-3 error;\n\
+     the fault-tolerance threshold for data-grade pairs is {:.1e}.\n",
+        constants::THRESHOLD_ERROR
+    );
+
+    // 2. The fix: teleport data using purified EPR pairs. Plan a channel.
+    println!("== Channel plan: 20 mesh hops, endpoints-only purification ==");
+    let model = ChannelModel::ion_trap();
+    let plan = model.plan(20)?;
+    println!("  link pair error            : {:.2e}", plan.link_state.error());
+    println!("  arriving end-to-end error  : {:.2e}", plan.arriving_state.error());
+    println!("  endpoint purify rounds     : {}", plan.endpoint_rounds);
+    println!("  delivered pair error       : {:.2e}", plan.final_state.error());
+    println!("  pairs arriving per good one: {:.2}", plan.endpoint_pairs);
+    println!("  teleport ops per good pair : {:.1}", plan.teleported_pairs);
+    println!("  raw pairs per good pair    : {:.1}", plan.total_pairs);
+    println!("  channel setup latency      : {}", plan.setup_latency);
+    println!(
+        "  one logical qubit (49 phys): {:.0} pairs\n",
+        plan.pairs_per_logical_comm(constants::LEVEL2_STEANE_QUBITS)
+    );
+    assert!(plan.final_state.fidelity() >= constants::threshold_fidelity());
+
+    // 3. Run an actual program on a machine.
+    println!("== QFT-16 on a 4x4 machine (event-driven simulation) ==");
+    let mut builder = Machine::builder();
+    builder
+        .grid(4, 4)
+        .resources(8, 8, 4)
+        .outputs_per_comm(7) // level-1 Steane code
+        .purify_depth(2);
+    for layout in Layout::ALL {
+        builder.layout(layout);
+        let machine = builder.build().expect("valid machine");
+        let report = machine.run(&Program::qft(16));
+        println!(
+            "  {layout:<12}: makespan {}, {} teleports, {} purify ops, util T'={:.0}% P={:.0}%",
+            report.makespan,
+            report.net.teleport_ops,
+            report.net.purify_ops,
+            report.net.teleporter_utilization * 100.0,
+            report.net.purifier_utilization * 100.0,
+        );
+    }
+    Ok(())
+}

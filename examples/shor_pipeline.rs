@@ -1,0 +1,61 @@
+//! Shor-kernel pipeline: the paper's three communication-intensive
+//! components (QFT, modular exponentiation, modular multiplication) run
+//! back-to-back on one machine.
+//!
+//! Run with `cargo run --release --example shor_pipeline [n]`.
+
+use qic::prelude::*;
+use qic_workload::Program;
+
+fn main() {
+    let n: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let grid = 6u16; // 36 sites hold the 2n-qubit register pair for n ≤ 18
+    assert!(2 * n <= u32::from(grid) * u32::from(grid), "registers must fit the grid");
+
+    let mut builder = Machine::builder();
+    builder
+        .grid(grid, grid)
+        .resources(12, 12, 6)
+        .outputs_per_comm(7)
+        .purify_depth(2);
+
+    let phases: [(&str, Program); 4] = [
+        ("QFT (all-to-all)", Program::qft(n)),
+        ("MM (bipartite)", Program::modular_multiplication(n)),
+        ("ME (square+multiply)", Program::modular_exponentiation(n, 2)),
+        ("Shor kernel (ME, then QFT)", Program::shor_kernel(n, 1)),
+    ];
+
+    for layout in Layout::ALL {
+        builder.layout(layout);
+        let machine = builder.build().expect("valid machine");
+        println!("== {layout} layout ==");
+        println!(
+            "{:<28} {:>7} {:>9} {:>12} {:>10} {:>9}",
+            "phase", "instrs", "depth", "makespan", "teleports", "mean lat"
+        );
+        for (name, program) in &phases {
+            let report = machine.run(program);
+            println!(
+                "{:<28} {:>7} {:>9} {:>12} {:>10} {:>9}",
+                name,
+                report.instructions,
+                program.critical_path(),
+                report.makespan.to_string(),
+                report.net.teleport_ops,
+                report
+                    .net
+                    .mean_latency()
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        println!();
+    }
+    println!(
+        "note: the ME/MM phases exercise the bipartite pattern (register A\n\
+         versus register B); QFT exercises all-to-all. Compare layouts: the\n\
+         Mobile walk wins on QFT's sequential structure, while Home Base is\n\
+         competitive on bipartite traffic where walkers bounce between sides."
+    );
+}

@@ -1,0 +1,62 @@
+//! # qic — quantum interconnect simulator
+//!
+//! Facade crate for the `qic` workspace, a Rust reproduction of
+//! *Isailovic, Patel, Whitney, Kubiatowicz, "Interconnection Networks for
+//! Scalable Quantum Computers", ISCA 2006* (arXiv:quant-ph/0604048).
+//!
+//! The workspace models how a large ion-trap quantum computer communicates:
+//! logical qubits move by teleportation, teleportation consumes high-fidelity
+//! EPR pairs, and those pairs are distributed across a mesh of teleporter
+//! nodes, purified, and delivered to communication endpoints.
+//!
+//! Each subsystem lives in its own crate, re-exported here under a short
+//! module name:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`physics`] | `qic-physics` | fidelity algebra, Bell-diagonal states, transport/teleport models (Tables 1–2, Eqs 1–5) |
+//! | [`iontrap`] | `qic-iontrap` | electrode-level shuttle waveforms, ballistic channels, junctions (Fig. 2) |
+//! | [`purify`] | `qic-purify` | DEJMPS / BBPSSW / pumping protocols, tree & queue purifiers (Figs 8, 14) |
+//! | [`analytic`] | `qic-analytic` | chained-channel error & resource models (Figs 9–12) |
+//! | [`des`] | `qic-des` | deterministic discrete-event engine |
+//! | [`net`] | `qic-net` | mesh routers, virtual wires, the communication simulator (Figs 4–6, 13, 16) |
+//! | [`workload`] | `qic-workload` | QFT / modular-arithmetic instruction streams |
+//! | [`core`] | `qic-core` | machine builder, layouts, logical scheduler, experiment presets |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qic::prelude::*;
+//!
+//! // Set up a quantum channel across 20 mesh hops and check that, after
+//! // endpoint purification, it meets the fault-tolerance threshold.
+//! let model = ChannelModel::ion_trap();
+//! let plan = model.plan(20).expect("channel is realisable");
+//! assert!(plan.final_state.fidelity() >= constants::threshold_fidelity());
+//! ```
+
+pub use qic_analytic as analytic;
+pub use qic_core as core;
+pub use qic_des as des;
+pub use qic_iontrap as iontrap;
+pub use qic_net as net;
+pub use qic_physics as physics;
+pub use qic_purify as purify;
+pub use qic_workload as workload;
+
+/// One-stop imports for examples and downstream users.
+///
+/// Two crates export a `Placement`: the purification placement strategy
+/// (`qic-analytic`) and the qubit-to-site placement (`qic-core`). The
+/// prelude exposes the former as [`prelude::PurifyPlacement`] and keeps the latter
+/// under its own name.
+pub mod prelude {
+    pub use qic_analytic::figures;
+    pub use qic_analytic::link::{link_cost, link_state, raw_link_state, LinkSpec};
+    pub use qic_analytic::plan::{ChannelError, ChannelModel, ChannelPlan};
+    pub use qic_analytic::strategy::Placement as PurifyPlacement;
+    pub use qic_core::prelude::*;
+    pub use qic_physics::prelude::*;
+    pub use qic_purify::prelude::*;
+    pub use qic_workload::prelude::*;
+}
