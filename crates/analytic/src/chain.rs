@@ -70,7 +70,10 @@ mod tests {
         let e16 = series[16].1;
         let e32 = series[32].1;
         let e64 = series[64].1;
-        assert!((e32 / e16 - 2.0).abs() < 0.2, "doubling hops ≈ doubles error");
+        assert!(
+            (e32 / e16 - 2.0).abs() < 0.2,
+            "doubling hops ≈ doubles error"
+        );
         assert!((e64 / e32 - 2.0).abs() < 0.2);
     }
 

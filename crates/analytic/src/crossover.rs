@@ -30,7 +30,10 @@ impl CrossoverPoint {
 }
 
 /// Samples both latency models at each distance in `cells`.
-pub fn ballistic_vs_teleport(cells: impl IntoIterator<Item = u64>, times: &OpTimes) -> Vec<CrossoverPoint> {
+pub fn ballistic_vs_teleport(
+    cells: impl IntoIterator<Item = u64>,
+    times: &OpTimes,
+) -> Vec<CrossoverPoint> {
     cells
         .into_iter()
         .map(|c| CrossoverPoint {

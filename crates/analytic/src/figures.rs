@@ -101,7 +101,11 @@ fn placement_series(
                 .map(|hops| {
                     let y = match m.plan(hops) {
                         Ok(plan) => {
-                            let v = if total { plan.total_pairs } else { plan.teleported_pairs };
+                            let v = if total {
+                                plan.total_pairs
+                            } else {
+                                plan.teleported_pairs
+                            };
                             if v > PAIR_COUNT_CAP {
                                 f64::INFINITY
                             } else {
@@ -113,7 +117,10 @@ fn placement_series(
                     (f64::from(hops), y)
                 })
                 .collect();
-            Series { label: placement.legend(), points }
+            Series {
+                label: placement.legend(),
+                points,
+            }
         })
         .collect()
 }
@@ -154,7 +161,10 @@ pub fn figure12(hops: u32, points_per_decade: u32) -> Vec<Series> {
                 };
                 pts.push((p, y));
             }
-            Series { label: placement.legend(), points: pts }
+            Series {
+                label: placement.legend(),
+                points: pts,
+            }
         })
         .collect()
 }
@@ -189,8 +199,13 @@ mod tests {
 
     /// Geometric mean of the finite y-values of a series.
     fn geo_mean(s: &Series) -> f64 {
-        let logs: Vec<f64> =
-            s.points.iter().map(|p| p.1).filter(|y| y.is_finite()).map(f64::ln).collect();
+        let logs: Vec<f64> = s
+            .points
+            .iter()
+            .map(|p| p.1)
+            .filter(|y| y.is_finite())
+            .map(f64::ln)
+            .collect();
         (logs.iter().sum::<f64>() / logs.len() as f64).exp()
     }
 
@@ -203,7 +218,10 @@ mod tests {
         // bound any local excursion.
         let series = figure10(&ChannelModel::ion_trap(), 60);
         assert_eq!(series.len(), 5);
-        let only = series.iter().find(|s| s.label.contains("only at end")).unwrap();
+        let only = series
+            .iter()
+            .find(|s| s.label.contains("only at end"))
+            .unwrap();
         let m_only = geo_mean(only);
         for other in series.iter().filter(|s| !s.label.contains("only at end")) {
             assert!(
@@ -221,18 +239,32 @@ mod tests {
             }
         }
         // The two virtual-wire schemes order by rounds on average.
-        let once = series.iter().find(|s| s.label.contains("once before")).unwrap();
-        let twice = series.iter().find(|s| s.label.contains("2x before")).unwrap();
+        let once = series
+            .iter()
+            .find(|s| s.label.contains("once before"))
+            .unwrap();
+        let twice = series
+            .iter()
+            .find(|s| s.label.contains("2x before"))
+            .unwrap();
         assert!(geo_mean(once) < geo_mean(twice));
     }
 
     #[test]
     fn figure11_before_teleport_is_lowest() {
         let series = figure11(&ChannelModel::ion_trap(), 60);
-        let twice_before = series.iter().find(|s| s.label.contains("2x before")).unwrap();
+        let twice_before = series
+            .iter()
+            .find(|s| s.label.contains("2x before"))
+            .unwrap();
         for other in series.iter().filter(|s| !s.label.contains("2x before")) {
             for (a, b) in twice_before.points.iter().zip(&other.points) {
-                assert!(a.1 <= b.1 + 1e-9, "{} beat 2x-before at x={}", other.label, a.0);
+                assert!(
+                    a.1 <= b.1 + 1e-9,
+                    "{} beat 2x-before at x={}",
+                    other.label,
+                    a.0
+                );
             }
         }
     }
@@ -242,7 +274,10 @@ mod tests {
         // The nested schemes exceed any plottable budget well before 60
         // hops — their curves "run off the top" like the paper's.
         let series = figure10(&ChannelModel::ion_trap(), 60);
-        let nested = series.iter().find(|s| s.label.contains("once after")).unwrap();
+        let nested = series
+            .iter()
+            .find(|s| s.label.contains("once after"))
+            .unwrap();
         assert!(nested.points.last().unwrap().1.is_infinite());
         assert!(nested.breakdown_x().is_some());
     }
@@ -263,9 +298,16 @@ mod tests {
         // Working-regime spread: over the span where all curves are finite,
         // resources vary far less than the error rate does (paper: "only
         // differ by a factor of up to 100 for a 10,000x difference").
-        let endpoints = series.iter().find(|s| s.label.contains("only at end")).unwrap();
-        let finite: Vec<f64> =
-            endpoints.points.iter().map(|p| p.1).filter(|y| y.is_finite()).collect();
+        let endpoints = series
+            .iter()
+            .find(|s| s.label.contains("only at end"))
+            .unwrap();
+        let finite: Vec<f64> = endpoints
+            .points
+            .iter()
+            .map(|p| p.1)
+            .filter(|y| y.is_finite())
+            .collect();
         let spread = finite.iter().cloned().fold(f64::MIN, f64::max)
             / finite.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread < 1000.0, "spread {spread}");
@@ -275,11 +317,19 @@ mod tests {
     fn series_helpers() {
         let s = Series {
             label: "x".into(),
-            points: vec![(1.0, 5.0), (2.0, f64::INFINITY), (3.0, 7.0), (4.0, f64::INFINITY)],
+            points: vec![
+                (1.0, 5.0),
+                (2.0, f64::INFINITY),
+                (3.0, 7.0),
+                (4.0, f64::INFINITY),
+            ],
         };
         assert_eq!(s.max_finite(), Some(7.0));
         assert_eq!(s.breakdown_x(), Some(3.0));
-        let all_finite = Series { label: "y".into(), points: vec![(1.0, 2.0)] };
+        let all_finite = Series {
+            label: "y".into(),
+            points: vec![(1.0, 2.0)],
+        };
         assert_eq!(all_finite.breakdown_x(), None);
     }
 }

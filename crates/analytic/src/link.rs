@@ -109,7 +109,11 @@ mod tests {
         // error equals ≈ 1e-4".
         let (rates, _) = defaults();
         let s = raw_link_state(100, &rates);
-        assert!(s.error() > 0.7e-4 && s.error() < 1.5e-4, "got {}", s.error());
+        assert!(
+            s.error() > 0.7e-4 && s.error() < 1.5e-4,
+            "got {}",
+            s.error()
+        );
     }
 
     #[test]

@@ -291,8 +291,7 @@ impl ChannelModel {
         // the paper on spatial vs. total resources).
         let vw_rounds = self.placement.virtual_wire_rounds().min(62);
         let wire_priming = f64::from(hops) * ((1u64 << vw_rounds) - 1) as f64;
-        let total_pairs =
-            endpoint_pairs * generated + teleported_pairs * link_cost + wire_priming;
+        let total_pairs = endpoint_pairs * generated + teleported_pairs * link_cost + wire_priming;
 
         // Latency: hops are store-and-forward teleports; endpoint
         // purification is serialised on a queue purifier.
@@ -407,8 +406,9 @@ mod tests {
     #[test]
     fn between_teleports_is_exponential() {
         let base = ChannelModel::ion_trap();
-        let nested =
-            base.clone().with_placement(Placement::BetweenTeleports { rounds: 1 });
+        let nested = base
+            .clone()
+            .with_placement(Placement::BetweenTeleports { rounds: 1 });
         let p20 = nested.plan(20).unwrap();
         let p30 = nested.plan(30).unwrap();
         // Each extra hop multiplies cost by ≥ 2.
@@ -436,7 +436,10 @@ mod tests {
         let model = ChannelModel::ion_trap().with_rates(rates);
         let err = model.plan(30).unwrap_err();
         match err {
-            ChannelError::Unreachable { best_error, target_error } => {
+            ChannelError::Unreachable {
+                best_error,
+                target_error,
+            } => {
                 assert!(best_error > target_error);
             }
             other => panic!("expected Unreachable, got {other}"),
@@ -445,8 +448,13 @@ mod tests {
 
     #[test]
     fn zero_hops_rejected() {
-        assert_eq!(ChannelModel::ion_trap().plan(0), Err(ChannelError::ZeroHops));
-        assert!(ChannelError::ZeroHops.to_string().contains("at least one hop"));
+        assert_eq!(
+            ChannelModel::ion_trap().plan(0),
+            Err(ChannelError::ZeroHops)
+        );
+        assert!(ChannelError::ZeroHops
+            .to_string()
+            .contains("at least one hop"));
     }
 
     #[test]

@@ -118,14 +118,23 @@ mod tests {
     #[test]
     fn accessors() {
         assert_eq!(Placement::EndpointsOnly.virtual_wire_rounds(), 0);
-        assert_eq!(Placement::VirtualWire { rounds: 2 }.virtual_wire_rounds(), 2);
+        assert_eq!(
+            Placement::VirtualWire { rounds: 2 }.virtual_wire_rounds(),
+            2
+        );
         assert_eq!(Placement::VirtualWire { rounds: 2 }.between_rounds(), 0);
-        assert_eq!(Placement::BetweenTeleports { rounds: 1 }.between_rounds(), 1);
+        assert_eq!(
+            Placement::BetweenTeleports { rounds: 1 }.between_rounds(),
+            1
+        );
     }
 
     #[test]
     fn legends_match_paper() {
-        assert_eq!(Placement::EndpointsOnly.legend(), "DEJMPS protocol only at end");
+        assert_eq!(
+            Placement::EndpointsOnly.legend(),
+            "DEJMPS protocol only at end"
+        );
         assert_eq!(
             Placement::VirtualWire { rounds: 1 }.legend(),
             "DEJMPS protocol once before teleport"

@@ -14,12 +14,23 @@ fn main() {
     let times = OpTimes::ion_trap();
     let plan = ShuttlePlan::new(3, 9).expect("distinct cells");
     let schedule = plan.waveforms(&times);
-    assert!(schedule.is_well_formed(), "well trajectory must be contiguous");
+    assert!(
+        schedule.is_well_formed(),
+        "well trajectory must be contiguous"
+    );
 
     println!("\nelectrode drive per phase (columns = phases, T=trap, P=push, .=ground):\n");
     print!("{}", schedule.render());
-    println!("\nwell trajectory (cell after each phase): {:?}", schedule.well_trajectory());
-    verdict("phases (one per cell)", 6.0, f64::from(schedule.phases()), 1.0001);
+    println!(
+        "\nwell trajectory (cell after each phase): {:?}",
+        schedule.well_trajectory()
+    );
+    verdict(
+        "phases (one per cell)",
+        6.0,
+        f64::from(schedule.phases()),
+        1.0001,
+    );
     verdict(
         "total shuttle time (µs, Eq. 2)",
         1.2,

@@ -20,10 +20,7 @@ fn main() {
     let rounds_to = |label_frag: &str| -> f64 {
         let s = series
             .iter()
-            .find(|s| {
-                s.label.contains(label_frag)
-                    && s.label.ends_with("=0.99")
-            })
+            .find(|s| s.label.contains(label_frag) && s.label.ends_with("=0.99"))
             .expect("series exists");
         s.points
             .iter()
@@ -36,5 +33,10 @@ fn main() {
     println!();
     verdict("DEJMPS rounds to 1e-5 from F=0.99", 3.0, dejmps, 2.0);
     verdict("BBPSSW rounds to 1e-5 from F=0.99", 20.0, bbpssw, 2.0);
-    verdict("BBPSSW/DEJMPS round ratio (paper: 5-10x)", 7.0, bbpssw / dejmps, 2.0);
+    verdict(
+        "BBPSSW/DEJMPS round ratio (paper: 5-10x)",
+        7.0,
+        bbpssw / dejmps,
+        2.0,
+    );
 }

@@ -15,8 +15,12 @@ fn main() {
     let series = figures::figure9(&ErrorRates::ion_trap(), 70);
     for s in &series {
         // Print every 8th point to keep the table readable.
-        let thin: Vec<(f64, f64)> =
-            s.points.iter().copied().filter(|p| (p.0 as u64) % 8 == 0).collect();
+        let thin: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .copied()
+            .filter(|p| (p.0 as u64) % 8 == 0)
+            .collect();
         print_series(&s.label, &thin);
     }
     println!("\nthreshold error (horizontal line in the figure): {THRESHOLD_ERROR:e}");
@@ -24,17 +28,30 @@ fn main() {
     let e6 = series.iter().find(|s| s.label.starts_with("1e-6")).unwrap();
     let growth = e6.points[64].1 / e6.points[0].1;
     println!();
-    verdict("error growth over 64 hops, 1e-6 links (paper ~100x)", 100.0, growth, 3.0);
+    verdict(
+        "error growth over 64 hops, 1e-6 links (paper ~100x)",
+        100.0,
+        growth,
+        3.0,
+    );
     let e4 = series.iter().find(|s| s.label.starts_with("1e-4")).unwrap();
     println!(
         "  1e-4 links are above threshold from hop {} (unusable without purification)",
-        e4.points.iter().find(|p| p.1 > THRESHOLD_ERROR).map(|p| p.0).unwrap_or(f64::NAN)
+        e4.points
+            .iter()
+            .find(|p| p.1 > THRESHOLD_ERROR)
+            .map(|p| p.0)
+            .unwrap_or(f64::NAN)
     );
     let e5 = series.iter().find(|s| s.label.starts_with("1e-5")).unwrap();
     verdict(
         "hops until 1e-5 links cross threshold",
         7.0,
-        e5.points.iter().find(|p| p.1 > THRESHOLD_ERROR).map(|p| p.0).unwrap_or(f64::NAN),
+        e5.points
+            .iter()
+            .find(|p| p.1 > THRESHOLD_ERROR)
+            .map(|p| p.0)
+            .unwrap_or(f64::NAN),
         2.0,
     );
 }

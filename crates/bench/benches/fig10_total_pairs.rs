@@ -13,8 +13,12 @@ fn main() {
     );
     let series = figures::figure10(&ChannelModel::ion_trap(), 60);
     for s in &series {
-        let thin: Vec<(f64, f64)> =
-            s.points.iter().copied().filter(|p| (p.0 as u64) % 10 == 0).collect();
+        let thin: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .copied()
+            .filter(|p| (p.0 as u64) % 10 == 0)
+            .collect();
         print_series(&s.label, &thin);
     }
 
@@ -29,10 +33,28 @@ fn main() {
     println!();
     // Endpoints-only at 60 hops: ~8.8 endpoint pairs x 61 ≈ 5.4e2 (the
     // paper's bottom curve sits between 1e2 and 1e3 at the right edge).
-    verdict("endpoints-only total pairs at 60 hops", 5.0e2, at60("only at end"), 2.0);
-    verdict("once-before total at 60 hops (above endpoints-only)", 5.7e2, at60("once before"), 2.0);
-    verdict("2x-before total at 60 hops (higher still)", 6.6e2, at60("2x before"), 2.0);
-    let nested = series.iter().find(|s| s.label.contains("once after")).unwrap();
+    verdict(
+        "endpoints-only total pairs at 60 hops",
+        5.0e2,
+        at60("only at end"),
+        2.0,
+    );
+    verdict(
+        "once-before total at 60 hops (above endpoints-only)",
+        5.7e2,
+        at60("once before"),
+        2.0,
+    );
+    verdict(
+        "2x-before total at 60 hops (higher still)",
+        6.6e2,
+        at60("2x before"),
+        2.0,
+    );
+    let nested = series
+        .iter()
+        .find(|s| s.label.contains("once after"))
+        .unwrap();
     println!(
         "  nested (once after each teleport) leaves the 1e12 cap at ~{} hops (exponential)",
         nested.breakdown_x().map(|x| x + 2.0).unwrap_or(f64::NAN)

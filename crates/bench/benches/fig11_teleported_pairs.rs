@@ -12,8 +12,12 @@ fn main() {
     );
     let series = figures::figure11(&ChannelModel::ion_trap(), 60);
     for s in &series {
-        let thin: Vec<(f64, f64)> =
-            s.points.iter().copied().filter(|p| (p.0 as u64) % 10 == 0).collect();
+        let thin: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .copied()
+            .filter(|p| (p.0 as u64) % 10 == 0)
+            .collect();
         print_series(&s.label, &thin);
     }
 
@@ -26,9 +30,24 @@ fn main() {
             .unwrap_or(f64::NAN)
     };
     println!();
-    verdict("endpoints-only teleported at 60 hops", 5.3e2, at60("only at end"), 2.0);
-    verdict("once-before teleported (lower)", 2.5e2, at60("once before"), 2.0);
-    verdict("2x-before teleported (lowest)", 1.2e2, at60("2x before"), 2.0);
+    verdict(
+        "endpoints-only teleported at 60 hops",
+        5.3e2,
+        at60("only at end"),
+        2.0,
+    );
+    verdict(
+        "once-before teleported (lower)",
+        2.5e2,
+        at60("once before"),
+        2.0,
+    );
+    verdict(
+        "2x-before teleported (lowest)",
+        1.2e2,
+        at60("2x before"),
+        2.0,
+    );
     println!(
         "  ordering flip vs Figure 10 confirmed: virtual-wire purification trades\n\
          local pairs for fewer pairs through the (scarce) teleporters."

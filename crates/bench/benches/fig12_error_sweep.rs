@@ -17,6 +17,14 @@ fn main() {
     println!();
     for s in &series {
         let bx = s.breakdown_x().unwrap_or(f64::NAN);
-        verdict(&format!("breakdown error rate [{}]", &s.label[..28.min(s.label.len())]), 1e-5, bx, 4.0);
+        verdict(
+            &format!(
+                "breakdown error rate [{}]",
+                &s.label[..28.min(s.label.len())]
+            ),
+            1e-5,
+            bx,
+            4.0,
+        );
     }
 }

@@ -68,8 +68,15 @@ fn main() {
          LQ numbering follows the snake placement the Mobile-Qubit walk uses\n\
          (Figure 15). At paper scale the grid is {}x{} with t={} teleporters,\n\
          g={} generators and p={} queue purifiers per node.",
-        cfg.mesh_width, cfg.mesh_height, cfg.teleporters_per_node,
-        cfg.generators_per_edge, cfg.purifiers_per_site
+        cfg.mesh_width,
+        cfg.mesh_height,
+        cfg.teleporters_per_node,
+        cfg.generators_per_edge,
+        cfg.purifiers_per_site
     );
-    println!("\nedges: {} (one G node each); nodes: {}", mesh.edges(), mesh.nodes());
+    println!(
+        "\nedges: {} (one G node each); nodes: {}",
+        mesh.edges(),
+        mesh.nodes()
+    );
 }

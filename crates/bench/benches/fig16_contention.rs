@@ -9,7 +9,11 @@ use qic_bench::{full_scale, header};
 use qic_core::experiment::{figure16, Fig16Scale};
 
 fn main() {
-    let scale = if full_scale() { Fig16Scale::Paper } else { Fig16Scale::Reduced };
+    let scale = if full_scale() {
+        Fig16Scale::Paper
+    } else {
+        Fig16Scale::Reduced
+    };
     header(
         "Figure 16",
         "QFT execution time normalized to t=g=p=1024, vs resource allocation",
@@ -22,15 +26,26 @@ fn main() {
         result.baseline_us[0] / 1e3,
         result.baseline_us[1] / 1e3
     );
-    println!("{:<10} {:>4} {:>4} {:>4} {:>12} {:>12}", "config", "t", "g", "p", "HomeBase", "Mobile");
+    println!(
+        "{:<10} {:>4} {:>4} {:>4} {:>12} {:>12}",
+        "config", "t", "g", "p", "HomeBase", "Mobile"
+    );
     for p in &result.points {
         println!(
             "{:<10} {:>4} {:>4} {:>4} {:>12.3} {:>12.3}",
             p.label, p.t, p.g, p.p, p.home_base, p.mobile
         );
     }
-    let r4 = result.points.iter().find(|p| p.label == "t=g=4p").expect("sweep point");
-    let r8 = result.points.iter().find(|p| p.label == "t=g=8p").expect("sweep point");
+    let r4 = result
+        .points
+        .iter()
+        .find(|p| p.label == "t=g=4p")
+        .expect("sweep point");
+    let r8 = result
+        .points
+        .iter()
+        .find(|p| p.label == "t=g=8p")
+        .expect("sweep point");
     println!();
     println!(
         "Mobile degradation from 4p to 8p: {:+.1}%  (paper: 'performance suffers')",

@@ -10,12 +10,37 @@ fn main() {
         "t1q=1µs t2q=20µs tmv=0.2µs tms=100µs tgen=122µs ttprt~122µs tprfy~121µs",
     );
     let t = OpTimes::ion_trap();
-    verdict("one-qubit gate t1q (µs)", 1.0, t.one_qubit_gate().as_us_f64(), 1.0001);
-    verdict("two-qubit gate t2q (µs)", 20.0, t.two_qubit_gate().as_us_f64(), 1.0001);
-    verdict("move one cell tmv (µs)", 0.2, t.move_cell().as_us_f64(), 1.0001);
+    verdict(
+        "one-qubit gate t1q (µs)",
+        1.0,
+        t.one_qubit_gate().as_us_f64(),
+        1.0001,
+    );
+    verdict(
+        "two-qubit gate t2q (µs)",
+        20.0,
+        t.two_qubit_gate().as_us_f64(),
+        1.0001,
+    );
+    verdict(
+        "move one cell tmv (µs)",
+        0.2,
+        t.move_cell().as_us_f64(),
+        1.0001,
+    );
     verdict("measure tms (µs)", 100.0, t.measure().as_us_f64(), 1.0001);
-    verdict("generate tgen (µs)", 122.0, t.generate().as_us_f64(), 1.0001);
-    verdict("teleport ttprt, local part (µs)", 122.0, t.teleport_local().as_us_f64(), 1.0001);
+    verdict(
+        "generate tgen (µs)",
+        122.0,
+        t.generate().as_us_f64(),
+        1.0001,
+    );
+    verdict(
+        "teleport ttprt, local part (µs)",
+        122.0,
+        t.teleport_local().as_us_f64(),
+        1.0001,
+    );
     verdict(
         "purify tprfy, ~600-cell channel (µs)",
         121.0,

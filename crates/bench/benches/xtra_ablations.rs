@@ -25,7 +25,10 @@ fn main() {
 
     // 1. Channel cost under each protocol, 30 hops.
     println!("\n== protocol ablation (30-hop channel) ==");
-    println!("{:<10} {:>8} {:>14} {:>14} {:>14}", "protocol", "rounds", "endpoint", "teleported", "total");
+    println!(
+        "{:<10} {:>8} {:>14} {:>14} {:>14}",
+        "protocol", "rounds", "endpoint", "teleported", "total"
+    );
     for protocol in Protocol::ALL {
         let model = ChannelModel::ion_trap().with_protocol(protocol);
         match model.plan(30) {
@@ -45,7 +48,10 @@ fn main() {
     // 2. Hop-length ablation: same physical span (18000 cells), varying
     // teleporter spacing.
     println!("\n== teleporter-spacing ablation (fixed 18000-cell span) ==");
-    println!("{:<12} {:>6} {:>10} {:>14} {:>14} {:>12}", "hop cells", "hops", "rounds", "teleported", "total", "latency");
+    println!(
+        "{:<12} {:>6} {:>10} {:>14} {:>14} {:>12}",
+        "hop cells", "hops", "rounds", "teleported", "total", "latency"
+    );
     for hop_cells in [300u64, 600, 1200, 3000] {
         let hops = (18_000 / hop_cells) as u32;
         let model = ChannelModel::ion_trap().with_hop_cells(hop_cells);
@@ -70,8 +76,16 @@ fn main() {
     let span = 600 * 30;
     let queue = QueuePurifier::new(3, Protocol::Dejmps, RoundNoise::ion_trap());
     let tree = TreePurifier::new(3, Protocol::Dejmps);
-    println!("  queue purifier: {} units, serial latency {}", queue.depth(), queue.serial_latency_per_output(&times, span));
-    println!("  tree purifier : {} units, latency {}", tree.hardware_units(), tree.latency(&times, span));
+    println!(
+        "  queue purifier: {} units, serial latency {}",
+        queue.depth(),
+        queue.serial_latency_per_output(&times, span)
+    );
+    println!(
+        "  tree purifier : {} units, latency {}",
+        tree.hardware_units(),
+        tree.latency(&times, span)
+    );
     println!(
         "-> the tree is {:.1}x more hardware for ~{:.0}x less latency; the queue's\n   natural recovery from failed purifications decides it (§5.1).",
         tree.hardware_units() as f64 / f64::from(queue.depth()),

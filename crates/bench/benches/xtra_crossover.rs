@@ -15,11 +15,15 @@ fn main() {
     let pts = crossover::ballistic_vs_teleport((0..=1200).step_by(100), &times);
     print_series(
         "ballistic latency (µs)",
-        &pts.iter().map(|p| (p.cells as f64, p.ballistic.as_us_f64())).collect::<Vec<_>>(),
+        &pts.iter()
+            .map(|p| (p.cells as f64, p.ballistic.as_us_f64()))
+            .collect::<Vec<_>>(),
     );
     print_series(
         "teleport latency (µs)",
-        &pts.iter().map(|p| (p.cells as f64, p.teleport.as_us_f64())).collect::<Vec<_>>(),
+        &pts.iter()
+            .map(|p| (p.cells as f64, p.teleport.as_us_f64()))
+            .collect::<Vec<_>>(),
     );
     let d = crossover::crossover_cells(&times).expect("crossover exists");
     println!();

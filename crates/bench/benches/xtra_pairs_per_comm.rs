@@ -14,7 +14,12 @@ fn main() {
     let model = ChannelModel::ion_trap();
     // Longest dimension-order path on the 16x16 grid: 30 hops.
     let plan = model.plan(30).expect("feasible channel");
-    verdict("endpoint purification rounds", 3.0, f64::from(plan.endpoint_rounds), 1.0001);
+    verdict(
+        "endpoint purification rounds",
+        3.0,
+        f64::from(plan.endpoint_rounds),
+        1.0001,
+    );
     verdict(
         "raw pairs per purified pair (2^3 plus failures)",
         8.0,
@@ -27,5 +32,8 @@ fn main() {
         plan.pairs_per_logical_comm(LEVEL2_STEANE_QUBITS),
         1.25,
     );
-    println!("\nchannel setup latency for the longest path: {}", plan.setup_latency);
+    println!(
+        "\nchannel setup latency for the longest path: {}",
+        plan.setup_latency
+    );
 }

@@ -31,7 +31,11 @@ pub fn print_series(label: &str, points: &[(f64, f64)]) {
 
 /// Prints a one-line verdict comparing a measured value to the paper's.
 pub fn verdict(what: &str, paper: f64, measured: f64, tolerance_factor: f64) {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     let ok = ratio.is_finite() && ratio >= 1.0 / tolerance_factor && ratio <= tolerance_factor;
     println!(
         "  {:<44} paper={:>12.4e} measured={:>12.4e} ratio={:>7.3} {}",

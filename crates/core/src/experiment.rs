@@ -96,7 +96,8 @@ pub struct Fig16Result {
 
 fn run_one(net: &NetConfig, layout: Layout, qft: &Program, t: u32, g: u32, p: u32) -> f64 {
     let mut b = Machine::builder();
-    b.net_config(net.clone().with_resources(t, g, p)).layout(layout);
+    b.net_config(net.clone().with_resources(t, g, p))
+        .layout(layout);
     let machine = b.build().expect("sweep configs validate");
     machine.run(qft).makespan.as_us_f64()
 }
@@ -127,7 +128,11 @@ pub fn figure16(scale: Fig16Scale) -> Fig16Result {
             mobile: mb / baseline[1],
         });
     }
-    Fig16Result { scale, baseline_us: baseline, points }
+    Fig16Result {
+        scale,
+        baseline_us: baseline,
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -141,7 +146,10 @@ mod tests {
         for pt in &result.points {
             assert!(pt.home_base >= 0.99, "{}: constrained ≥ baseline", pt.label);
             assert!(pt.mobile >= 0.99, "{}", pt.label);
-            assert_eq!(pt.t, pt.g, "paper matches generator and teleporter bandwidth");
+            assert_eq!(
+                pt.t, pt.g,
+                "paper matches generator and teleporter bandwidth"
+            );
             assert!(pt.t >= pt.p || pt.label == "t=g=1p");
         }
         assert!(result.baseline_us[0] > 0.0);

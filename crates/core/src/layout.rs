@@ -44,7 +44,11 @@ pub struct CapacityError {
 
 impl fmt::Display for CapacityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "program needs {} logical qubits but the grid has {} sites", self.qubits, self.sites)
+        write!(
+            f,
+            "program needs {} logical qubits but the grid has {} sites",
+            self.qubits, self.sites
+        )
     }
 }
 
@@ -72,7 +76,10 @@ impl Placement {
     pub fn snake(width: u16, height: u16, n_qubits: u32) -> Result<Self, CapacityError> {
         let sites = u32::from(width) * u32::from(height);
         if n_qubits > sites {
-            return Err(CapacityError { qubits: n_qubits, sites });
+            return Err(CapacityError {
+                qubits: n_qubits,
+                sites,
+            });
         }
         let homes = (0..n_qubits)
             .map(|q| {
@@ -82,7 +89,11 @@ impl Placement {
                 Coord::new(x, row)
             })
             .collect();
-        Ok(Placement { width, height, homes })
+        Ok(Placement {
+            width,
+            height,
+            homes,
+        })
     }
 
     /// The home site of a logical qubit.
@@ -155,7 +166,13 @@ mod tests {
     #[test]
     fn capacity_checked() {
         let err = Placement::snake(2, 2, 5).unwrap_err();
-        assert_eq!(err, CapacityError { qubits: 5, sites: 4 });
+        assert_eq!(
+            err,
+            CapacityError {
+                qubits: 5,
+                sites: 4
+            }
+        );
         assert!(err.to_string().contains("4 sites"));
     }
 

@@ -104,11 +104,16 @@ impl Machine {
     ///
     /// [`MachineError::Capacity`] if the program does not fit the grid.
     pub fn try_run(&self, program: &Program) -> Result<RunReport, MachineError> {
-        let placement =
-            Placement::snake(self.net.mesh_width, self.net.mesh_height, program.n_qubits())
-                .map_err(|e| MachineError::Capacity { qubits: e.qubits, sites: e.sites })?;
-        let mut driver =
-            LayoutScheduler::new(program, self.layout, placement, self.gate_time);
+        let placement = Placement::snake(
+            self.net.mesh_width,
+            self.net.mesh_height,
+            program.n_qubits(),
+        )
+        .map_err(|e| MachineError::Capacity {
+            qubits: e.qubits,
+            sites: e.sites,
+        })?;
+        let mut driver = LayoutScheduler::new(program, self.layout, placement, self.gate_time);
         let net = NetworkSim::new(self.net.clone()).run(&mut driver);
         assert_eq!(
             driver.completed as usize,
@@ -257,7 +262,13 @@ mod tests {
         let m = small_machine(Layout::HomeBase);
         let program = Program::qft(64); // 4×4 grid holds 16
         let err = m.try_run(&program).unwrap_err();
-        assert_eq!(err, MachineError::Capacity { qubits: 64, sites: 16 });
+        assert_eq!(
+            err,
+            MachineError::Capacity {
+                qubits: 64,
+                sites: 16
+            }
+        );
     }
 
     #[test]

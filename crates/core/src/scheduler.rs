@@ -69,16 +69,14 @@ impl LayoutScheduler {
     ) -> Self {
         let n = program.n_qubits() as usize;
         let mut queues = vec![VecDeque::new(); n];
-        let instr: Vec<(u32, u32)> = program
-            .iter()
-            .map(|i| (i.a.index(), i.b.index()))
-            .collect();
+        let instr: Vec<(u32, u32)> = program.iter().map(|i| (i.a.index(), i.b.index())).collect();
         for (k, &(a, b)) in instr.iter().enumerate() {
             queues[a as usize].push_back(k as u32);
             queues[b as usize].push_back(k as u32);
         }
-        let loc: Vec<Coord> =
-            (0..n).map(|q| placement.home(LogicalQubit(q as u32))).collect();
+        let loc: Vec<Coord> = (0..n)
+            .map(|q| placement.home(LogicalQubit(q as u32)))
+            .collect();
         let sites = usize::from(placement.width()) * usize::from(placement.height());
         let width = placement.width();
         LayoutScheduler {
@@ -152,8 +150,7 @@ impl LayoutScheduler {
                         self.send_home_if_camping(a, api);
                         let campers: Vec<u32> = (0..self.loc.len() as u32)
                             .filter(|&q| {
-                                self.visitor_slot[q as usize] == Some(dst)
-                                    && !self.busy[q as usize]
+                                self.visitor_slot[q as usize] == Some(dst) && !self.busy[q as usize]
                             })
                             .collect();
                         for q in campers {
@@ -297,6 +294,29 @@ impl Driver for LayoutScheduler {
     }
 }
 
+impl LayoutScheduler {
+    /// Debug dump of the scheduler's stuck state (for development tools).
+    pub fn debug_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (q, queue) in self.queues.iter().enumerate() {
+            if queue.is_empty() && !self.busy[q] {
+                continue;
+            }
+            let _ = writeln!(
+                s,
+                "q{q}: busy={} head={:?} loc={} slot={:?}",
+                self.busy[q],
+                queue.front().map(|&k| self.instr[k as usize]),
+                self.loc[q],
+                self.visitor_slot[q]
+            );
+        }
+        let _ = writeln!(s, "blocked: {:?}", self.blocked);
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,12 +327,8 @@ mod tests {
         let cfg = NetConfig::small_test();
         let placement =
             Placement::snake(cfg.mesh_width, cfg.mesh_height, program.n_qubits()).unwrap();
-        let mut driver = LayoutScheduler::new(
-            program,
-            layout,
-            placement,
-            Duration::from_micros(20),
-        );
+        let mut driver =
+            LayoutScheduler::new(program, layout, placement, Duration::from_micros(20));
         let report = NetworkSim::new(cfg).run(&mut driver);
         (report, driver.completed)
     }
@@ -331,11 +347,7 @@ mod tests {
     fn home_base_makes_two_channels_per_instruction() {
         // Every instruction = outbound + return; qubits 0 and 1 are
         // adjacent on the snake, so each channel is 1 hop.
-        let program = Program::new(
-            2,
-            vec![qic_workload::Instruction::interact(0, 1)],
-        )
-        .unwrap();
+        let program = Program::new(2, vec![qic_workload::Instruction::interact(0, 1)]).unwrap();
         let (report, _) = run(&program, Layout::HomeBase);
         assert_eq!(report.comms_completed, 2);
     }
@@ -344,11 +356,7 @@ mod tests {
     fn mobile_returns_walkers_home() {
         // One instruction: walker 0 visits 1's site, then returns home
         // because its stream is empty → 2 comms.
-        let program = Program::new(
-            2,
-            vec![qic_workload::Instruction::interact(0, 1)],
-        )
-        .unwrap();
+        let program = Program::new(2, vec![qic_workload::Instruction::interact(0, 1)]).unwrap();
         let (report, _) = run(&program, Layout::MobileQubit);
         assert_eq!(report.comms_completed, 2);
     }
@@ -421,28 +429,5 @@ mod tests {
             let (_, completed) = run(&program, layout);
             assert_eq!(completed as usize, program.len(), "{layout}");
         }
-    }
-}
-
-impl LayoutScheduler {
-    /// Debug dump of the scheduler's stuck state (for development tools).
-    pub fn debug_state(&self) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        for (q, queue) in self.queues.iter().enumerate() {
-            if queue.is_empty() && !self.busy[q] {
-                continue;
-            }
-            let _ = writeln!(
-                s,
-                "q{q}: busy={} head={:?} loc={} slot={:?}",
-                self.busy[q],
-                queue.front().map(|&k| self.instr[k as usize]),
-                self.loc[q],
-                self.visitor_slot[q]
-            );
-        }
-        let _ = writeln!(s, "blocked: {:?}", self.blocked);
-        s
     }
 }

@@ -1,0 +1,72 @@
+//! Integration: the logical scheduler drives a small QFT workload to
+//! completion on a 4×4 mesh under both layouts, with sane accounting.
+
+use qic_core::prelude::*;
+use qic_workload::Program;
+
+fn four_by_four(layout: Layout) -> Machine {
+    let mut b = Machine::builder();
+    b.grid(4, 4)
+        .resources(6, 6, 3)
+        .outputs_per_comm(2)
+        .purify_depth(1)
+        .layout(layout)
+        .seed(2006);
+    b.build().expect("4x4 machine is valid")
+}
+
+#[test]
+fn qft_completes_on_4x4_mesh_under_both_layouts() {
+    let program = Program::qft(8);
+    for layout in Layout::ALL {
+        let report = four_by_four(layout).run(&program);
+        assert_eq!(
+            report.instructions as usize,
+            program.len(),
+            "{layout}: every QFT instruction must retire"
+        );
+        assert_eq!(report.layout, layout);
+        assert!(report.makespan > qic_physics::time::Duration::ZERO);
+        // Every instruction needs at least one completed communication,
+        // and communications consume teleported pairs.
+        assert!(report.net.comms_completed >= report.instructions);
+        assert!(report.net.pairs_consumed > 0);
+    }
+}
+
+#[test]
+fn scheduler_is_deterministic_for_a_fixed_seed() {
+    let program = Program::qft(6);
+    let a = four_by_four(Layout::HomeBase).run(&program);
+    let b = four_by_four(Layout::HomeBase).run(&program);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn more_qubits_mean_more_work_on_the_same_mesh() {
+    let small = four_by_four(Layout::HomeBase).run(&Program::qft(4));
+    let large = four_by_four(Layout::HomeBase).run(&Program::qft(10));
+    assert!(large.makespan > small.makespan);
+    assert!(large.net.teleport_ops > small.net.teleport_ops);
+}
+
+#[test]
+fn snake_placement_covers_the_mesh_without_collisions() {
+    let placement = Placement::snake(4, 4, 16).expect("16 qubits fit a 4x4 grid");
+    assert_eq!(placement.len(), 16);
+    let mut seen = std::collections::HashSet::new();
+    for q in 0..16 {
+        let home = placement.home(qic_workload::LogicalQubit(q));
+        assert!(seen.insert(home), "qubit {q} shares a home site");
+    }
+    // One more qubit than sites must be rejected.
+    assert!(Placement::snake(4, 4, 17).is_err());
+}
+
+#[test]
+fn report_normalization_is_relative_makespan() {
+    let base = four_by_four(Layout::HomeBase).run(&Program::qft(8));
+    assert!((base.normalized_to(&base) - 1.0).abs() < 1e-12);
+    let slower = four_by_four(Layout::HomeBase).run(&Program::qft(12));
+    assert!(slower.normalized_to(&base) > 1.0);
+}

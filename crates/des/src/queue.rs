@@ -52,7 +52,12 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO, popped: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
     }
 
     /// The current simulation time: the timestamp of the last popped event
@@ -84,7 +89,11 @@ impl<E> EventQueue<E> {
     /// simulation that schedules into the past is broken, and failing fast
     /// beats silently reordering history.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });

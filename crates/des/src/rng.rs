@@ -28,7 +28,11 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed), seed, draws: 0 }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+            draws: 0,
+        }
     }
 
     /// The seed this generator was built from.
@@ -103,7 +107,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::seed_from(1);
         let mut b = SimRng::seed_from(2);
-        let same = (0..32).filter(|_| a.f64().to_bits() == b.f64().to_bits()).count();
+        let same = (0..32)
+            .filter(|_| a.f64().to_bits() == b.f64().to_bits())
+            .count();
         assert!(same < 4);
     }
 
@@ -147,7 +153,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "50 elements shuffle away from identity");
+        assert_ne!(
+            xs,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements shuffle away from identity"
+        );
     }
 
     #[test]
@@ -160,6 +170,9 @@ mod tests {
         // Parent and child streams differ.
         let mut p = SimRng::seed_from(5);
         let _ = p.f64();
-        assert_ne!(p.f64().to_bits(), SimRng::seed_from(5).split().f64().to_bits());
+        assert_ne!(
+            p.f64().to_bits(),
+            SimRng::seed_from(5).split().f64().to_bits()
+        );
     }
 }

@@ -45,7 +45,12 @@ pub struct Tally {
 impl Tally {
     /// An empty tally.
     pub fn new() -> Self {
-        Tally { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Tally {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records a sample.
@@ -100,7 +105,12 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Starts tracking a signal with initial `value` at time `start`.
     pub fn new(start: SimTime, value: f64) -> Self {
-        TimeWeighted { value, since: start, integral: 0.0, start }
+        TimeWeighted {
+            value,
+            since: start,
+            integral: 0.0,
+            start,
+        }
     }
 
     /// Updates the signal to `value` at time `now`.
@@ -147,7 +157,10 @@ impl Utilization {
     /// Panics if `capacity` is zero.
     pub fn new(start: SimTime, capacity: u32) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Utilization { busy: TimeWeighted::new(start, 0.0), capacity: f64::from(capacity) }
+        Utilization {
+            busy: TimeWeighted::new(start, 0.0),
+            capacity: f64::from(capacity),
+        }
     }
 
     /// Marks one more server busy.
@@ -185,13 +198,20 @@ pub struct LogHistogram {
 impl LogHistogram {
     /// A histogram with `2^n`-width buckets up to `2^max_exp`.
     pub fn new(max_exp: u32) -> Self {
-        LogHistogram { buckets: vec![0; max_exp as usize + 1], count: 0 }
+        LogHistogram {
+            buckets: vec![0; max_exp as usize + 1],
+            count: 0,
+        }
     }
 
     /// Records a sample (values < 1 land in bucket 0; overflow lands in the
     /// last bucket).
     pub fn record(&mut self, x: f64) {
-        let idx = if x < 2.0 { 0 } else { (x.log2() as usize).min(self.buckets.len() - 1) };
+        let idx = if x < 2.0 {
+            0
+        } else {
+            (x.log2() as usize).min(self.buckets.len() - 1)
+        };
         self.buckets[idx] += 1;
         self.count += 1;
     }

@@ -12,7 +12,9 @@ use qic_physics::time::Duration;
 /// `SimTime` and [`Duration`] form an affine pair: instants differ by
 /// durations, durations add to instants, and instants cannot be added to
 /// each other.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {

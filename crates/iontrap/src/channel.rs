@@ -193,7 +193,10 @@ impl Channel {
     ///
     /// [`ChannelError::UnknownIon`] if absent.
     pub fn remove(&mut self, ion: IonId) -> Result<Fidelity, ChannelError> {
-        let (cell, f) = self.ions.remove(&ion).ok_or(ChannelError::UnknownIon(ion))?;
+        let (cell, f) = self
+            .ions
+            .remove(&ion)
+            .ok_or(ChannelError::UnknownIon(ion))?;
         self.occupancy.remove(&cell);
         Ok(f)
     }
@@ -238,12 +241,19 @@ impl Channel {
         self.occupancy.insert(to_cell, ion);
         self.ions.insert(ion, (to_cell, fidelity_after));
         self.cell_moves += u64::from(plan.cells());
-        Ok(ShuttleOutcome { schedule, elapsed, fidelity_after })
+        Ok(ShuttleOutcome {
+            schedule,
+            elapsed,
+            fidelity_after,
+        })
     }
 
     fn check_cell(&self, cell: u32) -> Result<(), ChannelError> {
         if cell >= self.len {
-            Err(ChannelError::OutOfRange { cell, len: self.len })
+            Err(ChannelError::OutOfRange {
+                cell,
+                len: self.len,
+            })
         } else {
             Ok(())
         }
@@ -274,7 +284,13 @@ mod tests {
         ch.insert(IonId(1), 0).unwrap();
         ch.insert(IonId(2), 5).unwrap();
         let err = ch.shuttle(IonId(1), 10).unwrap_err();
-        assert_eq!(err, ChannelError::Blocked { by: IonId(2), at: 5 });
+        assert_eq!(
+            err,
+            ChannelError::Blocked {
+                by: IonId(2),
+                at: 5
+            }
+        );
         // The failed shuttle must not have moved anything.
         assert_eq!(ch.position(IonId(1)), Some(0));
     }
@@ -284,7 +300,13 @@ mod tests {
         let mut ch = Channel::new(4);
         ch.insert(IonId(1), 1).unwrap();
         let err = ch.insert(IonId(2), 1).unwrap_err();
-        assert!(matches!(err, ChannelError::Occupied { cell: 1, by: IonId(1) }));
+        assert!(matches!(
+            err,
+            ChannelError::Occupied {
+                cell: 1,
+                by: IonId(1)
+            }
+        ));
     }
 
     #[test]
@@ -301,7 +323,10 @@ mod tests {
     #[test]
     fn unknown_ion() {
         let mut ch = Channel::new(4);
-        assert_eq!(ch.shuttle(IonId(7), 1).unwrap_err(), ChannelError::UnknownIon(IonId(7)));
+        assert_eq!(
+            ch.shuttle(IonId(7), 1).unwrap_err(),
+            ChannelError::UnknownIon(IonId(7))
+        );
         assert!(ch.remove(IonId(7)).is_err());
     }
 
@@ -336,7 +361,10 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        let e = ChannelError::Blocked { by: IonId(3), at: 7 };
+        let e = ChannelError::Blocked {
+            by: IonId(3),
+            at: 7,
+        };
         assert!(e.to_string().contains("ion3"));
         assert!(e.to_string().contains("7"));
     }

@@ -98,7 +98,12 @@ impl Floorplan {
     pub fn grid(width: u32, height: u32, cells_per_edge: u32) -> Self {
         assert!(width > 0 && height > 0, "floorplan must be non-empty");
         assert!(cells_per_edge > 0, "edges must span at least one cell");
-        Floorplan { width, height, cells_per_edge, junction: Junction::new(JunctionKind::Cross) }
+        Floorplan {
+            width,
+            height,
+            cells_per_edge,
+            junction: Junction::new(JunctionKind::Cross),
+        }
     }
 
     /// Overrides the junction model.
@@ -131,7 +136,11 @@ impl Floorplan {
         if site.x < self.width && site.y < self.height {
             Ok(())
         } else {
-            Err(SiteOutOfRangeError { site, width: self.width, height: self.height })
+            Err(SiteOutOfRangeError {
+                site,
+                width: self.width,
+                height: self.height,
+            })
         }
     }
 
@@ -155,14 +164,24 @@ impl Floorplan {
         let total_cells = straight_cells
             + u64::from(straight_junctions) * u64::from(self.junction.transit_cells(false))
             + u64::from(turns) * u64::from(self.junction.transit_cells(true));
-        Ok(RoutePlan { straight_cells, straight_junctions, turns, total_cells })
+        Ok(RoutePlan {
+            straight_cells,
+            straight_junctions,
+            turns,
+            total_cells,
+        })
     }
 
     /// The longest route on this floorplan (corner to corner).
     pub fn diameter_cells(&self) -> u64 {
         let corner_a = Site { x: 0, y: 0 };
-        let corner_b = Site { x: self.width - 1, y: self.height - 1 };
-        self.route(corner_a, corner_b).expect("corners are valid").total_cells
+        let corner_b = Site {
+            x: self.width - 1,
+            y: self.height - 1,
+        };
+        self.route(corner_a, corner_b)
+            .expect("corners are valid")
+            .total_cells
     }
 }
 
@@ -201,7 +220,9 @@ mod tests {
     #[test]
     fn out_of_range() {
         let fp = Floorplan::grid(4, 4, 50);
-        let err = fp.route(Site { x: 0, y: 0 }, Site { x: 9, y: 0 }).unwrap_err();
+        let err = fp
+            .route(Site { x: 0, y: 0 }, Site { x: 9, y: 0 })
+            .unwrap_err();
         assert!(err.to_string().contains("4x4"));
     }
 

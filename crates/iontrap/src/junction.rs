@@ -45,7 +45,10 @@ impl Junction {
     /// the extra confinement/staging steps of the T-junction
     /// demonstration).
     pub fn new(kind: JunctionKind) -> Self {
-        Junction { kind, turn_penalty_cells: 3 }
+        Junction {
+            kind,
+            turn_penalty_cells: 3,
+        }
     }
 
     /// Overrides the cornering penalty.

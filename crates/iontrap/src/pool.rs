@@ -128,7 +128,9 @@ impl IonPool {
             self.next_fresh += 1;
             ion
         } else {
-            return Err(PoolExhaustedError { in_flight: self.in_flight });
+            return Err(PoolExhaustedError {
+                in_flight: self.in_flight,
+            });
         };
         self.in_flight += 1;
         self.peak_in_flight = self.peak_in_flight.max(self.in_flight);

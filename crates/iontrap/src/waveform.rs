@@ -112,7 +112,10 @@ impl ShuttlePlan {
             });
             cell = next;
         }
-        WaveformSchedule { plan: *self, phases }
+        WaveformSchedule {
+            plan: *self,
+            phases,
+        }
     }
 }
 

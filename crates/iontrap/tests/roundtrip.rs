@@ -1,0 +1,98 @@
+//! Integration: waveform schedules, channels and junction routes must
+//! compose into consistent round trips — an ion shuttled out and back
+//! lands where it started, costs symmetric time, and loses fidelity
+//! monotonically.
+
+use qic_iontrap::channel::{Channel, IonId};
+use qic_iontrap::floorplan::{Floorplan, Site};
+use qic_iontrap::junction::{Junction, JunctionKind};
+use qic_iontrap::waveform::ShuttlePlan;
+use qic_physics::optime::OpTimes;
+
+#[test]
+fn waveform_out_and_back_mirrors_exactly() {
+    let times = OpTimes::ion_trap();
+    let out = ShuttlePlan::new(3, 9).unwrap().waveforms(&times);
+    let back = ShuttlePlan::new(9, 3).unwrap().waveforms(&times);
+
+    assert!(out.is_well_formed());
+    assert!(back.is_well_formed());
+    assert_eq!(out.phases(), back.phases());
+    assert_eq!(out.total_time(), back.total_time());
+
+    // The return trajectory is the reverse of the outbound one, shifted by
+    // one cell (trajectories record the cell *after* each phase).
+    let mut forward: Vec<u32> = std::iter::once(3).chain(out.well_trajectory()).collect();
+    forward.reverse();
+    let reverse: Vec<u32> = std::iter::once(9).chain(back.well_trajectory()).collect();
+    assert_eq!(forward, reverse);
+}
+
+#[test]
+fn channel_round_trip_restores_position_and_degrades_fidelity() {
+    let mut ch = Channel::new(16);
+    ch.insert(IonId(7), 2).unwrap();
+
+    let there = ch.shuttle(IonId(7), 12).unwrap();
+    assert_eq!(ch.position(IonId(7)), Some(12));
+    assert!(there.schedule.is_well_formed());
+    let f_mid = ch.fidelity(IonId(7)).unwrap();
+
+    let back = ch.shuttle(IonId(7), 2).unwrap();
+    assert_eq!(
+        ch.position(IonId(7)),
+        Some(2),
+        "round trip restores the cell"
+    );
+    let f_end = ch.fidelity(IonId(7)).unwrap();
+
+    // Symmetric legs cost symmetric time; fidelity only ever decreases.
+    assert_eq!(there.elapsed, back.elapsed);
+    assert!(f_mid < qic_physics::fidelity::Fidelity::ONE);
+    assert!(f_end < f_mid, "movement error accumulates on the way back");
+    assert_eq!(ch.cell_moves(), 20);
+}
+
+#[test]
+fn junction_routes_are_symmetric_and_turn_aware() {
+    let fp = Floorplan::grid(8, 8, 600);
+    let a = Site { x: 1, y: 1 };
+    let b = Site { x: 5, y: 6 };
+
+    let ab = fp.route(a, b).unwrap();
+    let ba = fp.route(b, a).unwrap();
+    assert_eq!(
+        ab.total_cells, ba.total_cells,
+        "routes cost the same both ways"
+    );
+    assert_eq!(
+        ab.turns, 1,
+        "dimension-order routes turn exactly once off-axis"
+    );
+    assert_eq!(ab.time(&OpTimes::ion_trap()), ba.time(&OpTimes::ion_trap()));
+
+    // A straight route through the same junction model never turns, and a
+    // bigger turn penalty only hurts turning routes.
+    let straight = fp.route(a, Site { x: 5, y: 1 }).unwrap();
+    assert_eq!(straight.turns, 0);
+    let pricey = Floorplan::grid(8, 8, 600)
+        .with_junction(Junction::new(JunctionKind::Cross).with_turn_penalty(30));
+    assert!(pricey.route(a, b).unwrap().total_cells > ab.total_cells);
+    assert_eq!(
+        pricey.route(a, Site { x: 5, y: 1 }).unwrap().total_cells,
+        straight.total_cells
+    );
+}
+
+#[test]
+fn schedule_total_time_matches_channel_elapsed() {
+    // The electrode schedule and the occupancy-checked channel must agree
+    // on how long the same physical move takes.
+    let times = OpTimes::ion_trap();
+    let schedule = ShuttlePlan::new(0, 11).unwrap().waveforms(&times);
+    let mut ch = Channel::new(12);
+    ch.insert(IonId(1), 0).unwrap();
+    let outcome = ch.shuttle(IonId(1), 11).unwrap();
+    assert_eq!(outcome.elapsed, schedule.total_time());
+    assert_eq!(outcome.schedule, schedule);
+}

@@ -149,7 +149,9 @@ impl NetConfig {
             return Err(ConfigError("purifier depth must be in 1..=20".into()));
         }
         if self.outputs_per_comm == 0 {
-            return Err(ConfigError("communications must need at least one pair".into()));
+            return Err(ConfigError(
+                "communications must need at least one pair".into(),
+            ));
         }
         if !(self.link_cost_factor.is_finite() && self.link_cost_factor >= 1.0) {
             return Err(ConfigError("link cost factor must be ≥ 1".into()));

@@ -30,12 +30,18 @@ impl PauliFrame {
 
     /// Accumulates the two classical bits of one teleportation.
     pub fn accumulate(self, x: bool, z: bool) -> PauliFrame {
-        PauliFrame { x: self.x ^ x, z: self.z ^ z }
+        PauliFrame {
+            x: self.x ^ x,
+            z: self.z ^ z,
+        }
     }
 
     /// Composes two frames (group operation of `Z₂ × Z₂`).
     pub fn compose(self, other: PauliFrame) -> PauliFrame {
-        PauliFrame { x: self.x ^ other.x, z: self.z ^ other.z }
+        PauliFrame {
+            x: self.x ^ other.x,
+            z: self.z ^ other.z,
+        }
     }
 
     /// Whether any correction is pending.

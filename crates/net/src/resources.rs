@@ -27,7 +27,12 @@ impl ServerPool {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: u32) -> Self {
         assert!(capacity > 0, "a server pool needs at least one server");
-        ServerPool { capacity, busy: 0, waiters: VecDeque::new(), busy_ns: 0 }
+        ServerPool {
+            capacity,
+            busy: 0,
+            waiters: VecDeque::new(),
+            busy_ns: 0,
+        }
     }
 
     /// Pool size.
@@ -123,7 +128,10 @@ impl LinkWire {
     ///
     /// Panics if `interval` is zero or `cap` is zero.
     pub fn new(interval: Duration, cap: u64) -> Self {
-        assert!(interval > Duration::ZERO, "generation interval must be positive");
+        assert!(
+            interval > Duration::ZERO,
+            "generation interval must be positive"
+        );
         assert!(cap > 0, "wire buffer must hold at least one pair");
         LinkWire {
             interval,
@@ -143,7 +151,7 @@ impl LinkWire {
             self.stock += 1;
             self.produced += 1;
             if self.stock < self.cap {
-                self.next_ready = self.next_ready + self.interval;
+                self.next_ready += self.interval;
             }
         }
     }
@@ -229,7 +237,11 @@ impl Storage {
     /// Storage with `capacity` cells.
     pub fn new(capacity: u32) -> Self {
         assert!(capacity > 0, "storage needs at least one cell");
-        Storage { capacity, used: 0, waiters: VecDeque::new() }
+        Storage {
+            capacity,
+            used: 0,
+            waiters: VecDeque::new(),
+        }
     }
 
     /// Whether a cell is free.
@@ -343,7 +355,7 @@ mod tests {
         let mut w = LinkWire::new(Duration::from_micros(10), 4);
         let mut now = SimTime::ZERO;
         for _ in 0..1000 {
-            now = now + Duration::from_micros(10);
+            now += Duration::from_micros(10);
             assert!(w.try_take(now), "at {now}");
         }
         assert_eq!(w.produced(), 1000);

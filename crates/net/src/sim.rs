@@ -78,7 +78,11 @@ pub struct OneShotDriver {
 impl OneShotDriver {
     /// One communication from `src` to `dst`.
     pub fn new(src: Coord, dst: Coord) -> Self {
-        OneShotDriver { src, dst, done: None }
+        OneShotDriver {
+            src,
+            dst,
+            done: None,
+        }
     }
 }
 
@@ -103,7 +107,10 @@ pub struct BatchDriver {
 impl BatchDriver {
     /// Submits every `(src, dst)` pair at start.
     pub fn new(batch: Vec<(Coord, Coord)>) -> Self {
-        BatchDriver { batch, completions: Vec::new() }
+        BatchDriver {
+            batch,
+            completions: Vec::new(),
+        }
     }
 }
 
@@ -132,7 +139,12 @@ enum Event {
     /// A wire may have produced pairs for its waiters.
     WireWake { edge: u32 },
     /// A purifier unit finished a cascade job.
-    PurifyDone { site: u32, comm: u32, ops: u32, produces: bool },
+    PurifyDone {
+        site: u32,
+        comm: u32,
+        ops: u32,
+        produces: bool,
+    },
     /// The final data teleport of a communication finished.
     DataTeleportDone { comm: u32 },
     /// A deferred driver submission.
@@ -227,12 +239,16 @@ impl SimApi<'_> {
 
     /// Submits a communication after a delay (e.g. a logical gate time).
     pub fn submit_after(&mut self, delay: Duration, src: Coord, dst: Coord, tag: u64) {
-        self.world.queue.schedule_after(delay, Event::Submit { src, dst, tag });
+        self.world
+            .queue
+            .schedule_after(delay, Event::Submit { src, dst, tag });
     }
 
     /// Requests a [`Driver::on_notify`] callback after `delay`.
     pub fn notify_after(&mut self, delay: Duration, tag: u64) {
-        self.world.queue.schedule_after(delay, Event::Notify { tag });
+        self.world
+            .queue
+            .schedule_after(delay, Event::Notify { tag });
     }
 
     /// Communications submitted so far that have not completed.
@@ -309,7 +325,10 @@ impl World {
     }
 
     fn submit(&mut self, src: Coord, dst: Coord, tag: u64) -> CommId {
-        assert!(self.mesh.contains(src) && self.mesh.contains(dst), "endpoints must be on mesh");
+        assert!(
+            self.mesh.contains(src) && self.mesh.contains(dst),
+            "endpoints must be on mesh"
+        );
         let id = self.comms.len() as u32;
         let dirs = self.mesh.route(src, dst);
         let nodes = self.mesh.route_nodes(src, dst);
@@ -336,7 +355,8 @@ impl World {
             // Co-located endpoints: only the local data handoff remains.
             let dt = comm.data_teleport_time;
             self.comms.push(comm);
-            self.queue.schedule_after(dt, Event::DataTeleportDone { comm: id });
+            self.queue
+                .schedule_after(dt, Event::DataTeleportDone { comm: id });
         } else {
             self.comms.push(comm);
             self.queue.schedule_now(Event::SourceTry { comm: id });
@@ -379,7 +399,12 @@ impl World {
     // --- token machinery ----------------------------------------------
 
     fn alloc_token(&mut self, comm: u32) -> u32 {
-        let token = Token { comm, pos: 0, frame: PauliFrame::IDENTITY, alive: true };
+        let token = Token {
+            comm,
+            pos: 0,
+            frame: PauliFrame::IDENTITY,
+            alive: true,
+        };
         if let Some(idx) = self.free_tokens.pop() {
             self.tokens[idx as usize] = token;
             idx
@@ -420,7 +445,8 @@ impl World {
                 let at = wire.next_available(now);
                 if !wire.wake_pending() {
                     wire.set_wake_pending(true);
-                    self.queue.schedule_at(at, Event::WireWake { edge: edge as u32 });
+                    self.queue
+                        .schedule_at(at, Event::WireWake { edge: edge as u32 });
                 }
                 return false;
             }
@@ -449,7 +475,8 @@ impl World {
         let t = &mut self.tokens[token_idx as usize];
         t.frame = t.frame.accumulate(x, z);
         t.pos = pos as u16; // position it fired FROM; lands at pos+1
-        self.queue.schedule_after(service, Event::TeleportDone { token: token_idx });
+        self.queue
+            .schedule_after(service, Event::TeleportDone { token: token_idx });
         true
     }
 
@@ -518,12 +545,7 @@ impl World {
             let k = (c.arrivals - 1) % period;
             let ops = k.trailing_ones().min(depth);
             let produces = c.arrivals % period == 0;
-            (
-                self.mesh.node_index(c.dst),
-                ops,
-                produces,
-                c.purify_op_time,
-            )
+            (self.mesh.node_index(c.dst), ops, produces, c.purify_op_time)
         };
         if ops == 0 {
             // Parked at L0; no purifier time consumed.
@@ -536,7 +558,12 @@ impl World {
             site.busy_ns += u128::from(job_dur.as_nanos());
             self.queue.schedule_after(
                 job_dur,
-                Event::PurifyDone { site: site_idx as u32, comm: comm_id, ops, produces },
+                Event::PurifyDone {
+                    site: site_idx as u32,
+                    comm: comm_id,
+                    ops,
+                    produces,
+                },
             );
         } else {
             site.queue.push_back((comm_id, ops, produces, job_dur));
@@ -552,7 +579,8 @@ impl World {
             if c.outputs == c.needed_outputs && !c.done {
                 c.done = true;
                 let dt = c.data_teleport_time;
-                self.queue.schedule_after(dt, Event::DataTeleportDone { comm: comm_id });
+                self.queue
+                    .schedule_after(dt, Event::DataTeleportDone { comm: comm_id });
             }
         }
         // Free the unit; start the next queued job.
@@ -563,7 +591,12 @@ impl World {
             site.busy_ns += u128::from(dur.as_nanos());
             self.queue.schedule_after(
                 dur,
-                Event::PurifyDone { site: site_idx, comm: c, ops, produces },
+                Event::PurifyDone {
+                    site: site_idx,
+                    comm: c,
+                    ops,
+                    produces,
+                },
             );
         }
     }
@@ -581,7 +614,12 @@ impl World {
             }
             Event::TeleportDone { token } => self.teleport_done(token),
             Event::WireWake { edge } => self.wire_wake(edge as usize),
-            Event::PurifyDone { site, comm, ops, produces } => {
+            Event::PurifyDone {
+                site,
+                comm,
+                ops,
+                produces,
+            } => {
                 self.purify_done(site, comm, ops, produces);
             }
             Event::DataTeleportDone { comm } => {
@@ -670,7 +708,8 @@ impl World {
             let at = self.wires[edge].next_available(now);
             if !self.wires[edge].wake_pending() {
                 self.wires[edge].set_wake_pending(true);
-                self.queue.schedule_at(at, Event::WireWake { edge: edge as u32 });
+                self.queue
+                    .schedule_at(at, Event::WireWake { edge: edge as u32 });
             }
         }
     }
@@ -729,7 +768,9 @@ impl NetworkSim {
     ///
     /// Panics if the configuration fails [`NetConfig::validate`].
     pub fn new(cfg: NetConfig) -> Self {
-        NetworkSim { world: World::new(cfg) }
+        NetworkSim {
+            world: World::new(cfg),
+        }
     }
 
     /// Runs the driver's workload to completion and reports.
@@ -740,7 +781,9 @@ impl NetworkSim {
     /// a runaway workload or a configuration far beyond the intended
     /// scale.
     pub fn run(mut self, driver: &mut dyn Driver) -> NetReport {
-        driver.start(&mut SimApi { world: &mut self.world });
+        driver.start(&mut SimApi {
+            world: &mut self.world,
+        });
         let max_events = self.world.cfg.max_events;
         while let Some((_, ev)) = self.world.queue.pop() {
             self.world.handle(ev, driver);
@@ -751,7 +794,10 @@ impl NetworkSim {
                 );
             }
         }
-        assert_eq!(self.world.live_comms, 0, "simulation drained with live comms");
+        assert_eq!(
+            self.world.live_comms, 0,
+            "simulation drained with live comms"
+        );
         self.world.report()
     }
 }
@@ -901,7 +947,10 @@ mod tests {
             (Coord::new(3, 0), Coord::new(0, 3)),
         ]);
         let report = NetworkSim::new(c).run(&mut driver);
-        assert_eq!(report.comms_completed, 4, "dimension-order + per-link storage is deadlock-free");
+        assert_eq!(
+            report.comms_completed, 4,
+            "dimension-order + per-link storage is deadlock-free"
+        );
         assert!(report.storage_stalls > 0 || report.teleporter_stalls > 0);
     }
 

@@ -149,10 +149,22 @@ impl Mesh {
     /// The neighbour of `c` in direction `d`, if on the mesh.
     pub fn step(&self, c: Coord, d: Dir) -> Option<Coord> {
         let next = match d {
-            Dir::East => Coord { x: c.x.checked_add(1)?, y: c.y },
-            Dir::West => Coord { x: c.x.checked_sub(1)?, y: c.y },
-            Dir::North => Coord { x: c.x, y: c.y.checked_add(1)? },
-            Dir::South => Coord { x: c.x, y: c.y.checked_sub(1)? },
+            Dir::East => Coord {
+                x: c.x.checked_add(1)?,
+                y: c.y,
+            },
+            Dir::West => Coord {
+                x: c.x.checked_sub(1)?,
+                y: c.y,
+            },
+            Dir::North => Coord {
+                x: c.x,
+                y: c.y.checked_add(1)?,
+            },
+            Dir::South => Coord {
+                x: c.x,
+                y: c.y.checked_sub(1)?,
+            },
         };
         self.contains(next).then_some(next)
     }
@@ -164,8 +176,15 @@ impl Mesh {
     /// Panics if the step leaves the mesh.
     pub fn edge(&self, c: Coord, d: Dir) -> EdgeId {
         let next = self.step(c, d).expect("edge step must stay on the mesh");
-        let base = if (next.x, next.y) < (c.x, c.y) { next } else { c };
-        EdgeId { base, horizontal: d.is_x() }
+        let base = if (next.x, next.y) < (c.x, c.y) {
+            next
+        } else {
+            c
+        };
+        EdgeId {
+            base,
+            horizontal: d.is_x(),
+        }
     }
 
     /// Dense index of an edge (horizontal edges first, row-major).
@@ -182,7 +201,10 @@ impl Mesh {
     /// The dimension-order (X then Y) route from `from` to `to`: the
     /// sequence of directions to follow. Empty when `from == to`.
     pub fn route(&self, from: Coord, to: Coord) -> Vec<Dir> {
-        assert!(self.contains(from) && self.contains(to), "route endpoints must be on the mesh");
+        assert!(
+            self.contains(from) && self.contains(to),
+            "route endpoints must be on the mesh"
+        );
         let mut dirs = Vec::with_capacity(from.manhattan(to) as usize);
         let dx = i32::from(to.x) - i32::from(from.x);
         let dy = i32::from(to.y) - i32::from(from.y);

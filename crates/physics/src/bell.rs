@@ -131,7 +131,9 @@ pub struct BellDiagonal {
 impl BellDiagonal {
     /// The perfect pair `|Φ⁺⟩⟨Φ⁺|`.
     pub fn perfect() -> Self {
-        BellDiagonal { coeffs: [1.0, 0.0, 0.0, 0.0] }
+        BellDiagonal {
+            coeffs: [1.0, 0.0, 0.0, 0.0],
+        }
     }
 
     /// The maximally mixed two-qubit state `I/4`.
@@ -164,7 +166,9 @@ impl BellDiagonal {
     /// on each other Bell state.
     pub fn werner(f: Fidelity) -> Self {
         let rest = (1.0 - f.value()) / 3.0;
-        BellDiagonal { coeffs: [f.value(), rest, rest, rest] }
+        BellDiagonal {
+            coeffs: [f.value(), rest, rest, rest],
+        }
     }
 
     /// [`BellDiagonal::werner`] from a raw `f64`.
@@ -181,7 +185,9 @@ impl BellDiagonal {
     /// of EPR halves.
     pub fn phase_flipped(p: f64) -> Self {
         debug_assert!((0.0..=1.0).contains(&p));
-        BellDiagonal { coeffs: [1.0 - p, 0.0, 0.0, p] }
+        BellDiagonal {
+            coeffs: [1.0 - p, 0.0, 0.0, p],
+        }
     }
 
     /// The coefficient of a given Bell state.
@@ -219,7 +225,10 @@ impl BellDiagonal {
     ///
     /// Panics in debug builds if `eps` is outside `[0, 1]`.
     pub fn depolarize(&self, eps: f64) -> Self {
-        debug_assert!((0.0..=1.0).contains(&eps), "depolarization must be a probability");
+        debug_assert!(
+            (0.0..=1.0).contains(&eps),
+            "depolarization must be a probability"
+        );
         let mut out = [0.0; 4];
         for (o, c) in out.iter_mut().zip(self.coeffs) {
             *o = (1.0 - eps) * c + eps * 0.25;
@@ -292,7 +301,9 @@ impl BellDiagonal {
     /// (`Rx(π/2)` on one side, `Rx(−π/2)` on the other).
     pub fn dejmps_rotate(&self) -> Self {
         let [a, b, c, d] = self.coeffs;
-        BellDiagonal { coeffs: [a, d, c, b] }
+        BellDiagonal {
+            coeffs: [a, d, c, b],
+        }
     }
 }
 
@@ -326,7 +337,10 @@ mod tests {
     #[test]
     fn constructors() {
         assert_eq!(BellDiagonal::perfect().fidelity(), Fidelity::ONE);
-        assert_eq!(BellDiagonal::maximally_mixed().fidelity(), Fidelity::QUARTER);
+        assert_eq!(
+            BellDiagonal::maximally_mixed().fidelity(),
+            Fidelity::QUARTER
+        );
         assert_eq!(BellDiagonal::default(), BellDiagonal::perfect());
         let w = BellDiagonal::werner_f64(0.7).unwrap();
         assert_normalized(&w);
@@ -425,7 +439,9 @@ mod tests {
 
     #[test]
     fn normalized_rescales() {
-        let s = BellDiagonal { coeffs: [0.2, 0.1, 0.1, 0.1] };
+        let s = BellDiagonal {
+            coeffs: [0.2, 0.1, 0.1, 0.1],
+        };
         let n = s.normalized();
         assert_normalized(&n);
         assert!((n.coeff(BellState::PhiPlus) - 0.4).abs() < 1e-12);

@@ -51,12 +51,18 @@ impl C64 {
 
     /// `e^{iθ}` — a unit phase.
     pub fn cis(theta: f64) -> Self {
-        C64 { re: theta.cos(), im: theta.sin() }
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|²`.

@@ -59,7 +59,7 @@ mod tests {
     fn threshold_is_stricter_than_gate_errors() {
         // The threshold must be loose enough that purification can reach it
         // under Table 2 noise (gate error 1e-7 ≪ 7.5e-5).
-        assert!(THRESHOLD_ERROR > 1e-7);
+        const { assert!(THRESHOLD_ERROR > 1e-7) };
         assert!(threshold_fidelity().value() > 0.9999);
     }
 

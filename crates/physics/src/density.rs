@@ -61,12 +61,16 @@ pub struct PairState {
 impl PairState {
     /// A pure Bell state.
     pub fn pure(s: BellState) -> Self {
-        PairState { rho: Mat4::outer(&bell_vector(s)) }
+        PairState {
+            rho: Mat4::outer(&bell_vector(s)),
+        }
     }
 
     /// The maximally mixed state `I/4`.
     pub fn maximally_mixed() -> Self {
-        PairState { rho: Mat4::identity().scale(0.25) }
+        PairState {
+            rho: Mat4::identity().scale(0.25),
+        }
     }
 
     /// Builds the Bell-diagonal mixture with the given coefficients.
@@ -107,7 +111,9 @@ impl PairState {
 
     /// Evolves under a two-qubit unitary.
     pub fn apply(&self, u: &Mat4) -> Self {
-        PairState { rho: self.rho.conjugate_by(u) }
+        PairState {
+            rho: self.rho.conjugate_by(u),
+        }
     }
 
     /// Applies a single-qubit unitary to the first qubit.
@@ -185,9 +191,9 @@ impl PairState {
                 let v1 = bell_vector(s1);
                 let v2 = bell_vector(s2);
                 let mut acc = C64::ZERO;
-                for r in 0..4 {
-                    for c in 0..4 {
-                        acc += v1[r].conj() * self.rho[(r, c)] * v2[c];
+                for (r, a) in v1.iter().enumerate() {
+                    for (c, b) in v2.iter().enumerate() {
+                        acc += a.conj() * self.rho[(r, c)] * *b;
                     }
                 }
                 if acc.norm() > tol {
@@ -218,8 +224,16 @@ impl PairState {
         }
         let p0 = p0m.trace().re;
         let p1 = p1m.trace().re;
-        let post0 = if p0 > 1e-15 { p0m.scale(1.0 / p0) } else { Mat4::identity().scale(0.25) };
-        let post1 = if p1 > 1e-15 { p1m.scale(1.0 / p1) } else { Mat4::identity().scale(0.25) };
+        let post0 = if p0 > 1e-15 {
+            p0m.scale(1.0 / p0)
+        } else {
+            Mat4::identity().scale(0.25)
+        };
+        let post1 = if p1 > 1e-15 {
+            p1m.scale(1.0 / p1)
+        } else {
+            Mat4::identity().scale(0.25)
+        };
         (p0, PairState { rho: post0 }, p1, PairState { rho: post1 })
     }
 }
@@ -271,9 +285,27 @@ mod tests {
         // Applying the labelled Pauli to the first half of Φ⁺ produces the
         // labelled Bell state — the identity BellState::pauli_label encodes.
         let phi = PairState::pure(BellState::PhiPlus);
-        assert!((phi.apply_to_first(&gates::pauli_x()).bell_overlap(BellState::PsiPlus) - 1.0).abs() < 1e-12);
-        assert!((phi.apply_to_first(&gates::pauli_z()).bell_overlap(BellState::PhiMinus) - 1.0).abs() < 1e-12);
-        assert!((phi.apply_to_first(&gates::pauli_y()).bell_overlap(BellState::PsiMinus) - 1.0).abs() < 1e-12);
+        assert!(
+            (phi.apply_to_first(&gates::pauli_x())
+                .bell_overlap(BellState::PsiPlus)
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (phi.apply_to_first(&gates::pauli_z())
+                .bell_overlap(BellState::PhiMinus)
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (phi.apply_to_first(&gates::pauli_y())
+                .bell_overlap(BellState::PsiMinus)
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -311,16 +343,16 @@ mod tests {
     #[test]
     fn depolarize_matches_bell_diagonal_model() {
         let b = BellDiagonal::new([0.9, 0.04, 0.03, 0.03]).unwrap();
-        let exact = PairState::from_bell_diagonal(&b).depolarize(0.2).bell_diagonal();
+        let exact = PairState::from_bell_diagonal(&b)
+            .depolarize(0.2)
+            .bell_diagonal();
         let fast = b.depolarize(0.2);
         assert!(exact.approx_eq(&fast, 1e-12));
     }
 
     #[test]
     fn measurement_probabilities_sum_to_one() {
-        let rho = PairState::from_bell_diagonal(
-            &BellDiagonal::new([0.6, 0.2, 0.1, 0.1]).unwrap(),
-        );
+        let rho = PairState::from_bell_diagonal(&BellDiagonal::new([0.6, 0.2, 0.1, 0.1]).unwrap());
         let (p0, post0, p1, post1) = rho.measure_second();
         assert!((p0 + p1 - 1.0).abs() < 1e-12);
         assert!(post0.matrix().trace().approx_eq(C64::ONE, 1e-9));

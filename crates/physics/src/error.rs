@@ -36,7 +36,11 @@ impl InvalidProbabilityError {
 
 impl fmt::Display for InvalidProbabilityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "probability `{}` must lie in [0, 1], got {}", self.name, self.value)
+        write!(
+            f,
+            "probability `{}` must lie in [0, 1], got {}",
+            self.name, self.value
+        )
     }
 }
 
@@ -249,6 +253,9 @@ mod tests {
     #[test]
     fn noiseless_is_zero() {
         let r = ErrorRates::noiseless();
-        assert_eq!(r.one_qubit_gate() + r.two_qubit_gate() + r.move_cell() + r.measure(), 0.0);
+        assert_eq!(
+            r.one_qubit_gate() + r.two_qubit_gate() + r.move_cell() + r.measure(),
+            0.0
+        );
     }
 }

@@ -122,7 +122,10 @@ impl Fidelity {
     ///
     /// Panics in debug builds if `survival` lies outside `[0, 1]`.
     pub fn attenuate(self, survival: f64) -> Self {
-        debug_assert!((0.0..=1.0).contains(&survival), "survival must be a probability");
+        debug_assert!(
+            (0.0..=1.0).contains(&survival),
+            "survival must be a probability"
+        );
         Fidelity::new_clamped(self.0 * survival)
     }
 
@@ -227,7 +230,7 @@ mod tests {
 
     #[test]
     fn ordering() {
-        let mut v = vec![
+        let mut v = [
             Fidelity::new(0.7).unwrap(),
             Fidelity::new(0.2).unwrap(),
             Fidelity::new(0.9).unwrap(),

@@ -107,7 +107,10 @@ mod tests {
     fn paulis_are_unitary_and_hermitian() {
         for g in [pauli_x(), pauli_y(), pauli_z(), hadamard()] {
             assert!(g.is_unitary(1e-12));
-            assert!(g.approx_eq(&g.adjoint(), 1e-12), "involutive gates are Hermitian");
+            assert!(
+                g.approx_eq(&g.adjoint(), 1e-12),
+                "involutive gates are Hermitian"
+            );
         }
     }
 
@@ -118,7 +121,7 @@ mod tests {
         let mut iz = pauli_z();
         for r in 0..2 {
             for c in 0..2 {
-                iz.0[r][c] = iz.0[r][c] * C64::I;
+                iz.0[r][c] *= C64::I;
             }
         }
         assert!(xy.approx_eq(&iz, 1e-12));
@@ -162,7 +165,7 @@ mod tests {
         let mut minus_ix = pauli_x();
         for row in 0..2 {
             for c in 0..2 {
-                minus_ix.0[row][c] = minus_ix.0[row][c] * C64::new(0.0, -1.0);
+                minus_ix.0[row][c] *= C64::new(0.0, -1.0);
             }
         }
         assert!(r.approx_eq(&minus_ix, 1e-12));

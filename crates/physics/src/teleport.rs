@@ -122,7 +122,11 @@ mod tests {
         let rates = ErrorRates::ion_trap();
         let f = teleport_fidelity(Fidelity::ONE, Fidelity::ONE, &rates);
         assert!(f.infidelity() > 0.0);
-        assert!(f.infidelity() < 3e-7, "gate-limited error, got {}", f.infidelity());
+        assert!(
+            f.infidelity() < 3e-7,
+            "gate-limited error, got {}",
+            f.infidelity()
+        );
     }
 
     #[test]

@@ -27,7 +27,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(per_cell * 5, Duration::from_micros(1));
 /// assert_eq!((per_cell * 5).as_us_f64(), 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(u64);
 
 impl Duration {
@@ -64,7 +66,10 @@ impl Duration {
     ///
     /// Panics if `us` is negative or not finite.
     pub fn from_us_f64(us: f64) -> Self {
-        assert!(us.is_finite() && us >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "duration must be finite and non-negative"
+        );
         Duration((us * 1_000.0).round() as u64)
     }
 
@@ -226,8 +231,14 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(Duration::ZERO.saturating_sub(Duration::from_nanos(1)), Duration::ZERO);
-        assert_eq!(Duration::MAX.saturating_add(Duration::from_nanos(1)), Duration::MAX);
+        assert_eq!(
+            Duration::ZERO.saturating_sub(Duration::from_nanos(1)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            Duration::MAX.saturating_add(Duration::from_nanos(1)),
+            Duration::MAX
+        );
     }
 
     #[test]

@@ -40,12 +40,22 @@ pub fn trajectory(
     let mut out = Vec::with_capacity(rounds as usize + 1);
     let mut state = initial;
     let mut expected_pairs = 1.0;
-    out.push(RoundPoint { round: 0, state, success_prob: 1.0, expected_pairs });
+    out.push(RoundPoint {
+        round: 0,
+        state,
+        success_prob: 1.0,
+        expected_pairs,
+    });
     for round in 1..=rounds {
         let step = protocol.noisy_step(&state, noise);
         state = step.state;
         expected_pairs *= 2.0 / step.success_prob.max(f64::EPSILON);
-        out.push(RoundPoint { round, state, success_prob: step.success_prob, expected_pairs });
+        out.push(RoundPoint {
+            round,
+            state,
+            success_prob: step.success_prob,
+            expected_pairs,
+        });
     }
     out
 }
@@ -84,7 +94,11 @@ pub fn rounds_to_reach(
 /// The protocol's fixed point (maximum achievable state) from `initial`
 /// under the given noise: rounds are iterated until fidelity stops
 /// improving.
-pub fn max_achievable(protocol: Protocol, initial: BellDiagonal, noise: &RoundNoise) -> BellDiagonal {
+pub fn max_achievable(
+    protocol: Protocol,
+    initial: BellDiagonal,
+    noise: &RoundNoise,
+) -> BellDiagonal {
     let mut state = initial;
     let mut best = state;
     for _ in 0..500 {
@@ -134,7 +148,12 @@ mod tests {
     #[test]
     fn trajectory_shape() {
         let noise = RoundNoise::noiseless();
-        let t = trajectory(Protocol::Dejmps, BellDiagonal::werner_f64(0.95).unwrap(), 5, &noise);
+        let t = trajectory(
+            Protocol::Dejmps,
+            BellDiagonal::werner_f64(0.95).unwrap(),
+            5,
+            &noise,
+        );
         assert_eq!(t.len(), 6);
         assert_eq!(t[0].round, 0);
         assert_eq!(t[0].expected_pairs, 1.0);
@@ -174,17 +193,26 @@ mod tests {
         let noise = RoundNoise::ion_trap();
         let init = BellDiagonal::werner_f64(0.99).unwrap();
         // Below the hardware floor: unreachable.
-        assert_eq!(rounds_to_reach(Protocol::Dejmps, init, 1e-12, &noise, 200), None);
+        assert_eq!(
+            rounds_to_reach(Protocol::Dejmps, init, 1e-12, &noise, 200),
+            None
+        );
         // Unentangled input: unreachable.
         let bad = BellDiagonal::werner_f64(0.4).unwrap();
-        assert_eq!(rounds_to_reach(Protocol::Dejmps, bad, 7.5e-5, &noise, 200), None);
+        assert_eq!(
+            rounds_to_reach(Protocol::Dejmps, bad, 7.5e-5, &noise, 200),
+            None
+        );
     }
 
     #[test]
     fn already_good_needs_zero_rounds() {
         let noise = RoundNoise::ion_trap();
         let init = BellDiagonal::werner_f64(0.99999).unwrap();
-        assert_eq!(rounds_to_reach(Protocol::Dejmps, init, 7.5e-5, &noise, 20), Some(0));
+        assert_eq!(
+            rounds_to_reach(Protocol::Dejmps, init, 7.5e-5, &noise, 20),
+            Some(0)
+        );
     }
 
     #[test]
@@ -209,7 +237,11 @@ mod tests {
         let noise = RoundNoise::from_rates(&rates);
         let init = BellDiagonal::werner_f64(0.99).unwrap();
         let best = max_achievable(Protocol::Dejmps, init, &noise);
-        assert!(best.error() > 7.5e-5, "floor {} should exceed threshold", best.error());
+        assert!(
+            best.error() > 7.5e-5,
+            "floor {} should exceed threshold",
+            best.error()
+        );
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub fn simulate(kept: &BellDiagonal, sacrificed: &BellDiagonal, pre: PreRotation
     }
 
     if success <= f64::EPSILON {
-        return PurifyOutcome { state: BellDiagonal::maximally_mixed(), success_prob: 0.0 };
+        return PurifyOutcome {
+            state: BellDiagonal::maximally_mixed(),
+            success_prob: 0.0,
+        };
     }
     for c in &mut out {
         *c /= success;
@@ -131,7 +134,10 @@ mod tests {
         let w = BellDiagonal::werner_f64(0.87).unwrap();
         let sim = simulate(&w, &w, PreRotation::None);
         let formula = Protocol::Bbpssw.step(&w);
-        assert!(close(sim.state.fidelity().value(), formula.state.fidelity().value()));
+        assert!(close(
+            sim.state.fidelity().value(),
+            formula.state.fidelity().value()
+        ));
         assert!(close(sim.success_prob, formula.success_prob));
         // The simulated survivor is not Werner before the twirl…
         assert!(!sim.state.approx_eq(&formula.state, 1e-12));
@@ -168,7 +174,10 @@ mod tests {
         let bad = BellDiagonal::new([0.0, 0.0, 0.0, 1.0]).unwrap();
         let out = simulate(&kept, &bad, PreRotation::None);
         assert!(close(out.success_prob, 1.0), "Z error goes undetected");
-        assert!(close(out.state.coeff(BellState::PhiMinus), 1.0), "and lands on the kept pair");
+        assert!(
+            close(out.state.coeff(BellState::PhiMinus), 1.0),
+            "and lands on the kept pair"
+        );
         // With the DEJMPS rotation the same error becomes detectable.
         let out = simulate(&kept, &bad, PreRotation::Dejmps);
         assert!(close(out.success_prob, 0.0));

@@ -59,14 +59,17 @@ pub struct RoundNoise {
 impl RoundNoise {
     /// Noise-free rounds (the ideal recurrences).
     pub fn noiseless() -> Self {
-        RoundNoise { dejmps_eps: 0.0, bbpssw_eps: 0.0, measure_flip: 0.0 }
+        RoundNoise {
+            dejmps_eps: 0.0,
+            bbpssw_eps: 0.0,
+            measure_flip: 0.0,
+        }
     }
 
     /// Derives round noise from device error rates.
     pub fn from_rates(rates: &ErrorRates) -> Self {
-        let base = 4.0 * rates.one_qubit_gate()
-            + 2.0 * rates.two_qubit_gate()
-            + 2.0 * rates.measure();
+        let base =
+            4.0 * rates.one_qubit_gate() + 2.0 * rates.two_qubit_gate() + 2.0 * rates.measure();
         let twirl = 4.0 * rates.one_qubit_gate();
         RoundNoise {
             dejmps_eps: base.min(1.0),
@@ -154,7 +157,10 @@ impl Protocol {
         // versa; to first order it only rescales the success probability.
         let flip = noise.measure_flip();
         let success_prob = ideal.success_prob * (1.0 - flip) + (1.0 - ideal.success_prob) * flip;
-        PurifyOutcome { state, success_prob }
+        PurifyOutcome {
+            state,
+            success_prob,
+        }
     }
 }
 
@@ -186,7 +192,10 @@ fn dejmps_step(kept: &BellDiagonal, sacrificed: &BellDiagonal) -> PurifyOutcome 
     let [a2, b2, c2, d2] = sacrificed.coeffs();
     let n = (a1 + b1) * (a2 + b2) + (c1 + d1) * (c2 + d2);
     if n <= f64::EPSILON {
-        return PurifyOutcome { state: BellDiagonal::maximally_mixed(), success_prob: 0.0 };
+        return PurifyOutcome {
+            state: BellDiagonal::maximally_mixed(),
+            success_prob: 0.0,
+        };
     }
     let coeffs = [
         (a1 * a2 + b1 * b2) / n,
@@ -210,7 +219,10 @@ fn bbpssw_step(kept: &BellDiagonal, sacrificed: &BellDiagonal) -> PurifyOutcome 
     // Success: the X-frame components of the two (twirled) pairs agree.
     let n = (f1 + r1) * (f2 + r2) + (2.0 * r1) * (2.0 * r2);
     if n <= f64::EPSILON {
-        return PurifyOutcome { state: BellDiagonal::maximally_mixed(), success_prob: 0.0 };
+        return PurifyOutcome {
+            state: BellDiagonal::maximally_mixed(),
+            success_prob: 0.0,
+        };
     }
     let f_new = (f1 * f2 + r1 * r2) / n;
     PurifyOutcome {
@@ -230,9 +242,17 @@ mod tests {
         // derivation in DESIGN.md §2): F₁ ≈ 0.9268, F₂ ≈ 0.9889.
         let w = BellDiagonal::werner_f64(0.9).unwrap();
         let r1 = Protocol::Dejmps.step(&w);
-        assert!((r1.state.fidelity().value() - 0.9268).abs() < 5e-4, "{}", r1.state);
+        assert!(
+            (r1.state.fidelity().value() - 0.9268).abs() < 5e-4,
+            "{}",
+            r1.state
+        );
         let r2 = Protocol::Dejmps.step(&r1.state);
-        assert!((r2.state.fidelity().value() - 0.9889).abs() < 5e-4, "{}", r2.state);
+        assert!(
+            (r2.state.fidelity().value() - 0.9889).abs() < 5e-4,
+            "{}",
+            r2.state
+        );
     }
 
     #[test]
@@ -241,8 +261,8 @@ mod tests {
         let w = BellDiagonal::werner_f64(0.9).unwrap();
         let out = Protocol::Bbpssw.step(&w);
         let f = 0.9f64;
-        let expected =
-            (f * f + (1.0 - f).powi(2) / 9.0) / (f * f + 2.0 * f * (1.0 - f) / 3.0 + 5.0 * (1.0 - f).powi(2) / 9.0);
+        let expected = (f * f + (1.0 - f).powi(2) / 9.0)
+            / (f * f + 2.0 * f * (1.0 - f) / 3.0 + 5.0 * (1.0 - f).powi(2) / 9.0);
         assert!((out.state.fidelity().value() - expected).abs() < 1e-12);
     }
 
@@ -366,7 +386,10 @@ mod tests {
         let kept = BellDiagonal::new([0.0, 0.0, 1.0, 0.0]).unwrap();
         let sac = BellDiagonal::new([1.0, 0.0, 0.0, 0.0]).unwrap();
         let out = Protocol::Dejmps.step_asymmetric(&kept, &sac);
-        assert!(out.success_prob.abs() < 1.0, "probability stays a probability");
+        assert!(
+            out.success_prob.abs() < 1.0,
+            "probability stays a probability"
+        );
     }
 
     #[test]

@@ -145,10 +145,14 @@ impl QueuePurifier {
             match self.levels[level].take() {
                 None => {
                     self.levels[level] = Some(carried);
-                    return FeedResult::Stored { level: level as u32 };
+                    return FeedResult::Stored {
+                        level: level as u32,
+                    };
                 }
                 Some(waiting) => {
-                    let out = self.protocol.noisy_step_asymmetric(&waiting, &carried, &self.noise);
+                    let out = self
+                        .protocol
+                        .noisy_step_asymmetric(&waiting, &carried, &self.noise);
                     self.stats.operations += 1;
                     ops += 1;
                     if coin() < out.success_prob {
@@ -156,13 +160,19 @@ impl QueuePurifier {
                         // Promoted: continue cascading at the next level.
                     } else {
                         self.stats.failures += 1;
-                        return FeedResult::Discarded { level: level as u32, ops };
+                        return FeedResult::Discarded {
+                            level: level as u32,
+                            ops,
+                        };
                     }
                 }
             }
         }
         self.stats.pairs_out += 1;
-        FeedResult::Output { state: carried, ops }
+        FeedResult::Output {
+            state: carried,
+            ops,
+        }
     }
 
     /// Feeds one raw pair in **expected-flow** mode: every purification
@@ -224,7 +234,9 @@ mod tests {
         assert_eq!(q.stats().pairs_in, 32);
         assert_eq!(q.stats().pairs_out, 4);
         // Each output went through 3 rounds.
-        let expect = crate::analysis::trajectory(Protocol::Dejmps, raw(), 3, &RoundNoise::ion_trap())[3].state;
+        let expect =
+            crate::analysis::trajectory(Protocol::Dejmps, raw(), 3, &RoundNoise::ion_trap())[3]
+                .state;
         for out in outputs {
             assert!(out.approx_eq(&expect, 1e-12));
         }
@@ -237,7 +249,11 @@ mod tests {
         let mut q = QueuePurifier::new(4, Protocol::Dejmps, RoundNoise::noiseless());
         for fed in 1..=15u32 {
             let _ = q.feed_expected(raw());
-            assert_eq!(q.occupancy(), fed.count_ones() as usize, "after {fed} pairs");
+            assert_eq!(
+                q.occupancy(),
+                fed.count_ones() as usize,
+                "after {fed} pairs"
+            );
         }
     }
 
@@ -245,15 +261,27 @@ mod tests {
     fn stochastic_mode_discards_on_failure() {
         let mut q = QueuePurifier::new(2, Protocol::Dejmps, RoundNoise::ion_trap());
         // First pair stores at L0.
-        assert!(matches!(q.feed_with(raw(), || 0.0), FeedResult::Stored { level: 0 }));
+        assert!(matches!(
+            q.feed_with(raw(), || 0.0),
+            FeedResult::Stored { level: 0 }
+        ));
         // Coin of 1.0 ≥ p: the purification fails, both pairs discarded.
         let r = q.feed_with(raw(), || 1.0);
-        assert!(matches!(r, FeedResult::Discarded { level: 0, ops: 1 }), "{r:?}");
+        assert!(
+            matches!(r, FeedResult::Discarded { level: 0, ops: 1 }),
+            "{r:?}"
+        );
         assert_eq!(q.occupancy(), 0, "failure empties the level");
         assert_eq!(q.stats().failures, 1);
         // The stream rebuilds naturally (Section 5.1 advantage #3).
-        assert!(matches!(q.feed_with(raw(), || 0.0), FeedResult::Stored { level: 0 }));
-        assert!(matches!(q.feed_with(raw(), || 0.0), FeedResult::Stored { level: 1 }));
+        assert!(matches!(
+            q.feed_with(raw(), || 0.0),
+            FeedResult::Stored { level: 0 }
+        ));
+        assert!(matches!(
+            q.feed_with(raw(), || 0.0),
+            FeedResult::Stored { level: 1 }
+        ));
     }
 
     #[test]
@@ -298,7 +326,10 @@ mod tests {
         let q = QueuePurifier::new(3, Protocol::Dejmps, RoundNoise::noiseless());
         let t = crate::tree::TreePurifier::new(3, Protocol::Dejmps);
         assert!(q.serial_latency_per_output(&times, 0) > t.latency(&times, 0));
-        assert_eq!(q.serial_latency_per_output(&times, 0), times.purify_round_local() * 7);
+        assert_eq!(
+            q.serial_latency_per_output(&times, 0),
+            times.purify_round_local() * 7
+        );
     }
 
     #[test]

@@ -18,9 +18,11 @@ impl Program {
         let mut last: HashMap<LogicalQubit, u32> = HashMap::new();
         let mut levels = Vec::with_capacity(self.len());
         for ins in self {
-            let level = 1 + last.get(&ins.a).copied().unwrap_or(0).max(
-                last.get(&ins.b).copied().unwrap_or(0),
-            );
+            let level = 1 + last
+                .get(&ins.a)
+                .copied()
+                .unwrap_or(0)
+                .max(last.get(&ins.b).copied().unwrap_or(0));
             last.insert(ins.a, level);
             last.insert(ins.b, level);
             levels.push(level);

@@ -131,11 +131,20 @@ mod tests {
         // Paper (1-based): 1-2, 1-3, (1-4, 2-3), (1-5, 2-4), (1-6, 2-5, 3-4).
         // 0-based: (0,1), (0,2), (0,3), (1,2), (0,4), (1,3), (0,5), (1,4), (2,3).
         let p = Program::qft(6);
-        let pairs: Vec<(u32, u32)> =
-            p.iter().map(|i| (i.a.index(), i.b.index())).collect();
+        let pairs: Vec<(u32, u32)> = p.iter().map(|i| (i.a.index(), i.b.index())).collect();
         assert_eq!(
             &pairs[..9],
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (0, 4), (1, 3), (0, 5), (1, 4), (2, 3)]
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (0, 4),
+                (1, 3),
+                (0, 5),
+                (1, 4),
+                (2, 3)
+            ]
         );
     }
 
@@ -145,7 +154,10 @@ mod tests {
         let p = Program::qft(n);
         let mut seen = std::collections::HashSet::new();
         for ins in &p {
-            let key = (ins.a.index().min(ins.b.index()), ins.a.index().max(ins.b.index()));
+            let key = (
+                ins.a.index().min(ins.b.index()),
+                ins.a.index().max(ins.b.index()),
+            );
             assert!(seen.insert(key), "duplicate pair {key:?}");
         }
         assert_eq!(seen.len() as u32, n * (n - 1) / 2);
@@ -158,7 +170,13 @@ mod tests {
             let partners: Vec<u32> = p
                 .iter()
                 .filter(|i| i.touches(LogicalQubit(q)))
-                .map(|i| if i.a.index() == q { i.b.index() } else { i.a.index() })
+                .map(|i| {
+                    if i.a.index() == q {
+                        i.b.index()
+                    } else {
+                        i.a.index()
+                    }
+                })
                 .collect();
             // For qubit q the partners with larger index must appear in
             // increasing order (q interacts with q+1, then q+2, …).

@@ -62,7 +62,11 @@ pub struct Instruction {
 impl Instruction {
     /// A generic interaction between qubits `a` and `b`.
     pub fn interact(a: u32, b: u32) -> Self {
-        Instruction { a: LogicalQubit(a), b: LogicalQubit(b), kind: InstructionKind::Interact }
+        Instruction {
+            a: LogicalQubit(a),
+            b: LogicalQubit(b),
+            kind: InstructionKind::Interact,
+        }
     }
 
     /// Whether `q` is one of the operands.
@@ -101,8 +105,15 @@ pub enum ProgramError {
 impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProgramError::QubitOutOfRange { index, qubit, n_qubits } => {
-                write!(f, "instruction {index} uses {qubit} but the program has {n_qubits} qubits")
+            ProgramError::QubitOutOfRange {
+                index,
+                qubit,
+                n_qubits,
+            } => {
+                write!(
+                    f,
+                    "instruction {index} uses {qubit} but the program has {n_qubits} qubits"
+                )
             }
             ProgramError::SelfInteraction { index, qubit } => {
                 write!(f, "instruction {index} interacts {qubit} with itself")
@@ -133,14 +144,24 @@ impl Program {
         for (index, ins) in instructions.iter().enumerate() {
             for q in [ins.a, ins.b] {
                 if q.0 >= n_qubits {
-                    return Err(ProgramError::QubitOutOfRange { index, qubit: q, n_qubits });
+                    return Err(ProgramError::QubitOutOfRange {
+                        index,
+                        qubit: q,
+                        n_qubits,
+                    });
                 }
             }
             if ins.a == ins.b {
-                return Err(ProgramError::SelfInteraction { index, qubit: ins.a });
+                return Err(ProgramError::SelfInteraction {
+                    index,
+                    qubit: ins.a,
+                });
             }
         }
-        Ok(Program { n_qubits, instructions })
+        Ok(Program {
+            n_qubits,
+            instructions,
+        })
     }
 
     /// Number of logical qubits.
@@ -199,8 +220,11 @@ mod tests {
 
     #[test]
     fn valid_program() {
-        let p = Program::new(3, vec![Instruction::interact(0, 1), Instruction::interact(1, 2)])
-            .unwrap();
+        let p = Program::new(
+            3,
+            vec![Instruction::interact(0, 1), Instruction::interact(1, 2)],
+        )
+        .unwrap();
         assert_eq!(p.n_qubits(), 3);
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
@@ -212,7 +236,11 @@ mod tests {
     fn rejects_out_of_range() {
         let err = Program::new(2, vec![Instruction::interact(0, 5)]).unwrap_err();
         match err {
-            ProgramError::QubitOutOfRange { index, qubit, n_qubits } => {
+            ProgramError::QubitOutOfRange {
+                index,
+                qubit,
+                n_qubits,
+            } => {
                 assert_eq!(index, 0);
                 assert_eq!(qubit, LogicalQubit(5));
                 assert_eq!(n_qubits, 2);

@@ -9,7 +9,13 @@ fn random_program() -> impl Strategy<Value = Program> {
         proptest::collection::vec((0..n, 0..n), len).prop_map(move |pairs| {
             let instructions = pairs
                 .into_iter()
-                .map(|(a, b)| if a == b { Instruction::interact(a, (a + 1) % n) } else { Instruction::interact(a, b) })
+                .map(|(a, b)| {
+                    if a == b {
+                        Instruction::interact(a, (a + 1) % n)
+                    } else {
+                        Instruction::interact(a, b)
+                    }
+                })
                 .collect();
             Program::new(n, instructions).expect("constructed pairs are valid")
         })

@@ -21,7 +21,10 @@ fn main() {
     println!("raw link pair error: {:.2e}", raw.error());
     let arriving = BellDiagonal::werner_f64(1.0 - (f64::from(hops) * raw.error()).min(0.5))
         .expect("valid fidelity");
-    println!("== protocol comparison (from Werner error {:.2e}) ==", arriving.error());
+    println!(
+        "== protocol comparison (from Werner error {:.2e}) ==",
+        arriving.error()
+    );
     for protocol in Protocol::ALL {
         match rounds_to_reach(protocol, arriving, constants::THRESHOLD_ERROR, &noise, 64) {
             Some(r) => {
@@ -62,7 +65,11 @@ fn main() {
     let queue = QueuePurifier::new(depth, Protocol::Dejmps, noise);
     let tree = TreePurifier::new(depth, Protocol::Dejmps);
     let times = OpTimes::ion_trap();
-    println!("  depth {depth} queue purifier: {} units (tree would need {})", depth, tree.hardware_units());
+    println!(
+        "  depth {depth} queue purifier: {} units (tree would need {})",
+        depth,
+        tree.hardware_units()
+    );
     println!(
         "  serial latency per output: {} (tree: {})",
         queue.serial_latency_per_output(&times, 600 * u64::from(hops)),

@@ -30,12 +30,24 @@ fn main() -> Result<(), ChannelError> {
     println!("== Channel plan: 20 mesh hops, endpoints-only purification ==");
     let model = ChannelModel::ion_trap();
     let plan = model.plan(20)?;
-    println!("  link pair error            : {:.2e}", plan.link_state.error());
-    println!("  arriving end-to-end error  : {:.2e}", plan.arriving_state.error());
+    println!(
+        "  link pair error            : {:.2e}",
+        plan.link_state.error()
+    );
+    println!(
+        "  arriving end-to-end error  : {:.2e}",
+        plan.arriving_state.error()
+    );
     println!("  endpoint purify rounds     : {}", plan.endpoint_rounds);
-    println!("  delivered pair error       : {:.2e}", plan.final_state.error());
+    println!(
+        "  delivered pair error       : {:.2e}",
+        plan.final_state.error()
+    );
     println!("  pairs arriving per good one: {:.2}", plan.endpoint_pairs);
-    println!("  teleport ops per good pair : {:.1}", plan.teleported_pairs);
+    println!(
+        "  teleport ops per good pair : {:.1}",
+        plan.teleported_pairs
+    );
     println!("  raw pairs per good pair    : {:.1}", plan.total_pairs);
     println!("  channel setup latency      : {}", plan.setup_latency);
     println!(

@@ -8,9 +8,15 @@ use qic::prelude::*;
 use qic_workload::Program;
 
 fn main() {
-    let n: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let grid = 6u16; // 36 sites hold the 2n-qubit register pair for n ≤ 18
-    assert!(2 * n <= u32::from(grid) * u32::from(grid), "registers must fit the grid");
+    assert!(
+        2 * n <= u32::from(grid) * u32::from(grid),
+        "registers must fit the grid"
+    );
 
     let mut builder = Machine::builder();
     builder
@@ -22,7 +28,10 @@ fn main() {
     let phases: [(&str, Program); 4] = [
         ("QFT (all-to-all)", Program::qft(n)),
         ("MM (bipartite)", Program::modular_multiplication(n)),
-        ("ME (square+multiply)", Program::modular_exponentiation(n, 2)),
+        (
+            "ME (square+multiply)",
+            Program::modular_exponentiation(n, 2),
+        ),
         ("Shor kernel (ME, then QFT)", Program::shor_kernel(n, 1)),
     ];
 

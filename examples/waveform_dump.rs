@@ -14,7 +14,9 @@ fn main() {
 
     // 1. The Figure 2 shuttle: cell 3 to cell 9.
     println!("== electrode schedule for a 6-cell shuttle (Figure 2) ==");
-    let schedule = ShuttlePlan::new(3, 9).expect("distinct cells").waveforms(&times);
+    let schedule = ShuttlePlan::new(3, 9)
+        .expect("distinct cells")
+        .waveforms(&times);
     print!("{}", schedule.render());
     println!(
         "phases: {}, total {}, well trajectory {:?}\n",

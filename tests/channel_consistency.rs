@@ -13,14 +13,22 @@ fn plans_meet_threshold_across_all_distances_and_placements() {
     for placement in Placement::FIGURE_SET {
         let model = base.clone().with_placement(placement);
         for hops in [1u32, 4, 16, 40, 64] {
-            let plan = model.plan(hops).unwrap_or_else(|e| panic!("{placement}, {hops} hops: {e}"));
+            let plan = model
+                .plan(hops)
+                .unwrap_or_else(|e| panic!("{placement}, {hops} hops: {e}"));
             assert!(
                 plan.final_state.error() <= constants::THRESHOLD_ERROR,
                 "{placement} at {hops} hops delivered {:.2e}",
                 plan.final_state.error()
             );
-            assert!(plan.endpoint_rounds >= 1, "endpoint purification always runs");
-            assert!(plan.teleported_pairs >= f64::from(hops), "at least one pair crosses");
+            assert!(
+                plan.endpoint_rounds >= 1,
+                "endpoint purification always runs"
+            );
+            assert!(
+                plan.teleported_pairs >= f64::from(hops),
+                "at least one pair crosses"
+            );
             assert!(plan.total_pairs >= plan.teleported_pairs);
         }
     }

@@ -1,0 +1,143 @@
+//! Smoke tests mirroring the five `examples/*.rs` code paths, so the
+//! examples' API surface is exercised by `cargo test` and cannot rot
+//! silently between releases.
+
+use qic::prelude::*;
+use qic_analytic::plan::ChannelModel;
+use qic_analytic::strategy::Placement as AnalyticPlacement;
+use qic_physics::bell::BellDiagonal;
+use qic_workload::Program;
+
+/// `examples/quickstart.rs`: ballistic error sweep, then a 20-hop channel
+/// plan that must clear the fault-tolerance threshold.
+#[test]
+fn quickstart_path() {
+    let rates = ErrorRates::ion_trap();
+    let mut last = 0.0;
+    for cells in [1u64, 10, 100, 1_000, 10_000] {
+        let f = transport::ballistic_fidelity(Fidelity::ONE, cells, &rates);
+        assert!(f.infidelity() >= last, "error grows with distance");
+        last = f.infidelity();
+    }
+    let plan = ChannelModel::ion_trap().plan(20).expect("20 hops feasible");
+    assert!(plan.final_state.fidelity() >= constants::threshold_fidelity());
+}
+
+/// `examples/purification_planner.rs`: protocol comparison, placement
+/// sweep, and queue-vs-tree purifier hardware numbers.
+#[test]
+fn purification_planner_path() {
+    let noise = RoundNoise::ion_trap();
+    let raw = qic_analytic::link::raw_link_state(600, &ErrorRates::ion_trap());
+    let arriving = BellDiagonal::werner_f64(1.0 - (30.0 * raw.error()).min(0.5)).unwrap();
+
+    let rounds = rounds_to_reach(
+        Protocol::Dejmps,
+        arriving,
+        constants::THRESHOLD_ERROR,
+        &noise,
+        64,
+    )
+    .expect("DEJMPS reaches threshold from a 30-hop arriving state");
+    let (pairs, out) = pairs_for_rounds(Protocol::Dejmps, arriving, rounds, &noise);
+    assert!(out.error() <= constants::THRESHOLD_ERROR);
+    assert!(pairs >= 1.0);
+
+    for placement in AnalyticPlacement::FIGURE_SET {
+        let model = ChannelModel::ion_trap().with_placement(placement);
+        let plan = model
+            .plan(30)
+            .expect("all figure placements feasible at 30 hops");
+        assert!(plan.total_pairs >= plan.teleported_pairs);
+    }
+
+    let depth = 3;
+    let queue = QueuePurifier::new(depth, Protocol::Dejmps, noise);
+    let tree = TreePurifier::new(depth, Protocol::Dejmps);
+    assert_eq!(tree.hardware_units(), (1 << depth) - 1);
+    assert!(queue.expected_pairs_per_output(&raw) >= f64::from(1u32 << depth));
+    let times = OpTimes::ion_trap();
+    assert!(queue.serial_latency_per_output(&times, 600 * 30) > tree.latency(&times, 600 * 30));
+}
+
+/// `examples/waveform_dump.rs`: electrode schedule rendering, a channel
+/// shuttle, and floorplan routes with survival accounting.
+#[test]
+fn waveform_dump_path() {
+    use qic::iontrap::channel::{Channel, IonId};
+    use qic::iontrap::floorplan::{Floorplan, Site};
+    use qic::iontrap::waveform::ShuttlePlan;
+
+    let times = OpTimes::ion_trap();
+    let schedule = ShuttlePlan::new(3, 9).unwrap().waveforms(&times);
+    assert_eq!(schedule.phases(), 6);
+    let rendered = schedule.render();
+    assert_eq!(
+        rendered.lines().count(),
+        11,
+        "columns e00..=e10 participate"
+    );
+
+    let mut ch = Channel::new(32);
+    ch.insert(IonId(0), 0).unwrap();
+    let out = ch.shuttle(IonId(0), 31).unwrap();
+    assert!(out.fidelity_after < Fidelity::ONE);
+
+    let fp = Floorplan::grid(8, 8, 600);
+    let route = fp.route(Site { x: 0, y: 0 }, Site { x: 7, y: 7 }).unwrap();
+    assert_eq!(route.turns, 1);
+    let survival = route.survival(&ErrorRates::ion_trap());
+    assert!((0.0..1.0).contains(&survival));
+    assert_eq!(fp.diameter_cells(), route.total_cells);
+}
+
+/// `examples/qft_contention.rs`: the Figure 16 sweep at Tiny scale, with
+/// the paper's qualitative ordering intact.
+#[test]
+fn qft_contention_path() {
+    use qic::core::experiment::{figure16, Fig16Scale};
+    let result = figure16(Fig16Scale::Tiny);
+    assert!(!result.points.is_empty());
+    for p in &result.points {
+        assert!(
+            p.home_base >= 1.0,
+            "{}: constrained >= unlimited baseline",
+            p.label
+        );
+        assert!(
+            p.mobile >= 1.0,
+            "{}: constrained >= unlimited baseline",
+            p.label
+        );
+    }
+}
+
+/// `examples/shor_pipeline.rs`: all four Shor phases complete on a 6×6
+/// machine under both layouts.
+#[test]
+fn shor_pipeline_path() {
+    let n = 4u32;
+    let phases: [(&str, Program); 4] = [
+        ("QFT", Program::qft(2 * n)),
+        ("MM", Program::modular_multiplication(n)),
+        ("ME", Program::modular_exponentiation(n, 1)),
+        ("Shor", Program::shor_kernel(n, 1)),
+    ];
+    for layout in Layout::ALL {
+        let mut b = Machine::builder();
+        b.grid(6, 6)
+            .resources(12, 12, 6)
+            .outputs_per_comm(2)
+            .purify_depth(1)
+            .layout(layout);
+        let machine = b.build().expect("6x6 machine is valid");
+        for (name, program) in &phases {
+            let report = machine.run(program);
+            assert_eq!(
+                report.instructions as usize,
+                program.len(),
+                "{layout}/{name}: all instructions retire"
+            );
+        }
+    }
+}

@@ -5,7 +5,11 @@ use qic_workload::Program;
 
 fn machine(layout: Layout) -> Machine {
     let mut b = Machine::builder();
-    b.grid(5, 5).resources(8, 8, 4).outputs_per_comm(3).purify_depth(2).layout(layout);
+    b.grid(5, 5)
+        .resources(8, 8, 4)
+        .outputs_per_comm(3)
+        .purify_depth(2)
+        .layout(layout);
     b.build().expect("valid machine")
 }
 
@@ -59,12 +63,16 @@ fn parallel_workloads_beat_serial_chains() {
     let m = machine(Layout::HomeBase);
     let parallel = Program::new(
         16,
-        (0..8).map(|k| qic_workload::Instruction::interact(2 * k, 2 * k + 1)).collect(),
+        (0..8)
+            .map(|k| qic_workload::Instruction::interact(2 * k, 2 * k + 1))
+            .collect(),
     )
     .expect("valid");
     let serial = Program::new(
         16,
-        (1..=8).map(|k| qic_workload::Instruction::interact(0, k)).collect(),
+        (1..=8)
+            .map(|k| qic_workload::Instruction::interact(0, k))
+            .collect(),
     )
     .expect("valid");
     let t_parallel = m.run(&parallel).makespan;

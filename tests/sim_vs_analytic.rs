@@ -54,8 +54,14 @@ fn uncontended_latency_is_near_the_analytic_setup_latency() {
 fn whole_stack_is_deterministic() {
     let run = || {
         let mut b = Machine::builder();
-        b.grid(4, 4).resources(6, 6, 3).outputs_per_comm(3).purify_depth(2).seed(99);
-        b.build().expect("valid").run(&qic_workload::Program::qft(12))
+        b.grid(4, 4)
+            .resources(6, 6, 3)
+            .outputs_per_comm(3)
+            .purify_depth(2)
+            .seed(99);
+        b.build()
+            .expect("valid")
+            .run(&qic_workload::Program::qft(12))
     };
     let a = run();
     let b = run();
@@ -67,7 +73,10 @@ fn starving_any_resource_slows_the_machine() {
     let program = qic_workload::Program::qft(12);
     let run = |t: u32, g: u32, p: u32| {
         let mut b = Machine::builder();
-        b.grid(4, 4).resources(t, g, p).outputs_per_comm(7).purify_depth(3);
+        b.grid(4, 4)
+            .resources(t, g, p)
+            .outputs_per_comm(7)
+            .purify_depth(3);
         b.build().expect("valid").run(&program).makespan
     };
     let rich = run(32, 32, 16);

@@ -1,0 +1,115 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros with the same
+//! call syntax as the real crate, backed by a simple wall-clock runner:
+//! a warm-up pass sizes the batch, then a fixed number of timed batches
+//! report best / median-ish / mean nanoseconds per iteration. There is
+//! no statistical regression machinery and no HTML output — this exists
+//! so bench targets compile and produce useful numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Returns the argument, opaque to the optimiser.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Hands a timing loop to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the latest [`Bencher::iter`].
+    ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `inner`, amortised over automatically sized batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
+        // Warm up and size a batch to ~2ms so Instant overhead vanishes.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(inner());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let batch = ((2_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        const SAMPLES: usize = 15;
+        self.ns_per_iter = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(inner());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        self.ns_per_iter.sort_by(f64::total_cmp);
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: Vec::new(),
+        };
+        f(&mut b);
+        if b.ns_per_iter.is_empty() {
+            println!("{id:<40} (no measurement: Bencher::iter never called)");
+        } else {
+            let best = b.ns_per_iter[0];
+            let mid = b.ns_per_iter[b.ns_per_iter.len() / 2];
+            let mean = b.ns_per_iter.iter().sum::<f64>() / b.ns_per_iter.len() as f64;
+            println!(
+                "{id:<40} best {:>12} median {:>12} mean {:>12}",
+                fmt_ns(best),
+                fmt_ns(mid),
+                fmt_ns(mean)
+            );
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! stub derive macros so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile exactly as they would
+//! against the real crate. No serialisation format is implemented — the
+//! workspace currently treats serde derives as a forward-compatible data
+//! contract (see `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+
+/// Marker counterpart of `serde::Serialize` (no-op in the offline stub).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (no-op in the offline stub).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

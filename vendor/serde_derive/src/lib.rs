@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, so this proc-macro crate
+//! accepts `#[derive(Serialize, Deserialize)]` (including `#[serde(...)]`
+//! helper attributes) and expands to nothing. No code in this workspace
+//! serialises at runtime yet; when a real serialisation backend lands,
+//! swap this vendored crate for the published one — the source-level
+//! derive syntax is already the real thing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
