@@ -10,10 +10,11 @@ use qic_physics::error::ErrorRates;
 
 use qic_purify::analysis::figure8_series;
 use qic_purify::protocol::{Protocol, RoundNoise};
+use qic_sweep::{Axis, Campaign, CampaignReport, Metrics, ParamSpace};
 
 use crate::chain::chained_error_series;
 use crate::plan::ChannelModel;
-use crate::strategy::Placement;
+use crate::strategy::PurifyPlacement;
 
 /// One labelled data series.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -87,53 +88,123 @@ pub fn figure9(rates: &ErrorRates, max_hops: u32) -> Vec<Series> {
 /// mirroring the paper's axes (Figure 10/11 top out at 1e8).
 pub const PAIR_COUNT_CAP: f64 = 1e12;
 
-fn placement_series(
-    model: &ChannelModel,
-    distances: impl Iterator<Item = u32> + Clone,
-    total: bool,
-) -> Vec<Series> {
-    Placement::FIGURE_SET
+/// The placement axis shared by the Figure 10–12 campaigns: one
+/// categorical value per [`PurifyPlacement::FIGURE_SET`] entry, labelled
+/// with the paper's legend strings. Point coordinate 0 indexes back into
+/// `FIGURE_SET`.
+fn placement_axis() -> Axis {
+    Axis::labels(
+        "placement",
+        PurifyPlacement::FIGURE_SET
+            .iter()
+            .map(PurifyPlacement::legend),
+    )
+}
+
+/// Unpacks a placement × x-axis campaign (as produced by
+/// [`figure10_campaign`], [`figure11_campaign`] or [`figure12_campaign`])
+/// into one [`Series`] per placement, in `FIGURE_SET` order, reading the
+/// `metric` means.
+///
+/// # Panics
+///
+/// Panics if the report's first axis is not the placement axis those
+/// campaigns sweep.
+pub fn placement_series_of(report: &CampaignReport, metric: &str) -> Vec<Series> {
+    assert!(
+        report.axes.len() == 2 && report.axes[0] == placement_axis(),
+        "campaign {:?} does not sweep placement × x",
+        report.name
+    );
+    let n_x = report.axes[1].len();
+    PurifyPlacement::FIGURE_SET
         .iter()
-        .map(|&placement| {
-            let m = model.clone().with_placement(placement);
-            let points = distances
-                .clone()
-                .map(|hops| {
-                    let y = match m.plan(hops) {
-                        Ok(plan) => {
-                            let v = if total {
-                                plan.total_pairs
-                            } else {
-                                plan.teleported_pairs
-                            };
-                            if v > PAIR_COUNT_CAP {
-                                f64::INFINITY
-                            } else {
-                                v
-                            }
-                        }
-                        Err(_) => f64::INFINITY,
-                    };
-                    (f64::from(hops), y)
+        .enumerate()
+        .map(|(pi, placement)| Series {
+            label: placement.legend(),
+            points: (0..n_x)
+                .map(|xi| {
+                    let point = &report.points[pi * n_x + xi];
+                    let x = point
+                        .param(report.axes[1].name())
+                        .as_f64()
+                        .expect("x axes are numeric");
+                    (x, point.mean(metric).expect("metric reported"))
                 })
-                .collect();
-            Series {
-                label: placement.legend(),
-                points,
-            }
+                .collect(),
         })
         .collect()
+}
+
+fn pairs_campaign(model: &ChannelModel, max_hops: u32, total: bool) -> CampaignReport {
+    let space = ParamSpace::new().axis(placement_axis()).axis(Axis::ints(
+        "hops",
+        (10..=max_hops).step_by(2).map(i64::from),
+    ));
+    let name = if total { "figure10" } else { "figure11" };
+    Campaign::new(name, space).run(|point, _ctx| {
+        let placement = PurifyPlacement::FIGURE_SET[point.coord(0)];
+        let m = model.clone().with_placement(placement);
+        let y = match m.plan(point.u32("hops")) {
+            Ok(plan) => {
+                let v = if total {
+                    plan.total_pairs
+                } else {
+                    plan.teleported_pairs
+                };
+                if v > PAIR_COUNT_CAP {
+                    f64::INFINITY
+                } else {
+                    v
+                }
+            }
+            Err(_) => f64::INFINITY,
+        };
+        Metrics::new().with("pairs", y)
+    })
+}
+
+/// The Figure 10 sweep as a campaign: placement × distance, total EPR
+/// pairs per point (capped at [`PAIR_COUNT_CAP`], infeasible = `∞`).
+pub fn figure10_campaign(model: &ChannelModel, max_hops: u32) -> CampaignReport {
+    pairs_campaign(model, max_hops, true)
+}
+
+/// The Figure 11 sweep as a campaign: placement × distance, teleported
+/// EPR pairs per point.
+pub fn figure11_campaign(model: &ChannelModel, max_hops: u32) -> CampaignReport {
+    pairs_campaign(model, max_hops, false)
 }
 
 /// **Figure 10**: total EPR pairs consumed vs distance (10–60 teleports)
 /// for the five purification placements.
 pub fn figure10(model: &ChannelModel, max_hops: u32) -> Vec<Series> {
-    placement_series(model, (10..=max_hops).step_by(2), true)
+    placement_series_of(&figure10_campaign(model, max_hops), "pairs")
 }
 
 /// **Figure 11**: EPR pairs teleported vs distance for the same placements.
 pub fn figure11(model: &ChannelModel, max_hops: u32) -> Vec<Series> {
-    placement_series(model, (10..=max_hops).step_by(2), false)
+    placement_series_of(&figure11_campaign(model, max_hops), "pairs")
+}
+
+/// The Figure 12 sweep as a campaign: placement × log-spaced uniform
+/// error rate at a fixed distance, teleported EPR pairs per point.
+pub fn figure12_campaign(hops: u32, points_per_decade: u32) -> CampaignReport {
+    let base = ChannelModel::ion_trap();
+    let space = ParamSpace::new()
+        .axis(placement_axis())
+        .axis(Axis::log_spaced("error_rate", -9, -4, points_per_decade));
+    Campaign::new("figure12", space).run(|point, _ctx| {
+        let placement = PurifyPlacement::FIGURE_SET[point.coord(0)];
+        let p = point.f64("error_rate");
+        let rates = ErrorRates::uniform(p).expect("sweep values are probabilities");
+        let m = base.clone().with_rates(rates).with_placement(placement);
+        let y = match m.plan(hops) {
+            Ok(plan) if plan.teleported_pairs <= PAIR_COUNT_CAP => plan.teleported_pairs,
+            _ => f64::INFINITY,
+        };
+        Metrics::new().with("pairs", y)
+    })
 }
 
 /// **Figure 12**: EPR pairs teleported vs uniform operation error rate
@@ -141,32 +212,7 @@ pub fn figure11(model: &ChannelModel, max_hops: u32) -> Vec<Series> {
 /// where purification stops reaching the threshold. A 16-hop channel keeps
 /// the nested schemes inside the paper's 1e12 axis at low error rates.
 pub fn figure12(hops: u32, points_per_decade: u32) -> Vec<Series> {
-    let base = ChannelModel::ion_trap();
-    Placement::FIGURE_SET
-        .iter()
-        .map(|&placement| {
-            let mut pts = Vec::new();
-            let total = 5 * points_per_decade + 1;
-            for i in 0..=total {
-                let exp = -9.0 + f64::from(i) / f64::from(points_per_decade);
-                let p = 10f64.powf(exp);
-                if p > 1e-4 {
-                    break;
-                }
-                let rates = ErrorRates::uniform(p).expect("sweep values are probabilities");
-                let m = base.clone().with_rates(rates).with_placement(placement);
-                let y = match m.plan(hops) {
-                    Ok(plan) if plan.teleported_pairs <= PAIR_COUNT_CAP => plan.teleported_pairs,
-                    _ => f64::INFINITY,
-                };
-                pts.push((p, y));
-            }
-            Series {
-                label: placement.legend(),
-                points: pts,
-            }
-        })
-        .collect()
+    placement_series_of(&figure12_campaign(hops, points_per_decade), "pairs")
 }
 
 #[cfg(test)]
@@ -311,6 +357,17 @@ mod tests {
         let spread = finite.iter().cloned().fold(f64::MIN, f64::max)
             / finite.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread < 1000.0, "spread {spread}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not sweep placement")]
+    fn series_of_rejects_foreign_campaigns() {
+        let space = ParamSpace::new()
+            .axis(Axis::ints("a", [1, 2]))
+            .axis(Axis::ints("b", [1, 2]));
+        let report =
+            Campaign::new("not-a-figure", space).run(|_, _| Metrics::new().with("pairs", 1.0));
+        let _ = placement_series_of(&report, "pairs");
     }
 
     #[test]

@@ -49,8 +49,10 @@ pub mod prelude {
     pub use crate::figures;
     pub use crate::link::{link_cost, link_state, LinkSpec};
     pub use crate::plan::{ChannelError, ChannelModel, ChannelPlan};
-    pub use crate::strategy::Placement;
+    pub use crate::strategy::PurifyPlacement;
 }
 
 pub use plan::{ChannelError, ChannelModel, ChannelPlan};
+#[allow(deprecated)]
 pub use strategy::Placement;
+pub use strategy::PurifyPlacement;

@@ -33,7 +33,7 @@ use qic_purify::analysis;
 use qic_purify::protocol::{Protocol, RoundNoise};
 
 use crate::link::{self, LinkSpec};
-use crate::strategy::Placement;
+use crate::strategy::PurifyPlacement;
 
 /// Errors from channel planning.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,10 +111,10 @@ impl ChannelPlan {
 ///
 /// ```
 /// use qic_analytic::plan::ChannelModel;
-/// use qic_analytic::strategy::Placement;
+/// use qic_analytic::strategy::PurifyPlacement;
 ///
 /// let endpoints_only = ChannelModel::ion_trap();
-/// let virtual_wire = endpoints_only.clone().with_placement(Placement::VirtualWire { rounds: 1 });
+/// let virtual_wire = endpoints_only.clone().with_placement(PurifyPlacement::VirtualWire { rounds: 1 });
 /// let a = endpoints_only.plan(40)?;
 /// let b = virtual_wire.plan(40)?;
 /// // Virtual-wire purification reduces strain on the teleporters…
@@ -128,7 +128,7 @@ pub struct ChannelModel {
     rates: ErrorRates,
     times: OpTimes,
     protocol: Protocol,
-    placement: Placement,
+    placement: PurifyPlacement,
     hop_cells: u64,
     target_error: f64,
     max_endpoint_rounds: u32,
@@ -142,7 +142,7 @@ impl ChannelModel {
             rates: ErrorRates::ion_trap(),
             times: OpTimes::ion_trap(),
             protocol: Protocol::Dejmps,
-            placement: Placement::EndpointsOnly,
+            placement: PurifyPlacement::EndpointsOnly,
             hop_cells: qic_physics::constants::DEFAULT_HOP_CELLS,
             target_error: THRESHOLD_ERROR,
             max_endpoint_rounds: 25,
@@ -168,7 +168,7 @@ impl ChannelModel {
     }
 
     /// Replaces the purification placement.
-    pub fn with_placement(mut self, placement: Placement) -> Self {
+    pub fn with_placement(mut self, placement: PurifyPlacement) -> Self {
         self.placement = placement;
         self
     }
@@ -196,7 +196,7 @@ impl ChannelModel {
     }
 
     /// The configured placement.
-    pub fn placement(&self) -> Placement {
+    pub fn placement(&self) -> PurifyPlacement {
         self.placement
     }
 
@@ -364,13 +364,13 @@ mod tests {
             let only = base.clone().plan(hops).unwrap().total_pairs;
             let once = base
                 .clone()
-                .with_placement(Placement::VirtualWire { rounds: 1 })
+                .with_placement(PurifyPlacement::VirtualWire { rounds: 1 })
                 .plan(hops)
                 .unwrap()
                 .total_pairs;
             let twice = base
                 .clone()
-                .with_placement(Placement::VirtualWire { rounds: 2 })
+                .with_placement(PurifyPlacement::VirtualWire { rounds: 2 })
                 .plan(hops)
                 .unwrap()
                 .total_pairs;
@@ -388,13 +388,13 @@ mod tests {
             let only = base.clone().plan(hops).unwrap().teleported_pairs;
             let once = base
                 .clone()
-                .with_placement(Placement::VirtualWire { rounds: 1 })
+                .with_placement(PurifyPlacement::VirtualWire { rounds: 1 })
                 .plan(hops)
                 .unwrap()
                 .teleported_pairs;
             let twice = base
                 .clone()
-                .with_placement(Placement::VirtualWire { rounds: 2 })
+                .with_placement(PurifyPlacement::VirtualWire { rounds: 2 })
                 .plan(hops)
                 .unwrap()
                 .teleported_pairs;
@@ -408,7 +408,7 @@ mod tests {
         let base = ChannelModel::ion_trap();
         let nested = base
             .clone()
-            .with_placement(Placement::BetweenTeleports { rounds: 1 });
+            .with_placement(PurifyPlacement::BetweenTeleports { rounds: 1 });
         let p20 = nested.plan(20).unwrap();
         let p30 = nested.plan(30).unwrap();
         // Each extra hop multiplies cost by ≥ 2.
@@ -478,7 +478,7 @@ mod tests {
             .with_rates(ErrorRates::ion_trap());
         assert_eq!(m.protocol(), Protocol::Bbpssw);
         assert_eq!(m.target_error(), 1e-4);
-        assert_eq!(m.placement(), Placement::EndpointsOnly);
+        assert_eq!(m.placement(), PurifyPlacement::EndpointsOnly);
         let plan = m.plan(10).unwrap();
         assert!(plan.final_state.error() <= 1e-4);
     }

@@ -21,8 +21,11 @@ use serde::{Deserialize, Serialize};
 
 /// Where purification happens along a channel, beyond the always-present
 /// endpoint purification.
+///
+/// (Formerly `Placement`; renamed so it no longer collides with the
+/// qubit-to-site `qic_core::layout::Placement`.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Placement {
+pub enum PurifyPlacement {
     /// Purify only at the endpoints ("DEJMPS protocol only at end").
     EndpointsOnly,
     /// Purify the virtual-wire link pairs `rounds` times before they are
@@ -39,21 +42,21 @@ pub enum Placement {
     },
 }
 
-impl Placement {
+impl PurifyPlacement {
     /// The five configurations plotted by Figures 10–12, in the legends'
     /// order.
-    pub const FIGURE_SET: [Placement; 5] = [
-        Placement::BetweenTeleports { rounds: 2 },
-        Placement::BetweenTeleports { rounds: 1 },
-        Placement::VirtualWire { rounds: 2 },
-        Placement::VirtualWire { rounds: 1 },
-        Placement::EndpointsOnly,
+    pub const FIGURE_SET: [PurifyPlacement; 5] = [
+        PurifyPlacement::BetweenTeleports { rounds: 2 },
+        PurifyPlacement::BetweenTeleports { rounds: 1 },
+        PurifyPlacement::VirtualWire { rounds: 2 },
+        PurifyPlacement::VirtualWire { rounds: 1 },
+        PurifyPlacement::EndpointsOnly,
     ];
 
     /// Virtual-wire rounds implied by this placement.
     pub fn virtual_wire_rounds(&self) -> u32 {
         match self {
-            Placement::VirtualWire { rounds } => *rounds,
+            PurifyPlacement::VirtualWire { rounds } => *rounds,
             _ => 0,
         }
     }
@@ -61,7 +64,7 @@ impl Placement {
     /// Per-hop rounds applied to the traveling pair.
     pub fn between_rounds(&self) -> u32 {
         match self {
-            Placement::BetweenTeleports { rounds } => *rounds,
+            PurifyPlacement::BetweenTeleports { rounds } => *rounds,
             _ => 0,
         }
     }
@@ -69,32 +72,36 @@ impl Placement {
     /// The label used in the paper's figure legends.
     pub fn legend(&self) -> String {
         match self {
-            Placement::EndpointsOnly => "DEJMPS protocol only at end".to_string(),
-            Placement::VirtualWire { rounds: 1 } => {
+            PurifyPlacement::EndpointsOnly => "DEJMPS protocol only at end".to_string(),
+            PurifyPlacement::VirtualWire { rounds: 1 } => {
                 "DEJMPS protocol once before teleport".to_string()
             }
-            Placement::VirtualWire { rounds } => {
+            PurifyPlacement::VirtualWire { rounds } => {
                 format!("DEJMPS protocol {}x before teleport", rounds)
             }
-            Placement::BetweenTeleports { rounds: 1 } => {
+            PurifyPlacement::BetweenTeleports { rounds: 1 } => {
                 "DEJMPS protocol once after each teleport".to_string()
             }
-            Placement::BetweenTeleports { rounds } => {
+            PurifyPlacement::BetweenTeleports { rounds } => {
                 format!("DEJMPS protocol {}x after each teleport", rounds)
             }
         }
     }
 }
 
-impl Default for Placement {
+/// Deprecated name of [`PurifyPlacement`], kept for downstream code.
+#[deprecated(since = "0.1.0", note = "renamed to `PurifyPlacement`")]
+pub type Placement = PurifyPlacement;
+
+impl Default for PurifyPlacement {
     /// The paper's recommendation is virtual-wire + endpoint purification;
     /// one virtual-wire round is the default channel configuration.
     fn default() -> Self {
-        Placement::VirtualWire { rounds: 1 }
+        PurifyPlacement::VirtualWire { rounds: 1 }
     }
 }
 
-impl fmt::Display for Placement {
+impl fmt::Display for PurifyPlacement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.legend())
     }
@@ -105,8 +112,15 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_alias_still_resolves() {
+        let p: Placement = PurifyPlacement::EndpointsOnly;
+        assert_eq!(p, PurifyPlacement::EndpointsOnly);
+    }
+
+    #[test]
     fn figure_set_has_five_unique_entries() {
-        let set = Placement::FIGURE_SET;
+        let set = PurifyPlacement::FIGURE_SET;
         assert_eq!(set.len(), 5);
         for (i, a) in set.iter().enumerate() {
             for b in &set[i + 1..] {
@@ -117,14 +131,17 @@ mod tests {
 
     #[test]
     fn accessors() {
-        assert_eq!(Placement::EndpointsOnly.virtual_wire_rounds(), 0);
+        assert_eq!(PurifyPlacement::EndpointsOnly.virtual_wire_rounds(), 0);
         assert_eq!(
-            Placement::VirtualWire { rounds: 2 }.virtual_wire_rounds(),
+            PurifyPlacement::VirtualWire { rounds: 2 }.virtual_wire_rounds(),
             2
         );
-        assert_eq!(Placement::VirtualWire { rounds: 2 }.between_rounds(), 0);
         assert_eq!(
-            Placement::BetweenTeleports { rounds: 1 }.between_rounds(),
+            PurifyPlacement::VirtualWire { rounds: 2 }.between_rounds(),
+            0
+        );
+        assert_eq!(
+            PurifyPlacement::BetweenTeleports { rounds: 1 }.between_rounds(),
             1
         );
     }
@@ -132,17 +149,20 @@ mod tests {
     #[test]
     fn legends_match_paper() {
         assert_eq!(
-            Placement::EndpointsOnly.legend(),
+            PurifyPlacement::EndpointsOnly.legend(),
             "DEJMPS protocol only at end"
         );
         assert_eq!(
-            Placement::VirtualWire { rounds: 1 }.legend(),
+            PurifyPlacement::VirtualWire { rounds: 1 }.legend(),
             "DEJMPS protocol once before teleport"
         );
         assert_eq!(
-            Placement::BetweenTeleports { rounds: 2 }.legend(),
+            PurifyPlacement::BetweenTeleports { rounds: 2 }.legend(),
             "DEJMPS protocol 2x after each teleport"
         );
-        assert_eq!(Placement::default(), Placement::VirtualWire { rounds: 1 });
+        assert_eq!(
+            PurifyPlacement::default(),
+            PurifyPlacement::VirtualWire { rounds: 1 }
+        );
     }
 }

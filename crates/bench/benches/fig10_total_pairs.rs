@@ -1,9 +1,10 @@
 //! Figure 10: total EPR pairs consumed vs distance, for the five
-//! purification placements.
+//! purification placements — a `qic-sweep` campaign over
+//! placement × distance.
 
 use qic_analytic::figures;
 use qic_analytic::plan::ChannelModel;
-use qic_bench::{header, print_series, verdict};
+use qic_bench::{campaign_line, header, print_series, verdict};
 
 fn main() {
     header(
@@ -11,7 +12,9 @@ fn main() {
         "Total EPR pairs used per data communication vs distance (teleport hops)",
         "endpoints-only uses fewest total pairs; after-each-teleport is exponential (off-chart)",
     );
-    let series = figures::figure10(&ChannelModel::ion_trap(), 60);
+    let campaign = figures::figure10_campaign(&ChannelModel::ion_trap(), 60);
+    campaign_line(&campaign);
+    let series = figures::placement_series_of(&campaign, "pairs");
     for s in &series {
         let thin: Vec<(f64, f64)> = s
             .points

@@ -1,8 +1,9 @@
 //! Figure 12: EPR pairs teleported vs uniform operation error rate; all
-//! placements break down near 1e-5.
+//! placements break down near 1e-5 — a `qic-sweep` campaign over
+//! placement × log-spaced error rate.
 
 use qic_analytic::figures;
-use qic_bench::{header, print_series, verdict};
+use qic_bench::{campaign_line, header, print_series, verdict};
 
 fn main() {
     header(
@@ -10,7 +11,9 @@ fn main() {
         "Teleported EPR pairs to stay within threshold vs uniform op error rate",
         "all curves end abruptly near error 1e-5 where purification stops reaching threshold",
     );
-    let series = figures::figure12(16, 4);
+    let campaign = figures::figure12_campaign(16, 4);
+    campaign_line(&campaign);
+    let series = figures::placement_series_of(&campaign, "pairs");
     for s in &series {
         print_series(&s.label, &s.points);
     }

@@ -1,12 +1,13 @@
 //! Figure 16: QFT benchmark execution vs resource allocation, Home-Base
-//! and Mobile-Qubit layouts.
+//! and Mobile-Qubit layouts — a `qic-sweep` campaign over ratio × layout
+//! (points run on the campaign worker pool).
 //!
 //! Runs at reduced scale (QFT-64 on 8x8, level-1 code) by default;
 //! set `QIC_FULL=1` for the paper's QFT-256 on 16x16 with 392 pairs per
 //! communication (minutes of wall-clock time).
 
-use qic_bench::{full_scale, header};
-use qic_core::experiment::{figure16, Fig16Scale};
+use qic_bench::{campaign_line, full_scale, header};
+use qic_core::experiment::{figure16_campaign, figure16_from_campaign, Fig16Scale};
 
 fn main() {
     let scale = if full_scale() {
@@ -20,7 +21,9 @@ fn main() {
         "Home Base tolerates sacrificing purifiers for teleporters; Mobile suffers at t=g=8p",
     );
     println!("scale: {scale:?} (set QIC_FULL=1 for paper scale)\n");
-    let result = figure16(scale);
+    let campaign = figure16_campaign(scale);
+    campaign_line(&campaign);
+    let result = figure16_from_campaign(scale, &campaign);
     println!(
         "baseline makespans (t=g=p=1024): Home Base {:.1} ms, Mobile {:.1} ms\n",
         result.baseline_us[0] / 1e3,
@@ -36,6 +39,24 @@ fn main() {
             p.label, p.t, p.g, p.p, p.home_base, p.mobile
         );
     }
+
+    // The campaign also carries tail latency per point (satellite data
+    // the hand-rolled sweep never exposed).
+    println!(
+        "\n{:<10} {:<12} {:>14} {:>14} {:>14}",
+        "config", "layout", "p50 (µs)", "p95 (µs)", "p99 (µs)"
+    );
+    for point in &campaign.points {
+        println!(
+            "{:<10} {:<12} {:>14.1} {:>14.1} {:>14.1}",
+            format!("ratio={}", point.param("ratio")),
+            point.param("layout").to_string(),
+            point.mean("latency_p50_us").unwrap_or(f64::NAN),
+            point.mean("latency_p95_us").unwrap_or(f64::NAN),
+            point.mean("latency_p99_us").unwrap_or(f64::NAN),
+        );
+    }
+
     let r4 = result
         .points
         .iter()

@@ -29,6 +29,25 @@ pub fn print_series(label: &str, points: &[(f64, f64)]) {
     }
 }
 
+/// Prints the one-line identity of a `qic-sweep` campaign: its name,
+/// axes and point count.
+pub fn campaign_line(report: &qic_sweep::CampaignReport) {
+    let axes = report
+        .axes
+        .iter()
+        .map(|a| format!("{}[{}]", a.name(), a.len()))
+        .collect::<Vec<_>>()
+        .join(" × ");
+    println!(
+        "campaign: {} ({} = {} points, {} replicate(s), seed {})",
+        report.name,
+        axes,
+        report.points.len(),
+        report.replicates,
+        report.seed
+    );
+}
+
 /// Prints a one-line verdict comparing a measured value to the paper's.
 pub fn verdict(what: &str, paper: f64, measured: f64, tolerance_factor: f64) {
     let ratio = if paper != 0.0 {

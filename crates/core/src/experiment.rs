@@ -13,6 +13,7 @@
 use serde::{Deserialize, Serialize};
 
 use qic_net::config::NetConfig;
+use qic_sweep::{Axis, Campaign, CampaignReport, ParamSpace};
 use qic_workload::Program;
 
 use crate::layout::Layout;
@@ -94,40 +95,103 @@ pub struct Fig16Result {
     pub points: Vec<Fig16Point>,
 }
 
-fn run_one(net: &NetConfig, layout: Layout, qft: &Program, t: u32, g: u32, p: u32) -> f64 {
-    let mut b = Machine::builder();
-    b.net_config(net.clone().with_resources(t, g, p))
-        .layout(layout);
-    let machine = b.build().expect("sweep configs validate");
-    machine.run(qft).makespan.as_us_f64()
+/// The `t:p` ratios of the Figure 16 x-axis; `0` encodes the unlimited
+/// `t = g = p = 1024` baseline point.
+const RATIOS: [i64; 5] = [0, 1, 2, 4, 8];
+
+/// Resolves a ratio axis value into the `(t, g, p)` resource knobs:
+/// `t = g = ratio·p` with `t + g + p ≈ area`, or the unlimited baseline
+/// for ratio 0.
+fn resources_for(ratio: i64, area: u32) -> (u32, u32, u32) {
+    if ratio == 0 {
+        return (1024, 1024, 1024);
+    }
+    let ratio = ratio as u32;
+    let p = (area / (2 * ratio + 1)).max(1);
+    let t = (ratio * p).max(2);
+    (t, t, p)
+}
+
+/// The Figure 16 sweep as a campaign: ratio × layout, one QFT run per
+/// point, the full [`qic_net::report::NetReport`] metric set per point.
+///
+/// Points are evaluated on the campaign worker pool (the baseline runs
+/// are the slowest points, so they no longer serialise the sweep);
+/// results are deterministic for any worker count.
+pub fn figure16_campaign(scale: Fig16Scale) -> CampaignReport {
+    let net = scale.net();
+    let qft = Program::qft(scale.qft_size());
+    let area = scale.area();
+    let space = ParamSpace::new()
+        .axis(Axis::ints("ratio", RATIOS))
+        .axis(Axis::labels("layout", Layout::ALL.map(|l| l.to_string())));
+    // The scale is baked into the campaign name so a report can never be
+    // silently unpacked against a different scale's baseline.
+    Campaign::new(format!("figure16:{scale:?}"), space)
+        .seed(net.seed)
+        .run(|point, ctx| {
+            let (t, g, p) = resources_for(point.i64("ratio"), area);
+            let layout = Layout::ALL[point.coord(1)];
+            let mut b = Machine::builder();
+            // Derived per-point seeds follow the engine's replication
+            // contract; they cannot shift the figure's numbers because
+            // the net RNG only draws classical correction bits, which
+            // never affect simulated timing (makespans are bit-identical
+            // for any seed).
+            b.net_config(net.clone().with_resources(t, g, p))
+                .layout(layout)
+                .seed(ctx.seed);
+            let machine = b.build().expect("sweep configs validate");
+            machine.run(&qft).net.metrics()
+        })
 }
 
 /// Runs the Figure 16 sweep at a given scale.
 pub fn figure16(scale: Fig16Scale) -> Fig16Result {
-    let net = scale.net();
-    let qft = Program::qft(scale.qft_size());
-    let baseline = [
-        run_one(&net, Layout::HomeBase, &qft, 1024, 1024, 1024),
-        run_one(&net, Layout::MobileQubit, &qft, 1024, 1024, 1024),
-    ];
+    figure16_from_campaign(scale, &figure16_campaign(scale))
+}
+
+/// Extracts the paper's normalized Figure 16 dataset from an
+/// already-run campaign (see [`figure16_campaign`]).
+///
+/// # Panics
+///
+/// Panics if `report` is not a Figure 16 campaign run at `scale`
+/// (campaign name or shape mismatch).
+pub fn figure16_from_campaign(scale: Fig16Scale, report: &CampaignReport) -> Fig16Result {
+    let n_layouts = Layout::ALL.len();
+    assert_eq!(
+        report.name,
+        format!("figure16:{scale:?}"),
+        "not a Figure 16 campaign for this scale"
+    );
+    assert_eq!(
+        report.points.len(),
+        RATIOS.len() * n_layouts,
+        "campaign shape mismatch"
+    );
+    let makespan = |ratio_idx: usize, layout_idx: usize| {
+        report
+            .mean_at(ratio_idx * n_layouts + layout_idx, "makespan_us")
+            .expect("every point reports a makespan")
+    };
+    let baseline = [makespan(0, 0), makespan(0, 1)];
     let area = scale.area();
-    let mut points = Vec::new();
-    for ratio in [1u32, 2, 4, 8] {
-        // t = g = ratio·p with t + g + p ≈ area.
-        let p = (area / (2 * ratio + 1)).max(1);
-        let t = (ratio * p).max(2);
-        let g = t;
-        let hb = run_one(&net, Layout::HomeBase, &qft, t, g, p);
-        let mb = run_one(&net, Layout::MobileQubit, &qft, t, g, p);
-        points.push(Fig16Point {
-            label: format!("t=g={}p", ratio),
-            t,
-            g,
-            p,
-            home_base: hb / baseline[0],
-            mobile: mb / baseline[1],
-        });
-    }
+    let points = RATIOS[1..]
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| {
+            let (t, g, p) = resources_for(ratio, area);
+            Fig16Point {
+                label: format!("t=g={}p", ratio),
+                t,
+                g,
+                p,
+                home_base: makespan(i + 1, 0) / baseline[0],
+                mobile: makespan(i + 1, 1) / baseline[1],
+            }
+        })
+        .collect();
     Fig16Result {
         scale,
         baseline_us: baseline,
@@ -138,6 +202,28 @@ pub fn figure16(scale: Fig16Scale) -> Fig16Result {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn campaign_shape_and_metrics() {
+        let report = figure16_campaign(Fig16Scale::Tiny);
+        assert_eq!(report.name, "figure16:Tiny");
+        assert_eq!(report.points.len(), RATIOS.len() * Layout::ALL.len());
+        for p in &report.points {
+            assert!(p.mean("makespan_us").unwrap() > 0.0);
+            assert!(p.mean("comms_completed").unwrap() > 0.0);
+            assert!(p.mean("latency_p95_us").unwrap() >= p.mean("latency_p50_us").unwrap());
+        }
+        let csv = report.to_csv();
+        assert!(csv.starts_with("index,ratio,layout,makespan_us.mean"));
+        assert_eq!(csv.lines().count(), report.points.len() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Figure 16 campaign for this scale")]
+    fn mismatched_scale_is_rejected() {
+        let report = figure16_campaign(Fig16Scale::Tiny);
+        let _ = figure16_from_campaign(Fig16Scale::Reduced, &report);
+    }
 
     #[test]
     fn tiny_sweep_shape() {

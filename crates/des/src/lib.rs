@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -47,9 +48,10 @@ pub mod time;
 
 /// Convenient glob-import surface: `use qic_des::prelude::*;`.
 pub mod prelude {
+    pub use crate::metrics::Metrics;
     pub use crate::queue::EventQueue;
     pub use crate::rng::SimRng;
-    pub use crate::stats::{Counter, LogHistogram, Tally, TimeWeighted, Utilization};
+    pub use crate::stats::{Counter, LogHistogram, Percentiles, Tally, TimeWeighted, Utilization};
     pub use crate::time::SimTime;
 }
 

@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 
 use qic_des::queue::EventQueue;
 use qic_des::rng::SimRng;
-use qic_des::stats::Tally;
+use qic_des::stats::{Percentiles, Tally};
 use qic_des::time::SimTime;
 use qic_physics::time::Duration;
 
@@ -219,6 +219,9 @@ struct World {
     storage_stalls: u64,
     comms_completed: u64,
     comm_latency_us: Tally,
+    /// Raw per-communication latencies (µs), kept for exact
+    /// end-of-run percentiles.
+    latency_samples: Vec<f64>,
 }
 
 /// The driver-facing API: submit communications, read the clock.
@@ -321,6 +324,7 @@ impl World {
             storage_stalls: 0,
             comms_completed: 0,
             comm_latency_us: Tally::new(),
+            latency_samples: Vec::new(),
         }
     }
 
@@ -637,8 +641,9 @@ impl World {
                 };
                 self.live_comms -= 1;
                 self.comms_completed += 1;
-                self.comm_latency_us
-                    .record_duration(done.completed_at.since(done.issued_at));
+                let latency = done.completed_at.since(done.issued_at);
+                self.comm_latency_us.record_duration(latency);
+                self.latency_samples.push(latency.as_us_f64());
                 driver.on_complete(done, &mut SimApi { world: self });
             }
             Event::Submit { src, dst, tag } => {
@@ -746,6 +751,7 @@ impl World {
             wire_stalls: self.wire_stalls,
             storage_stalls: self.storage_stalls,
             comm_latency_us: self.comm_latency_us,
+            latency_percentiles: Percentiles::from_samples(&self.latency_samples),
             teleporter_utilization: tele_util,
             purifier_utilization: puri_util,
             events: self.queue.events_processed(),
@@ -853,6 +859,24 @@ mod tests {
         assert_eq!(report.comms_completed, 1);
         assert_eq!(report.teleport_ops, 0);
         assert_eq!(report.purify_ops, 0);
+    }
+
+    #[test]
+    fn latency_percentiles_populated_and_ordered() {
+        let mut driver = BatchDriver::new(vec![
+            (Coord::new(0, 0), Coord::new(3, 3)),
+            (Coord::new(3, 0), Coord::new(0, 3)),
+            (Coord::new(1, 1), Coord::new(2, 2)),
+            (Coord::new(0, 2), Coord::new(3, 1)),
+        ]);
+        let report = NetworkSim::new(cfg()).run(&mut driver);
+        let p = report.latency_percentiles.expect("comms completed");
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99, "{p:?}");
+        // Percentiles are actual samples, so they sit inside the tally's
+        // observed range.
+        assert!(p.p50 >= report.comm_latency_us.min().unwrap());
+        assert!(p.p99 <= report.comm_latency_us.max().unwrap());
+        assert!(report.latency_p95().unwrap() >= report.latency_p50().unwrap());
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! The multi-threaded task executor behind [`Campaign::run`].
+//!
+//! Work distribution is a single shared atomic cursor: each worker
+//! repeatedly claims the next unclaimed task index and evaluates it, so
+//! stragglers never idle the pool (work stealing without queues —
+//! cheap, fair, and contention-free for simulator-sized tasks).
+//! Finished results stream back to the caller over a channel tagged
+//! with their task index, so aggregation order never depends on thread
+//! scheduling.
+//!
+//! [`Campaign::run`]: crate::campaign::Campaign::run
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Flags the shared cancel latch when its worker unwinds, so the other
+/// workers stop claiming tasks instead of draining the whole campaign
+/// before the panic can propagate.
+struct CancelOnPanic<'a>(&'a AtomicBool);
+
+impl Drop for CancelOnPanic<'_> {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Evaluates `tasks` task indices on `workers` threads, streaming each
+/// `(index, result)` into `sink` as it completes.
+///
+/// The task function runs once per index in `0..tasks`; which thread
+/// runs which index is scheduling-dependent, but `sink` receives every
+/// index exactly once, so an index-addressed collection is
+/// deterministic. A panicking task cancels the pool — the other
+/// workers finish only their in-flight task, claim nothing further —
+/// and then propagates to the caller.
+pub fn run_indexed<R, F, S>(tasks: usize, workers: usize, task: F, mut sink: S)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    S: FnMut(usize, R),
+{
+    let workers = workers.clamp(1, tasks.max(1));
+    let cursor = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let cancelled = &cancelled;
+                let task = &task;
+                scope.spawn(move || {
+                    let guard = CancelOnPanic(cancelled);
+                    loop {
+                        if cancelled.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        // A closed channel means the receiver is gone
+                        // (caller unwinding); stop claiming work.
+                        if tx.send((i, task(i))).is_err() {
+                            break;
+                        }
+                    }
+                    drop(guard);
+                })
+            })
+            .collect();
+        drop(tx);
+        // Streams until every worker has dropped its sender.
+        while let Ok((i, r)) = rx.recv() {
+            sink(i, r);
+        }
+        // Join explicitly so a worker's panic payload (not the scope's
+        // generic "a scoped thread panicked") reaches the caller.
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+/// Like [`run_indexed`], but collects results into a `Vec` ordered by
+/// task index.
+pub fn collect_indexed<R, F>(tasks: usize, workers: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(tasks, || None);
+    run_indexed(tasks, workers, task, |i, r| slots[i] = Some(r));
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index reported exactly once"))
+        .collect()
+}
+
+/// Worker count to use when a campaign does not pin one: the machine's
+/// available parallelism, capped at 8 (simulator tasks are CPU-bound;
+/// more threads only add scheduling noise).
+pub fn default_workers() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_once() {
+        for workers in [1, 2, 4, 7] {
+            let got = collect_indexed(23, workers, |i| i * i);
+            let want: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let got: Vec<u32> = collect_indexed(0, 4, |_| unreachable!());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        // More workers than tasks must not deadlock or skip work.
+        let got = collect_indexed(3, 64, |i| i);
+        assert_eq!(got, vec![0, 1, 2]);
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn streams_tagged_results() {
+        let mut seen = [false; 50];
+        run_indexed(
+            50,
+            4,
+            |i| i,
+            |i, r| {
+                assert_eq!(i, r);
+                assert!(!seen[i], "index {i} delivered twice");
+                seen[i] = true;
+            },
+        );
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "task 3 exploded")]
+    fn worker_panic_propagates() {
+        let _ = collect_indexed(8, 2, |i| {
+            if i == 3 {
+                panic!("task 3 exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn panic_cancels_outstanding_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let evaluated = AtomicUsize::new(0);
+        let tasks = 10_000;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_indexed(
+                tasks,
+                4,
+                |i| {
+                    if i == 0 {
+                        panic!("first task fails");
+                    }
+                    evaluated.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(20));
+                },
+                |_, _| {},
+            );
+        }));
+        assert!(result.is_err(), "the panic must propagate");
+        // Without cancellation the surviving workers would evaluate every
+        // remaining task before the panic surfaced.
+        assert!(
+            evaluated.load(Ordering::Relaxed) < tasks - 1,
+            "workers kept draining after the panic"
+        );
+    }
+}

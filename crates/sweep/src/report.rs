@@ -1,0 +1,527 @@
+//! Campaign results: per-point records, replicate aggregation, and
+//! deterministic CSV / JSON emitters.
+//!
+//! The vendored `serde` stand-in provides trait names but no wire
+//! format (see `vendor/README.md`), so the emitters here format
+//! directly: floats use Rust's shortest-roundtrip `Display`, non-finite
+//! values become `null` (JSON) or empty cells (CSV), and every
+//! collection is emitted in point-index order. Two runs of the same
+//! campaign therefore produce byte-identical output regardless of
+//! worker count.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use qic_des::stats::Tally;
+
+use crate::space::{Axis, AxisValue};
+use qic_des::metrics::Metrics;
+
+/// Replicate aggregate of one metric at one point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Metric name.
+    pub name: String,
+    /// Mean over replicates.
+    pub mean: f64,
+    /// 95% confidence half-width (normal approximation); `None` with
+    /// fewer than two replicates.
+    pub ci95: Option<f64>,
+    /// Smallest replicate value.
+    pub min: f64,
+    /// Largest replicate value.
+    pub max: f64,
+    /// Replicates aggregated.
+    pub n: u64,
+}
+
+/// Results at one sweep point: raw replicates plus their aggregation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointReport {
+    /// The point's row-major index in the campaign's space.
+    pub index: usize,
+    /// `(axis name, value)` pairs, in axis order.
+    pub params: Vec<(String, AxisValue)>,
+    /// Raw metrics, one entry per replicate.
+    pub replicates: Vec<Metrics>,
+    /// Replicate aggregates, in first-replicate metric order.
+    pub summaries: Vec<MetricSummary>,
+}
+
+impl PointReport {
+    /// Aggregates a point's replicates.
+    ///
+    /// Metric order is the union over all replicates in first-appearance
+    /// order (a metric may be conditional — e.g. latency percentiles
+    /// exist only when communications completed); replicates missing a
+    /// metric simply contribute no sample to it.
+    pub fn from_replicates(
+        index: usize,
+        params: Vec<(String, AxisValue)>,
+        replicates: Vec<Metrics>,
+    ) -> PointReport {
+        let mut names: Vec<&str> = Vec::new();
+        for rep in &replicates {
+            for name in rep.names() {
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+        }
+        let mut summaries = Vec::new();
+        for name in names {
+            let mut tally = Tally::new();
+            for rep in &replicates {
+                if let Some(v) = rep.get(name) {
+                    tally.record(v);
+                }
+            }
+            summaries.push(MetricSummary {
+                name: name.to_string(),
+                mean: tally.mean().unwrap_or(f64::NAN),
+                ci95: tally.ci95_half_width(),
+                min: tally.min().unwrap_or(f64::NAN),
+                max: tally.max().unwrap_or(f64::NAN),
+                n: tally.count(),
+            });
+        }
+        PointReport {
+            index,
+            params,
+            replicates,
+            summaries,
+        }
+    }
+
+    /// The replicate mean of a metric, if it was reported.
+    pub fn mean(&self, metric: &str) -> Option<f64> {
+        self.summaries
+            .iter()
+            .find(|s| s.name == metric)
+            .map(|s| s.mean)
+    }
+
+    /// Per-replicate values of a metric, in replicate order (replicates
+    /// that did not report it are skipped). The raw data lives once, in
+    /// [`PointReport::replicates`]; this is a view over it.
+    pub fn samples(&self, metric: &str) -> Vec<f64> {
+        self.replicates
+            .iter()
+            .filter_map(|r| r.get(metric))
+            .collect()
+    }
+
+    /// The named parameter value of this point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign has no such axis.
+    pub fn param(&self, name: &str) -> &AxisValue {
+        self.params
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("no axis named {name:?}"))
+    }
+}
+
+/// The full, deterministic result of a campaign run.
+///
+/// Contains everything needed to regenerate a figure or table: the
+/// campaign identity, the swept axes, and one [`PointReport`] per point
+/// in row-major index order. Worker count is deliberately *not*
+/// recorded — the report of a campaign is identical however it was
+/// scheduled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign name (figure/table identifier).
+    pub name: String,
+    /// Campaign-level seed the per-point seeds derive from.
+    pub seed: u64,
+    /// Replicates evaluated per point.
+    pub replicates: u32,
+    /// The swept axes.
+    pub axes: Vec<Axis>,
+    /// Per-point results, ordered by point index.
+    pub points: Vec<PointReport>,
+}
+
+impl CampaignReport {
+    /// The replicate mean of `metric` at point `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point index is out of range.
+    pub fn mean_at(&self, index: usize, metric: &str) -> Option<f64> {
+        self.points[index].mean(metric)
+    }
+
+    /// Serialises the report as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"campaign\": {},", json_str(&self.name));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"replicates\": {},", self.replicates);
+        out.push_str("  \"axes\": [\n");
+        for (i, axis) in self.axes.iter().enumerate() {
+            let values = axis
+                .values()
+                .iter()
+                .map(json_value)
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"values\": [{}]}}",
+                json_str(axis.name()),
+                values
+            );
+            out.push_str(if i + 1 < self.axes.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n  \"points\": [\n");
+        for (i, point) in self.points.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(out, "\"index\": {}, \"params\": {{", point.index);
+            for (j, (name, value)) in point.params.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_str(name), json_value(value));
+            }
+            out.push_str("}, \"metrics\": {");
+            for (j, s) in point.summaries.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let samples = point
+                    .samples(&s.name)
+                    .iter()
+                    .map(|v| json_f64(*v))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = write!(
+                    out,
+                    "{}: {{\"mean\": {}, \"ci95\": {}, \"min\": {}, \"max\": {}, \"n\": {}, \"samples\": [{}]}}",
+                    json_str(&s.name),
+                    json_f64(s.mean),
+                    s.ci95.map_or("null".to_string(), json_f64),
+                    json_f64(s.min),
+                    json_f64(s.max),
+                    s.n,
+                    samples
+                );
+            }
+            out.push_str("}}");
+            out.push_str(if i + 1 < self.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serialises the report as CSV: one row per point, columns for
+    /// every axis followed by `mean/ci95/min/max` per metric.
+    ///
+    /// Metric columns are the union across all points in
+    /// first-appearance order, so conditional metrics (e.g. latency
+    /// percentiles of a point that completed no communication) leave
+    /// empty cells instead of shifting the row. `ci95` is empty with
+    /// fewer than two replicates; non-finite values are empty cells.
+    pub fn to_csv(&self) -> String {
+        let mut columns: Vec<&str> = Vec::new();
+        for point in &self.points {
+            for s in &point.summaries {
+                if !columns.contains(&s.name.as_str()) {
+                    columns.push(&s.name);
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str("index");
+        for axis in &self.axes {
+            let _ = write!(out, ",{}", csv_str(axis.name()));
+        }
+        for name in &columns {
+            for stat in ["mean", "ci95", "min", "max"] {
+                // Quote the whole cell, not just the metric-name part.
+                let _ = write!(out, ",{}", csv_str(&format!("{name}.{stat}")));
+            }
+        }
+        out.push_str(",replicates\n");
+        for point in &self.points {
+            let _ = write!(out, "{}", point.index);
+            for (_, value) in &point.params {
+                out.push(',');
+                match value {
+                    AxisValue::Int(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    AxisValue::F64(v) => out.push_str(&csv_f64(*v)),
+                    AxisValue::Text(s) => out.push_str(&csv_str(s)),
+                }
+            }
+            for name in &columns {
+                match point.summaries.iter().find(|s| &s.name == name) {
+                    Some(s) => {
+                        let _ = write!(
+                            out,
+                            ",{},{},{},{}",
+                            csv_f64(s.mean),
+                            s.ci95.map(csv_f64).unwrap_or_default(),
+                            csv_f64(s.min),
+                            csv_f64(s.max)
+                        );
+                    }
+                    None => out.push_str(",,,,"),
+                }
+            }
+            let _ = writeln!(out, ",{}", point.replicates.len());
+        }
+        out
+    }
+}
+
+/// JSON string literal with minimal escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number; non-finite floats become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_value(v: &AxisValue) -> String {
+    match v {
+        AxisValue::Int(i) => format!("{i}"),
+        AxisValue::F64(f) => json_f64(*f),
+        AxisValue::Text(s) => json_str(s),
+    }
+}
+
+/// CSV cell; quoted only when it contains a delimiter, quote or newline.
+fn csv_str(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// CSV number; non-finite floats become empty cells.
+fn csv_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> CampaignReport {
+        let axes = vec![Axis::ints("t", [2, 4])];
+        let points = vec![
+            PointReport::from_replicates(
+                0,
+                vec![("t".into(), AxisValue::Int(2))],
+                vec![
+                    Metrics::new().with("lat", 10.0),
+                    Metrics::new().with("lat", 14.0),
+                ],
+            ),
+            PointReport::from_replicates(
+                1,
+                vec![("t".into(), AxisValue::Int(4))],
+                vec![
+                    Metrics::new().with("lat", 6.0),
+                    Metrics::new().with("lat", 8.0),
+                ],
+            ),
+        ];
+        CampaignReport {
+            name: "demo".into(),
+            seed: 7,
+            replicates: 2,
+            axes,
+            points,
+        }
+    }
+
+    #[test]
+    fn aggregation_mean_min_max_ci() {
+        let r = report();
+        let s = &r.points[0].summaries[0];
+        assert_eq!(s.mean, 12.0);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 14.0);
+        assert_eq!(s.n, 2);
+        assert_eq!(r.points[0].samples("lat"), vec![10.0, 14.0]);
+        assert!(s.ci95.unwrap() > 0.0);
+        assert_eq!(r.mean_at(1, "lat"), Some(7.0));
+        assert_eq!(r.mean_at(1, "nope"), None);
+        assert_eq!(r.points[1].param("t"), &AxisValue::Int(4));
+    }
+
+    #[test]
+    fn single_replicate_has_no_ci() {
+        let p = PointReport::from_replicates(0, vec![], vec![Metrics::new().with("x", 1.0)]);
+        assert_eq!(p.summaries[0].ci95, None);
+        assert_eq!(p.mean("x"), Some(1.0));
+    }
+
+    #[test]
+    fn replicate_metric_union_keeps_conditional_metrics() {
+        // A metric absent from replicate 0 but present later (e.g.
+        // latency percentiles of a seed whose run completed no comms)
+        // must still be summarised.
+        let p = PointReport::from_replicates(
+            0,
+            vec![],
+            vec![
+                Metrics::new().with("makespan", 5.0),
+                Metrics::new().with("makespan", 7.0).with("lat_p95", 40.0),
+            ],
+        );
+        let lat = p.summaries.iter().find(|s| s.name == "lat_p95").unwrap();
+        assert_eq!(lat.n, 1);
+        assert_eq!(lat.mean, 40.0);
+        assert_eq!(p.mean("makespan"), Some(6.0));
+    }
+
+    #[test]
+    fn csv_columns_are_the_union_across_points() {
+        // Point 0 lacks a metric point 1 reports: its row must keep
+        // empty cells under that metric's columns, not shift.
+        let points = vec![
+            PointReport::from_replicates(
+                0,
+                vec![("t".into(), AxisValue::Int(2))],
+                vec![Metrics::new().with("a", 1.0)],
+            ),
+            PointReport::from_replicates(
+                1,
+                vec![("t".into(), AxisValue::Int(4))],
+                vec![Metrics::new().with("a", 2.0).with("b", 3.0)],
+            ),
+        ];
+        let r = CampaignReport {
+            name: "u".into(),
+            seed: 0,
+            replicates: 1,
+            axes: vec![Axis::ints("t", [2, 4])],
+            points,
+        };
+        let csv = r.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(
+            header,
+            "index,t,a.mean,a.ci95,a.min,a.max,b.mean,b.ci95,b.min,b.max,replicates"
+        );
+        let cols = header.split(',').count();
+        let row0 = lines.next().unwrap();
+        assert_eq!(row0.split(',').count(), cols, "row 0 must not shift");
+        assert_eq!(row0, "0,2,1,,1,1,,,,,1");
+        let row1 = lines.next().unwrap();
+        assert_eq!(row1.split(',').count(), cols);
+        assert!(row1.ends_with(",3,,3,3,1"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = report().to_json();
+        assert!(j.starts_with("{\n"));
+        assert!(j.contains("\"campaign\": \"demo\""));
+        assert!(j.contains("\"seed\": 7"));
+        assert!(j.contains("{\"name\": \"t\", \"values\": [2, 4]}"));
+        assert!(j.contains("\"params\": {\"t\": 2}"));
+        assert!(j.contains("\"mean\": 12"));
+        assert!(j.contains("\"samples\": [10, 14]"));
+        assert!(j.ends_with("}\n"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces:\n{j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_and_nulls() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn csv_shape() {
+        let c = report().to_csv();
+        let mut lines = c.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "index,t,lat.mean,lat.ci95,lat.min,lat.max,replicates"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("0,2,12,"));
+        assert!(row.ends_with(",10,14,2"));
+        assert_eq!(c.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_str("plain"), "plain");
+        assert_eq!(csv_str("a,b"), "\"a,b\"");
+        assert_eq!(csv_str("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_f64(f64::NAN), "");
+    }
+
+    #[test]
+    fn csv_quotes_whole_header_cell_for_odd_metric_names() {
+        let r = CampaignReport {
+            name: "q".into(),
+            seed: 0,
+            replicates: 1,
+            axes: vec![],
+            points: vec![PointReport::from_replicates(
+                0,
+                vec![],
+                vec![Metrics::new().with("lat,us", 1.0)],
+            )],
+        };
+        let header = r.to_csv().lines().next().unwrap().to_string();
+        // The delimiter lives inside one fully quoted cell.
+        assert!(header.contains("\"lat,us.mean\""));
+        assert!(!header.contains("\"lat,us\".mean"));
+    }
+}

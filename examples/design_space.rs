@@ -1,0 +1,101 @@
+//! Design-space exploration: a 3-axis `qic-sweep` campaign.
+//!
+//! Sweeps mesh size × purifier depth × resource allocation (64 points)
+//! over the event-driven simulator, QFT-16 workload, on 4 worker
+//! threads — the kind of cost/fidelity design-space study that related
+//! interconnect-fabric work runs, as a one-liner campaign. The same
+//! campaign is re-run on 1 worker to demonstrate the engine's
+//! scheduling-independence guarantee: both reports are byte-identical.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use qic::net::config::NetConfig;
+use qic::prelude::*;
+
+fn campaign() -> Campaign {
+    let space = ParamSpace::new()
+        .axis(Axis::ints("mesh", [4, 5, 6, 8]))
+        .axis(Axis::ints("depth", [1, 2, 3, 4]))
+        .axis(Axis::ints("units", [2, 4, 8, 16]));
+    Campaign::new("design_space", space).seed(2006)
+}
+
+fn evaluate(point: &SweepPoint<'_>, ctx: RunCtx) -> Metrics {
+    let mesh = point.i64("mesh") as u16;
+    let mut b = Machine::builder();
+    b.net_config(NetConfig::small_test())
+        .grid(mesh, mesh)
+        .purify_depth(point.u32("depth"))
+        .resources(point.u32("units"), point.u32("units"), point.u32("units"))
+        .seed(ctx.seed);
+    let machine = b.build().expect("sweep configs validate");
+    machine.run(&Program::qft(16)).net.metrics()
+}
+
+fn main() {
+    let parallel = campaign().workers(4).run(evaluate);
+    eprintln!(
+        "ran {} points × {} replicate(s) on 4 workers",
+        parallel.points.len(),
+        parallel.replicates
+    );
+
+    // Determinism: the 1-worker run must produce byte-identical output.
+    let serial = campaign().workers(1).run(evaluate);
+    assert_eq!(
+        parallel.to_json(),
+        serial.to_json(),
+        "campaign reports must not depend on worker count"
+    );
+    eprintln!("1-worker re-run is byte-identical (scheduling-independent)");
+
+    println!(
+        "{:>5} {:>6} {:>6} {:>14} {:>14} {:>14} {:>8}",
+        "mesh", "depth", "units", "makespan (ms)", "p95 lat (µs)", "tele util", "stalls"
+    );
+    for point in &parallel.points {
+        let stalls = point.mean("teleporter_stalls").unwrap_or(0.0)
+            + point.mean("wire_stalls").unwrap_or(0.0)
+            + point.mean("storage_stalls").unwrap_or(0.0);
+        println!(
+            "{:>5} {:>6} {:>6} {:>14.2} {:>14.1} {:>14.3} {:>8.0}",
+            point.param("mesh"),
+            point.param("depth"),
+            point.param("units"),
+            point.mean("makespan_us").unwrap() / 1e3,
+            point.mean("latency_p95_us").unwrap_or(f64::NAN),
+            point.mean("teleporter_utilization").unwrap(),
+            stalls,
+        );
+    }
+
+    // Headline reading: more purifier depth costs time; more units buy
+    // it back. Compare the extremes at the largest mesh.
+    let at = |mesh: i64, depth: i64, units: i64| {
+        parallel
+            .points
+            .iter()
+            .find(|p| {
+                p.param("mesh").as_i64() == Some(mesh)
+                    && p.param("depth").as_i64() == Some(depth)
+                    && p.param("units").as_i64() == Some(units)
+            })
+            .and_then(|p| p.mean("makespan_us"))
+            .expect("point exists")
+    };
+    println!(
+        "\nreading: at mesh 8, deepening purification 1→4 rounds costs {:.1}x with 2 units\n\
+         but only {:.1}x with 16 units — the campaign quantifies how much hardware\n\
+         buys back the fidelity/latency trade.",
+        at(8, 4, 2) / at(8, 1, 2),
+        at(8, 4, 16) / at(8, 1, 16),
+    );
+
+    // CSV excerpt (full emitters: CampaignReport::to_csv / to_json).
+    let csv = parallel.to_csv();
+    println!("\nCSV excerpt ({} rows total):", csv.lines().count() - 1);
+    for line in csv.lines().take(4) {
+        let cut = line.chars().take(100).collect::<String>();
+        println!("  {cut}…");
+    }
+}

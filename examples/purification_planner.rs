@@ -5,7 +5,7 @@
 
 use qic::prelude::*;
 use qic_analytic::plan::ChannelModel;
-use qic_analytic::strategy::Placement;
+use qic_analytic::strategy::PurifyPlacement;
 use qic_physics::bell::BellDiagonal;
 
 fn main() {
@@ -38,14 +38,14 @@ fn main() {
         }
     }
 
-    // Placement comparison at this distance.
+    // PurifyPlacement comparison at this distance.
     println!("\n== placement comparison at {hops} hops ==");
     let base = ChannelModel::ion_trap();
     println!(
         "  {:<40} {:>8} {:>12} {:>12}",
         "placement", "rounds", "teleported", "total"
     );
-    for placement in Placement::FIGURE_SET {
+    for placement in PurifyPlacement::FIGURE_SET {
         let model = base.clone().with_placement(placement);
         match model.plan(hops) {
             Ok(plan) => println!(

@@ -22,6 +22,7 @@
 //! | [`net`] | `qic-net` | mesh routers, virtual wires, the communication simulator (Figs 4–6, 13, 16) |
 //! | [`workload`] | `qic-workload` | QFT / modular-arithmetic instruction streams |
 //! | [`core`] | `qic-core` | machine builder, layouts, logical scheduler, experiment presets |
+//! | [`sweep`] | `qic-sweep` | parallel campaign engine: declarative parameter sweeps, deterministic seeding, CSV/JSON reports |
 //!
 //! # Quickstart
 //!
@@ -42,21 +43,22 @@ pub use qic_iontrap as iontrap;
 pub use qic_net as net;
 pub use qic_physics as physics;
 pub use qic_purify as purify;
+pub use qic_sweep as sweep;
 pub use qic_workload as workload;
 
 /// One-stop imports for examples and downstream users.
 ///
-/// Two crates export a `Placement`: the purification placement strategy
-/// (`qic-analytic`) and the qubit-to-site placement (`qic-core`). The
-/// prelude exposes the former as [`prelude::PurifyPlacement`] and keeps the latter
-/// under its own name.
+/// The purification placement strategy is [`prelude::PurifyPlacement`]
+/// (`qic-analytic`); the qubit-to-site placement keeps the plain
+/// `Placement` name (`qic-core`).
 pub mod prelude {
     pub use qic_analytic::figures;
     pub use qic_analytic::link::{link_cost, link_state, raw_link_state, LinkSpec};
     pub use qic_analytic::plan::{ChannelError, ChannelModel, ChannelPlan};
-    pub use qic_analytic::strategy::Placement as PurifyPlacement;
+    pub use qic_analytic::strategy::PurifyPlacement;
     pub use qic_core::prelude::*;
     pub use qic_physics::prelude::*;
     pub use qic_purify::prelude::*;
+    pub use qic_sweep::prelude::*;
     pub use qic_workload::prelude::*;
 }

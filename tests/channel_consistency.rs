@@ -4,13 +4,13 @@
 use qic::prelude::*;
 use qic_analytic::link;
 use qic_analytic::plan::ChannelError;
-use qic_analytic::strategy::Placement;
+use qic_analytic::strategy::PurifyPlacement;
 use qic_physics::bell::BellDiagonal;
 
 #[test]
 fn plans_meet_threshold_across_all_distances_and_placements() {
     let base = ChannelModel::ion_trap();
-    for placement in Placement::FIGURE_SET {
+    for placement in PurifyPlacement::FIGURE_SET {
         let model = base.clone().with_placement(placement);
         for hops in [1u32, 4, 16, 40, 64] {
             let plan = model

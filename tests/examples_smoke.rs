@@ -4,7 +4,7 @@
 
 use qic::prelude::*;
 use qic_analytic::plan::ChannelModel;
-use qic_analytic::strategy::Placement as AnalyticPlacement;
+use qic_analytic::strategy::PurifyPlacement as AnalyticPlacement;
 use qic_physics::bell::BellDiagonal;
 use qic_workload::Program;
 
