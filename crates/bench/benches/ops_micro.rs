@@ -5,8 +5,9 @@ use std::hint::black_box;
 
 use qic_des::queue::EventQueue;
 use qic_net::config::NetConfig;
+use qic_net::routing::{DimensionOrder, MinimalAdaptive, Router};
 use qic_net::sim::{NetworkSim, OneShotDriver};
-use qic_net::topology::{Coord, Mesh};
+use qic_net::topology::{Coord, Hypercube, Mesh, TopologyKind, Torus};
 use qic_physics::bell::BellDiagonal;
 use qic_physics::time::Duration;
 use qic_purify::protocol::{Protocol, RoundNoise};
@@ -43,6 +44,28 @@ fn bench_routing(c: &mut Criterion) {
     c.bench_function("dimension_order_route_16x16", |b| {
         b.iter(|| mesh.route(black_box(Coord::new(0, 0)), black_box(Coord::new(15, 15))))
     });
+    // The trait-based routers over each fabric at 256 nodes.
+    let torus = Torus::new(16, 16);
+    let cube = Hypercube::new(8);
+    let no_load = |_: usize| 0u32;
+    let (src, dst) = (0usize, 255usize);
+    c.bench_function("dor_route_torus_16x16", |b| {
+        b.iter(|| DimensionOrder.route(&torus, black_box(src), black_box(dst), &no_load))
+    });
+    c.bench_function("dor_route_hypercube_256", |b| {
+        b.iter(|| DimensionOrder.route(&cube, black_box(src), black_box(dst), &no_load))
+    });
+    let load = |l: usize| (l % 5) as u32;
+    c.bench_function("adaptive_route_mesh_16x16", |b| {
+        b.iter(|| {
+            MinimalAdaptive.route(
+                &mesh,
+                black_box(src),
+                black_box(mesh.node_index(Coord::new(15, 15))),
+                &load,
+            )
+        })
+    });
 }
 
 fn bench_small_sim(c: &mut Criterion) {
@@ -50,6 +73,13 @@ fn bench_small_sim(c: &mut Criterion) {
         b.iter(|| {
             let mut driver = OneShotDriver::new(Coord::new(0, 0), Coord::new(3, 3));
             NetworkSim::new(NetConfig::small_test()).run(&mut driver)
+        })
+    });
+    c.bench_function("net_sim_one_comm_4x4_torus", |b| {
+        b.iter(|| {
+            let mut driver = OneShotDriver::new(Coord::new(0, 0), Coord::new(3, 3));
+            NetworkSim::new(NetConfig::small_test().with_topology(TopologyKind::Torus))
+                .run(&mut driver)
         })
     });
 }

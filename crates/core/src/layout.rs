@@ -96,6 +96,47 @@ impl Placement {
         })
     }
 
+    /// Gray-code placement of `n_qubits` on a `width × height` grid whose
+    /// node count is a power of two — the hypercube analogue of the snake:
+    /// qubit `q` homes at node index `q ^ (q >> 1)`, so consecutively
+    /// numbered qubits sit one **hypercube hop** apart (one address bit),
+    /// exactly as the snake keeps them one mesh hop apart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the grid is too small.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width × height` is not a power of two (no Gray cycle).
+    pub fn gray(width: u16, height: u16, n_qubits: u32) -> Result<Self, CapacityError> {
+        let sites = u32::from(width) * u32::from(height);
+        assert!(
+            sites.is_power_of_two(),
+            "gray placement needs a power-of-two site count"
+        );
+        if n_qubits > sites {
+            return Err(CapacityError {
+                qubits: n_qubits,
+                sites,
+            });
+        }
+        let homes = (0..n_qubits)
+            .map(|q| {
+                let node = q ^ (q >> 1);
+                Coord::new(
+                    (node % u32::from(width)) as u16,
+                    (node / u32::from(width)) as u16,
+                )
+            })
+            .collect();
+        Ok(Placement {
+            width,
+            height,
+            homes,
+        })
+    }
+
     /// The home site of a logical qubit.
     ///
     /// # Panics
@@ -161,6 +202,29 @@ mod tests {
         assert!(!p.is_empty());
         assert_eq!(p.width(), 5);
         assert_eq!(p.height(), 5);
+    }
+
+    #[test]
+    fn gray_neighbours_are_one_hypercube_hop_apart() {
+        let p = Placement::gray(4, 4, 16).unwrap();
+        let node = |q: u32| {
+            let c = p.home(LogicalQubit(q));
+            u32::from(c.y) * 4 + u32::from(c.x)
+        };
+        let mut seen = std::collections::HashSet::new();
+        for q in 0..16u32 {
+            assert!(seen.insert(node(q)), "gray homes are unique");
+            if q > 0 {
+                let diff = node(q) ^ node(q - 1);
+                assert_eq!(diff.count_ones(), 1, "q{q}: {:#b}", diff);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn gray_rejects_non_power_grids() {
+        let _ = Placement::gray(3, 4, 4);
     }
 
     #[test]

@@ -45,7 +45,8 @@ pub mod scheduler;
 /// Convenient glob-import surface: `use qic_core::prelude::*;`.
 pub mod prelude {
     pub use crate::experiment::{
-        figure16, figure16_campaign, figure16_from_campaign, Fig16Point, Fig16Result, Fig16Scale,
+        figure16, figure16_campaign, figure16_from_campaign, topology_faceoff_campaign,
+        topology_faceoff_campaign_on, FaceoffScale, Fig16Point, Fig16Result, Fig16Scale,
     };
     pub use crate::layout::{Layout, Placement};
     pub use crate::machine::{Machine, MachineBuilder, MachineError, RunReport};

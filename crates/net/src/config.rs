@@ -8,6 +8,9 @@ use qic_physics::constants;
 use qic_physics::error::ErrorRates;
 use qic_physics::optime::OpTimes;
 
+use crate::routing::RoutingPolicy;
+use crate::topology::{Fabric, TopologyKind};
+
 /// Errors raised by [`NetConfig::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigError(String);
@@ -27,10 +30,16 @@ impl std::error::Error for ConfigError {}
 /// queue purifiers per P node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetConfig {
-    /// Mesh width in T'/LQ sites.
+    /// Grid width in T'/LQ sites (the historical field name predates the
+    /// multi-topology refactor; it sizes every fabric's addressing grid).
     pub mesh_width: u16,
-    /// Mesh height in T'/LQ sites.
+    /// Grid height in T'/LQ sites.
     pub mesh_height: u16,
+    /// Which interconnect fabric joins the sites (the paper: a mesh).
+    pub topology: TopologyKind,
+    /// Which policy routes channels over the fabric (the paper:
+    /// dimension-order).
+    pub routing: RoutingPolicy,
     /// Teleporters per T' node (`t`), split between the X and Y sets.
     pub teleporters_per_node: u32,
     /// Generators per G node (`g`), one G node per mesh edge.
@@ -68,6 +77,8 @@ impl NetConfig {
         NetConfig {
             mesh_width: constants::SIM_GRID_EDGE as u16,
             mesh_height: constants::SIM_GRID_EDGE as u16,
+            topology: TopologyKind::Mesh,
+            routing: RoutingPolicy::DimensionOrder,
             teleporters_per_node: 16,
             generators_per_edge: 16,
             purifiers_per_site: 16,
@@ -117,10 +128,46 @@ impl NetConfig {
         self
     }
 
+    /// Selects the interconnect fabric (the topology sweep axis).
+    pub fn with_topology(mut self, kind: TopologyKind) -> Self {
+        self.topology = kind;
+        self
+    }
+
+    /// Selects the routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Builds the configured fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid does not fit the fabric kind (checked by
+    /// [`NetConfig::validate`]).
+    pub fn fabric(&self) -> Fabric {
+        self.topology
+            .build(self.mesh_width, self.mesh_height)
+            .expect("validated configs build")
+    }
+
     /// Raw chained pairs needed per communication
     /// (`outputs × 2^depth`; 392 at paper scale).
     pub fn raw_pairs_per_comm(&self) -> u64 {
         u64::from(self.outputs_per_comm) << self.purify_depth.min(62)
+    }
+
+    /// Whether the simulator applies bubble flow control (two free
+    /// downstream storage cells required at ring-entry hops).
+    ///
+    /// Dimension-order routing on the mesh or hypercube is cycle-free in
+    /// the channel-dependency graph, so the paper's per-link storage
+    /// alone prevents deadlock. Torus wrap links and adaptive routing
+    /// both close cycles; the bubble rule keeps a free cell in every
+    /// ring so those configurations drain too.
+    pub fn needs_bubble(&self) -> bool {
+        self.routing == RoutingPolicy::MinimalAdaptive || self.topology == TopologyKind::Torus
     }
 
     /// Checks internal consistency.
@@ -136,8 +183,27 @@ impl NetConfig {
         if self.mesh_width * self.mesh_height < 2 {
             return Err(ConfigError("mesh must have at least two sites".into()));
         }
+        let fabric = match self.topology.build(self.mesh_width, self.mesh_height) {
+            Ok(f) => f,
+            Err(msg) => return Err(ConfigError(msg)),
+        };
         if self.teleporters_per_node == 0 {
             return Err(ConfigError("need at least one teleporter per node".into()));
+        }
+        let classes = crate::topology::Topology::port_classes(&fabric);
+        if (self.teleporters_per_node as usize) < classes {
+            return Err(ConfigError(format!(
+                "teleporters_per_node ({}) must cover the fabric's {classes} \
+                 port classes (one teleporter set per dimension)",
+                self.teleporters_per_node
+            )));
+        }
+        if self.needs_bubble() && self.teleporters_per_node < 2 {
+            return Err(ConfigError(
+                "torus fabrics and adaptive routing use bubble flow control, \
+                 which needs at least two teleporters (storage cells) per node"
+                    .into(),
+            ));
         }
         if self.generators_per_edge == 0 {
             return Err(ConfigError("need at least one generator per edge".into()));
@@ -221,5 +287,56 @@ mod tests {
         c.hop_cells = 0;
         let err = c.validate().unwrap_err();
         assert!(err.to_string().contains("at least one cell"));
+    }
+
+    #[test]
+    fn topology_and_routing_default_to_the_paper() {
+        let c = NetConfig::paper_scale();
+        assert_eq!(c.topology, TopologyKind::Mesh);
+        assert_eq!(c.routing, RoutingPolicy::DimensionOrder);
+        assert!(!c.needs_bubble());
+    }
+
+    #[test]
+    fn topology_validation() {
+        // 4×4 fits every fabric.
+        for kind in TopologyKind::ALL {
+            let c = NetConfig::small_test().with_topology(kind);
+            assert!(c.validate().is_ok(), "{kind}");
+            let _ = c.fabric();
+        }
+        // 5×4 is not a power of two: no hypercube.
+        let mut c = NetConfig::small_test().with_topology(TopologyKind::Hypercube);
+        c.mesh_width = 5;
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("power-of-two"), "{err}");
+    }
+
+    #[test]
+    fn teleporters_must_cover_port_classes() {
+        // A dim-4 hypercube has 4 teleporter sets: t=2 would silently
+        // over-provision (each set keeps ≥ 1), so validation rejects it.
+        let mut c = NetConfig::small_test().with_topology(TopologyKind::Hypercube);
+        c.teleporters_per_node = 2;
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("port classes"), "{err}");
+        c.teleporters_per_node = 4;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn bubble_configs_need_two_teleporters() {
+        let mut c = NetConfig::small_test().with_topology(TopologyKind::Torus);
+        assert!(c.needs_bubble());
+        assert!(c.validate().is_ok());
+        c.teleporters_per_node = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = NetConfig::small_test().with_routing(RoutingPolicy::MinimalAdaptive);
+        assert!(c.needs_bubble());
+        c.teleporters_per_node = 1;
+        assert!(c.validate().is_err());
+        c.teleporters_per_node = 2;
+        assert!(c.validate().is_ok());
     }
 }

@@ -274,6 +274,11 @@ impl Storage {
         self.used
     }
 
+    /// Free cells (bubble flow control reserves one at ring-entry hops).
+    pub fn free_cells(&self) -> u32 {
+        self.capacity - self.used
+    }
+
     /// Enqueues a waiting token.
     pub fn enqueue_waiter(&mut self, id: u64) {
         self.waiters.push_back(id);
@@ -282,6 +287,11 @@ impl Storage {
     /// Pops the next waiting token.
     pub fn pop_waiter(&mut self) -> Option<u64> {
         self.waiters.pop_front()
+    }
+
+    /// Number of queued waiters.
+    pub fn queue_len(&self) -> usize {
+        self.waiters.len()
     }
 }
 
@@ -376,14 +386,19 @@ mod tests {
     #[test]
     fn storage_reserve_free() {
         let mut s = Storage::new(2);
+        assert_eq!(s.free_cells(), 2);
         s.reserve();
         s.reserve();
         assert!(!s.available());
         assert_eq!(s.used(), 2);
+        assert_eq!(s.free_cells(), 0);
         s.free();
         assert!(s.available());
+        assert_eq!(s.free_cells(), 1);
         s.enqueue_waiter(9);
+        assert_eq!(s.queue_len(), 1);
         assert_eq!(s.pop_waiter(), Some(9));
+        assert_eq!(s.queue_len(), 0);
     }
 
     #[test]

@@ -1,90 +1,8 @@
-//! Mesh topology and dimension-order routing — **Section 3.2**.
-
-use std::fmt;
+//! The paper's fabric: a rectangular mesh with dimension-order routes.
 
 use serde::{Deserialize, Serialize};
 
-/// A site on the mesh (column `x`, row `y`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct Coord {
-    /// Column index.
-    pub x: u16,
-    /// Row index.
-    pub y: u16,
-}
-
-impl Coord {
-    /// Creates a coordinate.
-    pub fn new(x: u16, y: u16) -> Self {
-        Coord { x, y }
-    }
-
-    /// Manhattan distance to another coordinate.
-    pub fn manhattan(self, other: Coord) -> u32 {
-        u32::from(self.x.abs_diff(other.x)) + u32::from(self.y.abs_diff(other.y))
-    }
-}
-
-impl fmt::Display for Coord {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({},{})", self.x, self.y)
-    }
-}
-
-/// A hop direction on the mesh.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Dir {
-    /// +x.
-    East,
-    /// −x.
-    West,
-    /// +y.
-    North,
-    /// −y.
-    South,
-}
-
-impl Dir {
-    /// All four directions.
-    pub const ALL: [Dir; 4] = [Dir::East, Dir::West, Dir::North, Dir::South];
-
-    /// Whether this direction moves along the X dimension.
-    pub fn is_x(self) -> bool {
-        matches!(self, Dir::East | Dir::West)
-    }
-
-    /// The opposite direction.
-    pub fn opposite(self) -> Dir {
-        match self {
-            Dir::East => Dir::West,
-            Dir::West => Dir::East,
-            Dir::North => Dir::South,
-            Dir::South => Dir::North,
-        }
-    }
-
-    /// Index 0..4 for dense per-direction arrays.
-    pub fn index(self) -> usize {
-        match self {
-            Dir::East => 0,
-            Dir::West => 1,
-            Dir::North => 2,
-            Dir::South => 3,
-        }
-    }
-}
-
-impl fmt::Display for Dir {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Dir::East => "E",
-            Dir::West => "W",
-            Dir::North => "N",
-            Dir::South => "S",
-        };
-        f.write_str(s)
-    }
-}
+use super::{Coord, Dir, Port, Topology};
 
 /// An undirected mesh edge, identified by its lower-left endpoint and
 /// orientation.
@@ -96,7 +14,23 @@ pub struct EdgeId {
     pub horizontal: bool,
 }
 
-/// A rectangular mesh of T' nodes.
+/// A rectangular mesh of T' nodes — the fabric every figure of the
+/// paper is computed on.
+///
+/// # Examples
+///
+/// ```
+/// use qic_net::topology::{Coord, Mesh, Port, Topology};
+///
+/// let mesh = Mesh::new(4, 4);
+/// assert_eq!(mesh.ports_per_node(), 4);
+/// // Port 0 is East; the border ports are unwired.
+/// assert_eq!(mesh.neighbor(0, Port(0)), Some(1));
+/// assert_eq!(mesh.neighbor(0, Port(1)), None);
+/// // Distance is Manhattan distance.
+/// let (a, b) = (mesh.node_index(Coord::new(0, 0)), mesh.node_index(Coord::new(3, 2)));
+/// assert_eq!(Topology::distance(&mesh, a, b), 5);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mesh {
     width: u16,
@@ -235,6 +169,97 @@ impl Mesh {
     }
 }
 
+impl Topology for Mesh {
+    fn name(&self) -> &'static str {
+        "mesh"
+    }
+
+    fn width(&self) -> u16 {
+        self.width
+    }
+
+    fn height(&self) -> u16 {
+        self.height
+    }
+
+    fn ports_per_node(&self) -> usize {
+        4
+    }
+
+    fn port_classes(&self) -> usize {
+        2
+    }
+
+    fn port_class(&self, port: Port) -> usize {
+        usize::from(port.0 >= 2)
+    }
+
+    fn neighbor(&self, node: usize, port: Port) -> Option<usize> {
+        let c = self.coord_of(node);
+        let d = Dir::from_port(port)?;
+        self.step(c, d).map(|n| Mesh::node_index(self, n))
+    }
+
+    fn reverse_port(&self, _node: usize, port: Port) -> Port {
+        // E↔W and N↔S swap: ports are paired by the low bit.
+        Port(port.0 ^ 1)
+    }
+
+    fn links(&self) -> usize {
+        self.edges()
+    }
+
+    fn link_index(&self, node: usize, port: Port) -> usize {
+        let c = self.coord_of(node);
+        let d = Dir::from_port(port).expect("mesh ports are 0..4");
+        self.edge_index(self.edge(c, d))
+    }
+
+    fn distance(&self, a: usize, b: usize) -> u32 {
+        self.coord_of(a).manhattan(self.coord_of(b))
+    }
+
+    fn min_ports(&self, node: usize, dst: usize) -> Vec<Port> {
+        let at = self.coord_of(node);
+        let to = self.coord_of(dst);
+        let mut ports = Vec::with_capacity(2);
+        if to.x > at.x {
+            ports.push(Dir::East.port());
+        } else if to.x < at.x {
+            ports.push(Dir::West.port());
+        }
+        if to.y > at.y {
+            ports.push(Dir::North.port());
+        } else if to.y < at.y {
+            ports.push(Dir::South.port());
+        }
+        ports
+    }
+
+    fn diameter(&self) -> u32 {
+        u32::from(self.width - 1) + u32::from(self.height - 1)
+    }
+
+    fn bisection_width(&self) -> usize {
+        // A balanced cut must split an even dimension; it severs one
+        // link per row (or column) of the other dimension. With both
+        // dimensions odd no perfectly balanced cut exists; the
+        // near-balanced min(w, h) is reported.
+        let w = usize::from(self.width);
+        let h = usize::from(self.height);
+        match (w % 2 == 0, h % 2 == 0) {
+            (true, true) => w.min(h),
+            (true, false) => h,
+            (false, true) => w,
+            (false, false) => w.min(h),
+        }
+    }
+
+    fn dor_is_acyclic(&self) -> bool {
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +270,7 @@ mod tests {
         assert_eq!(m.nodes(), 12);
         assert_eq!(m.edges(), 3 * 3 + 4 * 2);
         assert_eq!(m.iter_nodes().count(), 12);
+        assert_eq!(m.links(), m.edges());
     }
 
     #[test]
@@ -321,18 +347,48 @@ mod tests {
     }
 
     #[test]
-    fn directions() {
-        for d in Dir::ALL {
-            assert_eq!(d.opposite().opposite(), d);
-            assert_eq!(d.is_x(), d.opposite().is_x());
+    fn trait_neighbors_match_steps() {
+        let m = Mesh::new(4, 3);
+        for node in 0..m.nodes() {
+            let c = m.coord_of(node);
+            for port in 0..4u8 {
+                let d = Dir::from_port(Port(port)).unwrap();
+                let via_step = m.step(c, d).map(|n| m.node_index(n));
+                assert_eq!(m.neighbor(node, Port(port)), via_step);
+                if let Some(n) = via_step {
+                    let back = m.reverse_port(node, Port(port));
+                    assert_eq!(m.neighbor(n, back), Some(node));
+                    assert_eq!(m.link_index(node, Port(port)), m.link_index(n, back));
+                }
+            }
         }
-        let idx: Vec<usize> = Dir::ALL.iter().map(|d| d.index()).collect();
-        assert_eq!(idx, vec![0, 1, 2, 3]);
     }
 
     #[test]
-    fn manhattan() {
-        assert_eq!(Coord::new(0, 0).manhattan(Coord::new(3, 4)), 7);
-        assert_eq!(Coord::new(5, 5).manhattan(Coord::new(5, 5)), 0);
+    fn min_ports_realise_manhattan_distance() {
+        let m = Mesh::new(6, 5);
+        let (a, b) = (
+            m.node_index(Coord::new(5, 0)),
+            m.node_index(Coord::new(1, 4)),
+        );
+        assert_eq!(Topology::distance(&m, a, b), 8);
+        // West (port 1) sorts before North (port 2).
+        assert_eq!(m.min_ports(a, b), vec![Port(1), Port(2)]);
+        assert!(m.min_ports(a, a).is_empty());
+    }
+
+    #[test]
+    fn metadata() {
+        let m = Mesh::new(8, 8);
+        assert_eq!(m.diameter(), 14);
+        assert_eq!(m.bisection_width(), 8);
+        assert!(m.dor_is_acyclic());
+        assert_eq!(m.name(), "mesh");
+        assert_eq!(Mesh::new(5, 4).bisection_width(), 5);
+        assert_eq!(Mesh::new(4, 5).bisection_width(), 5);
+        assert_eq!(Mesh::new(5, 5).bisection_width(), 5);
+        assert_eq!(m.port_classes(), 2);
+        assert_eq!(m.port_class(Dir::West.port()), 0);
+        assert_eq!(m.port_class(Dir::South.port()), 1);
     }
 }

@@ -1,11 +1,23 @@
-//! Property-based tests for topology and the simulator's conservation
-//! laws.
+//! Property-based tests for the topologies, the routing policies, and
+//! the simulator's conservation laws.
 
 use proptest::prelude::*;
 
 use qic_net::config::NetConfig;
+use qic_net::routing::RoutingPolicy;
 use qic_net::sim::{NetworkSim, OneShotDriver};
-use qic_net::topology::{Coord, Mesh};
+use qic_net::topology::{Coord, Fabric, Hypercube, Mesh, Port, Topology, TopologyKind, Torus};
+
+/// The three fabrics at a `w × h`-ish scale (the hypercube picks the
+/// nearest power-of-two node count).
+fn fabrics(w: u16, h: u16) -> Vec<Fabric> {
+    let dim = (usize::from(w) * usize::from(h)).ilog2().clamp(1, 8);
+    vec![
+        Fabric::Mesh(Mesh::new(w, h)),
+        Fabric::Torus(Torus::new(w, h)),
+        Fabric::Hypercube(Hypercube::new(dim)),
+    ]
+}
 
 proptest! {
     #[test]
@@ -56,6 +68,129 @@ proptest! {
                 u64::from(outputs) * ((1 << depth) - 1)
             );
         }
+    }
+
+    #[test]
+    fn routes_are_minimal_loop_free_and_deterministic(
+        w in 2u16..8, h in 2u16..8,
+        a in 0usize..1000, b in 0usize..1000,
+        fake_load in proptest::collection::vec(0u32..7, 64),
+    ) {
+        for topo in fabrics(w, h) {
+            let n = topo.nodes();
+            let (src, dst) = (a % n, b % n);
+            // Any load function — adaptive must stay minimal under it.
+            let load = |link: usize| fake_load[link % fake_load.len()];
+            for policy in RoutingPolicy::ALL {
+                let router = policy.router();
+                let path = router.route(&topo, src, dst, &load);
+                // Minimal: length equals the topology's distance.
+                prop_assert_eq!(
+                    path.len() as u32,
+                    topo.distance(src, dst),
+                    "{} on {}", policy, topo.name()
+                );
+                // Loop-free: no node repeats, and the walk ends at dst.
+                let mut at = src;
+                let mut seen = std::collections::HashSet::from([at]);
+                for &port in &path {
+                    at = topo.neighbor(at, port).expect("wired");
+                    prop_assert!(seen.insert(at), "revisited node {at}");
+                }
+                prop_assert_eq!(at, dst);
+                // Deterministic: the same inputs give the same route.
+                prop_assert_eq!(path, router.route(&topo, src, dst, &load));
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_metrics(
+        w in 2u16..8, h in 2u16..8,
+        a in 0usize..1000, b in 0usize..1000, c in 0usize..1000,
+    ) {
+        for topo in fabrics(w, h) {
+            let n = topo.nodes();
+            let (x, y, z) = (a % n, b % n, c % n);
+            // Identity and symmetry.
+            prop_assert_eq!(topo.distance(x, x), 0);
+            prop_assert_eq!(topo.distance(x, y), topo.distance(y, x), "{}", topo.name());
+            prop_assert!(x == y || topo.distance(x, y) > 0);
+            // Triangle inequality.
+            prop_assert!(
+                topo.distance(x, z) <= topo.distance(x, y) + topo.distance(y, z),
+                "{}: d({x},{z}) > d({x},{y}) + d({y},{z})", topo.name()
+            );
+            // Bounded by the advertised diameter.
+            prop_assert!(topo.distance(x, y) <= topo.diameter());
+        }
+    }
+
+    #[test]
+    fn wiring_is_consistent(w in 2u16..8, h in 2u16..8) {
+        for topo in fabrics(w, h) {
+            let mut crossings = vec![0u32; topo.links()];
+            for node in 0..topo.nodes() {
+                for p in 0..topo.ports_per_node() as u8 {
+                    let port = Port(p);
+                    prop_assert!(topo.port_class(port) < topo.port_classes());
+                    let Some(next) = topo.neighbor(node, port) else { continue };
+                    // The reverse port leads back across the same link.
+                    let back = topo.reverse_port(node, port);
+                    prop_assert_eq!(topo.neighbor(next, back), Some(node), "{}", topo.name());
+                    let link = topo.link_index(node, port);
+                    prop_assert!(link < topo.links());
+                    prop_assert_eq!(link, topo.link_index(next, back));
+                    crossings[link] += 1;
+                }
+            }
+            // Every link is crossed by exactly two directed (node, port)
+            // pairs: the indices are dense and nothing is double-wired.
+            prop_assert!(crossings.iter().all(|&c| c == 2), "{}: {crossings:?}", topo.name());
+        }
+    }
+
+    #[test]
+    fn min_ports_decrease_distance(
+        w in 2u16..8, h in 2u16..8,
+        a in 0usize..1000, b in 0usize..1000,
+    ) {
+        for topo in fabrics(w, h) {
+            let n = topo.nodes();
+            let (src, dst) = (a % n, b % n);
+            let ports = topo.min_ports(src, dst);
+            prop_assert_eq!(ports.is_empty(), src == dst);
+            let d = topo.distance(src, dst);
+            for port in ports {
+                let next = topo.neighbor(src, port).expect("minimal ports are wired");
+                prop_assert_eq!(topo.distance(next, dst), d - 1, "{}", topo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_fabric_completes_and_conserves(
+        kind_idx in 0usize..3,
+        routing_idx in 0usize..2,
+        x1 in 0u16..4, y1 in 0u16..4, x2 in 0u16..4, y2 in 0u16..4,
+        seed in 0u64..1000,
+    ) {
+        let kind = TopologyKind::ALL[kind_idx];
+        let routing = RoutingPolicy::ALL[routing_idx];
+        let mut cfg = NetConfig::small_test().with_topology(kind).with_routing(routing);
+        cfg.seed = seed;
+        let src = Coord::new(x1, y1);
+        let dst = Coord::new(x2, y2);
+        let fabric = cfg.fabric();
+        let hops = u64::from(fabric.distance(fabric.node_index(src), fabric.node_index(dst)));
+        let mut driver = OneShotDriver::new(src, dst);
+        let report = NetworkSim::new(cfg.clone()).run(&mut driver);
+        prop_assert_eq!(report.comms_completed, 1);
+        // Conservation holds on every fabric: teleports = raw pairs × the
+        // topology's own distance, and each consumed one link pair.
+        prop_assert_eq!(report.teleport_ops, cfg.raw_pairs_per_comm() * hops);
+        prop_assert_eq!(report.pairs_consumed, report.teleport_ops);
+        prop_assert!(report.pairs_generated >= report.pairs_consumed);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! | [`purify`] | `qic-purify` | DEJMPS / BBPSSW / pumping protocols, tree & queue purifiers (Figs 8, 14) |
 //! | [`analytic`] | `qic-analytic` | chained-channel error & resource models (Figs 9–12) |
 //! | [`des`] | `qic-des` | deterministic discrete-event engine |
-//! | [`net`] | `qic-net` | mesh routers, virtual wires, the communication simulator (Figs 4–6, 13, 16) |
+//! | [`net`] | `qic-net` | interconnect fabrics (mesh/torus/hypercube), routing policies, virtual wires, the communication simulator (Figs 4–6, 13, 16) |
 //! | [`workload`] | `qic-workload` | QFT / modular-arithmetic instruction streams |
 //! | [`core`] | `qic-core` | machine builder, layouts, logical scheduler, experiment presets |
 //! | [`sweep`] | `qic-sweep` | parallel campaign engine: declarative parameter sweeps, deterministic seeding, CSV/JSON reports |
@@ -57,6 +57,11 @@ pub mod prelude {
     pub use qic_analytic::plan::{ChannelError, ChannelModel, ChannelPlan};
     pub use qic_analytic::strategy::PurifyPlacement;
     pub use qic_core::prelude::*;
+    pub use qic_net::routing::{Router, RoutingPolicy};
+    pub use qic_net::topology::{
+        Coord, Fabric, Hypercube, Mesh, Port, Topology, TopologyKind, Torus,
+    };
+    pub use qic_net::{NetConfig, NetReport};
     pub use qic_physics::prelude::*;
     pub use qic_purify::prelude::*;
     pub use qic_sweep::prelude::*;

@@ -112,6 +112,44 @@ fn qft_contention_path() {
     }
 }
 
+/// `examples/topology_faceoff.rs`: the fabric metadata table, the
+/// topology × routing campaign at Tiny scale, and its worker-count
+/// independence.
+#[test]
+fn topology_faceoff_path() {
+    use qic::core::experiment::{topology_faceoff_campaign_on, FaceoffScale};
+
+    // The README comparison table's static metadata at 64 nodes.
+    let mesh = Fabric::Mesh(Mesh::new(8, 8));
+    let torus = Fabric::Torus(Torus::new(8, 8));
+    let cube = Fabric::Hypercube(Hypercube::new(6));
+    assert_eq!(
+        (mesh.diameter(), torus.diameter(), cube.diameter()),
+        (14, 8, 6)
+    );
+    assert_eq!(
+        (
+            mesh.bisection_width(),
+            torus.bisection_width(),
+            cube.bisection_width()
+        ),
+        (8, 16, 32)
+    );
+    assert!(mesh.avg_distance() > torus.avg_distance());
+    assert!(torus.avg_distance() > cube.avg_distance());
+
+    // The campaign itself, byte-identical across worker counts.
+    let parallel = topology_faceoff_campaign_on(FaceoffScale::Tiny, 4);
+    let serial = topology_faceoff_campaign_on(FaceoffScale::Tiny, 1);
+    assert_eq!(parallel.to_json(), serial.to_json());
+    assert_eq!(parallel.to_csv(), serial.to_csv());
+    assert_eq!(parallel.points.len(), 6, "3 fabrics × 2 routing policies");
+    for p in &parallel.points {
+        assert!(p.mean("comms_completed").unwrap() > 0.0);
+        assert!(p.mean("latency_p95_us").unwrap() >= p.mean("latency_p50_us").unwrap());
+    }
+}
+
 /// `examples/shor_pipeline.rs`: all four Shor phases complete on a 6×6
 /// machine under both layouts.
 #[test]
