@@ -88,11 +88,64 @@ pub fn figure9(rates: &ErrorRates, max_hops: u32) -> Vec<Series> {
 /// mirroring the paper's axes (Figure 10/11 top out at 1e8).
 pub const PAIR_COUNT_CAP: f64 = 1e12;
 
+/// Which EPR-pair budget a channel sweep reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PairMetric {
+    /// Total pairs consumed end to end (Figure 10's y-axis).
+    TotalPairs,
+    /// Pairs actually teleported through T' nodes (Figures 11–12).
+    TeleportedPairs,
+}
+
+impl PairMetric {
+    /// A compact machine-readable label (`"total_pairs"` /
+    /// `"teleported_pairs"`) that [`PairMetric::parse`] round-trips.
+    pub fn label(self) -> &'static str {
+        match self {
+            PairMetric::TotalPairs => "total_pairs",
+            PairMetric::TeleportedPairs => "teleported_pairs",
+        }
+    }
+
+    /// Parses a [`PairMetric::label`] back into a metric.
+    pub fn parse(label: &str) -> Option<PairMetric> {
+        match label {
+            "total_pairs" => Some(PairMetric::TotalPairs),
+            "teleported_pairs" => Some(PairMetric::TeleportedPairs),
+            _ => None,
+        }
+    }
+}
+
+/// The Figure 10–12 per-point evaluation: the chosen pair budget of a
+/// `hops`-teleport channel under `model`, `f64::INFINITY` when the plan
+/// is infeasible or exceeds [`PAIR_COUNT_CAP`].
+///
+/// Shared by the figure campaign constructors below and the Scenario
+/// runner in `qic-core`, so both paths are byte-identical by
+/// construction.
+pub fn pair_budget(model: &ChannelModel, hops: u32, metric: PairMetric) -> f64 {
+    match model.plan(hops) {
+        Ok(plan) => {
+            let v = match metric {
+                PairMetric::TotalPairs => plan.total_pairs,
+                PairMetric::TeleportedPairs => plan.teleported_pairs,
+            };
+            if v > PAIR_COUNT_CAP {
+                f64::INFINITY
+            } else {
+                v
+            }
+        }
+        Err(_) => f64::INFINITY,
+    }
+}
+
 /// The placement axis shared by the Figure 10–12 campaigns: one
 /// categorical value per [`PurifyPlacement::FIGURE_SET`] entry, labelled
 /// with the paper's legend strings. Point coordinate 0 indexes back into
 /// `FIGURE_SET`.
-fn placement_axis() -> Axis {
+pub fn placement_axis() -> Axis {
     Axis::labels(
         "placement",
         PurifyPlacement::FIGURE_SET
@@ -136,44 +189,32 @@ pub fn placement_series_of(report: &CampaignReport, metric: &str) -> Vec<Series>
         .collect()
 }
 
-fn pairs_campaign(model: &ChannelModel, max_hops: u32, total: bool) -> CampaignReport {
+fn pairs_campaign(model: &ChannelModel, max_hops: u32, metric: PairMetric) -> CampaignReport {
     let space = ParamSpace::new().axis(placement_axis()).axis(Axis::ints(
         "hops",
         (10..=max_hops).step_by(2).map(i64::from),
     ));
-    let name = if total { "figure10" } else { "figure11" };
+    let name = match metric {
+        PairMetric::TotalPairs => "figure10",
+        PairMetric::TeleportedPairs => "figure11",
+    };
     Campaign::new(name, space).run(|point, _ctx| {
         let placement = PurifyPlacement::FIGURE_SET[point.coord(0)];
         let m = model.clone().with_placement(placement);
-        let y = match m.plan(point.u32("hops")) {
-            Ok(plan) => {
-                let v = if total {
-                    plan.total_pairs
-                } else {
-                    plan.teleported_pairs
-                };
-                if v > PAIR_COUNT_CAP {
-                    f64::INFINITY
-                } else {
-                    v
-                }
-            }
-            Err(_) => f64::INFINITY,
-        };
-        Metrics::new().with("pairs", y)
+        Metrics::new().with("pairs", pair_budget(&m, point.u32("hops"), metric))
     })
 }
 
 /// The Figure 10 sweep as a campaign: placement × distance, total EPR
 /// pairs per point (capped at [`PAIR_COUNT_CAP`], infeasible = `∞`).
 pub fn figure10_campaign(model: &ChannelModel, max_hops: u32) -> CampaignReport {
-    pairs_campaign(model, max_hops, true)
+    pairs_campaign(model, max_hops, PairMetric::TotalPairs)
 }
 
 /// The Figure 11 sweep as a campaign: placement × distance, teleported
 /// EPR pairs per point.
 pub fn figure11_campaign(model: &ChannelModel, max_hops: u32) -> CampaignReport {
-    pairs_campaign(model, max_hops, false)
+    pairs_campaign(model, max_hops, PairMetric::TeleportedPairs)
 }
 
 /// **Figure 10**: total EPR pairs consumed vs distance (10–60 teleports)
@@ -199,11 +240,7 @@ pub fn figure12_campaign(hops: u32, points_per_decade: u32) -> CampaignReport {
         let p = point.f64("error_rate");
         let rates = ErrorRates::uniform(p).expect("sweep values are probabilities");
         let m = base.clone().with_rates(rates).with_placement(placement);
-        let y = match m.plan(hops) {
-            Ok(plan) if plan.teleported_pairs <= PAIR_COUNT_CAP => plan.teleported_pairs,
-            _ => f64::INFINITY,
-        };
-        Metrics::new().with("pairs", y)
+        Metrics::new().with("pairs", pair_budget(&m, hops, PairMetric::TeleportedPairs))
     })
 }
 

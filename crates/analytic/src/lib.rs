@@ -53,6 +53,4 @@ pub mod prelude {
 }
 
 pub use plan::{ChannelError, ChannelModel, ChannelPlan};
-#[allow(deprecated)]
-pub use strategy::Placement;
 pub use strategy::PurifyPlacement;

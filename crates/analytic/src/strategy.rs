@@ -69,6 +69,31 @@ impl PurifyPlacement {
         }
     }
 
+    /// A compact machine-readable label (`"endpoints"`,
+    /// `"virtual_wire:2"`, `"between:1"`) that [`PurifyPlacement::parse`]
+    /// round-trips; scenario specs serialize placements with it.
+    pub fn label(&self) -> String {
+        match self {
+            PurifyPlacement::EndpointsOnly => "endpoints".to_string(),
+            PurifyPlacement::VirtualWire { rounds } => format!("virtual_wire:{rounds}"),
+            PurifyPlacement::BetweenTeleports { rounds } => format!("between:{rounds}"),
+        }
+    }
+
+    /// Parses a compact [`PurifyPlacement::label`] back into a placement.
+    pub fn parse(label: &str) -> Option<PurifyPlacement> {
+        if label == "endpoints" {
+            return Some(PurifyPlacement::EndpointsOnly);
+        }
+        let (kind, rounds) = label.split_once(':')?;
+        let rounds: u32 = rounds.parse().ok()?;
+        match kind {
+            "virtual_wire" => Some(PurifyPlacement::VirtualWire { rounds }),
+            "between" => Some(PurifyPlacement::BetweenTeleports { rounds }),
+            _ => None,
+        }
+    }
+
     /// The label used in the paper's figure legends.
     pub fn legend(&self) -> String {
         match self {
@@ -89,10 +114,6 @@ impl PurifyPlacement {
     }
 }
 
-/// Deprecated name of [`PurifyPlacement`], kept for downstream code.
-#[deprecated(since = "0.1.0", note = "renamed to `PurifyPlacement`")]
-pub type Placement = PurifyPlacement;
-
 impl Default for PurifyPlacement {
     /// The paper's recommendation is virtual-wire + endpoint purification;
     /// one virtual-wire round is the default channel configuration.
@@ -112,10 +133,14 @@ mod tests {
     use super::*;
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_alias_still_resolves() {
-        let p: Placement = PurifyPlacement::EndpointsOnly;
-        assert_eq!(p, PurifyPlacement::EndpointsOnly);
+    fn labels_round_trip() {
+        for p in PurifyPlacement::FIGURE_SET {
+            assert_eq!(PurifyPlacement::parse(&p.label()), Some(p), "{p}");
+        }
+        assert_eq!(PurifyPlacement::parse("endpoints:2"), None);
+        assert_eq!(PurifyPlacement::parse("virtual_wire"), None);
+        assert_eq!(PurifyPlacement::parse("between:x"), None);
+        assert_eq!(PurifyPlacement::parse("nested:1"), None);
     }
 
     #[test]

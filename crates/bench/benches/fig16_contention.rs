@@ -7,7 +7,8 @@
 //! communication (minutes of wall-clock time).
 
 use qic_bench::{campaign_line, full_scale, header};
-use qic_core::experiment::{figure16_campaign, figure16_from_campaign, Fig16Scale};
+use qic_core::experiment::{figure16_from_campaign, Fig16Scale};
+use qic_core::scenario::{fig16_spec, run};
 
 fn main() {
     let scale = if full_scale() {
@@ -21,7 +22,9 @@ fn main() {
         "Home Base tolerates sacrificing purifiers for teleporters; Mobile suffers at t=g=8p",
     );
     println!("scale: {scale:?} (set QIC_FULL=1 for paper scale)\n");
-    let campaign = figure16_campaign(scale);
+    let campaign = run(&fig16_spec(scale))
+        .expect("figure presets validate")
+        .report;
     campaign_line(&campaign);
     let result = figure16_from_campaign(scale, &campaign);
     println!(

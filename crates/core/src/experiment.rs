@@ -12,19 +12,25 @@
 //!
 //! **Topology faceoff** — the question the paper could not ask: the same
 //! workload on the same node count across mesh, torus and hypercube
-//! fabrics under both routing policies (see
-//! [`topology_faceoff_campaign`]).
+//! fabrics under both routing policies.
+//!
+//! Since the Scenario API redesign both presets are **declarative
+//! specs** — [`crate::scenario::fig16_spec`] and
+//! [`crate::scenario::faceoff_spec`], registered as `fig16` and
+//! `topology_faceoff` in the [`crate::scenario::ScenarioRegistry`] —
+//! and run through the single `qic::run` entry point. The functions
+//! here are thin deprecated shims kept for downstream code; their
+//! outputs are byte-identical to the pre-redesign campaigns (golden
+//! tests hold the line). [`figure16_from_campaign`] remains the
+//! supported way to unpack a Figure 16 campaign report into the
+//! paper's normalized dataset.
 
 use serde::{Deserialize, Serialize};
 
-use qic_net::config::NetConfig;
-use qic_net::routing::RoutingPolicy;
-use qic_net::topology::TopologyKind;
-use qic_sweep::{Axis, Campaign, CampaignReport, ParamSpace};
-use qic_workload::Program;
+use qic_sweep::CampaignReport;
 
 use crate::layout::Layout;
-use crate::machine::Machine;
+use crate::scenario::{self, ratio_resources};
 
 /// Scale of the Figure 16 reproduction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,20 +46,8 @@ pub enum Fig16Scale {
 }
 
 impl Fig16Scale {
-    fn net(self) -> NetConfig {
-        match self {
-            Fig16Scale::Paper => NetConfig::paper_scale(),
-            Fig16Scale::Reduced => NetConfig::reduced(),
-            Fig16Scale::Tiny => {
-                let mut c = NetConfig::small_test();
-                c.purify_depth = 2;
-                c.outputs_per_comm = 3;
-                c
-            }
-        }
-    }
-
-    fn qft_size(self) -> u32 {
+    /// The QFT size the sweep runs at this scale.
+    pub(crate) fn qft_size(self) -> u32 {
         match self {
             Fig16Scale::Paper => 256,
             Fig16Scale::Reduced => 64,
@@ -65,7 +59,7 @@ impl Fig16Scale {
     /// Large enough that every ratio in the sweep changes `p`:
     /// at 90, `t=g=R·p` gives (30,30), (36,18), (40,10), (40,5); at 36 it
     /// gives (12,12), (14,7), (16,4), (16,2).
-    fn area(self) -> u32 {
+    pub(crate) fn area(self) -> u32 {
         match self {
             Fig16Scale::Paper | Fig16Scale::Reduced => 90,
             Fig16Scale::Tiny => 36,
@@ -104,62 +98,39 @@ pub struct Fig16Result {
 
 /// The `t:p` ratios of the Figure 16 x-axis; `0` encodes the unlimited
 /// `t = g = p = 1024` baseline point.
-const RATIOS: [i64; 5] = [0, 1, 2, 4, 8];
+pub(crate) const RATIOS: [i64; 5] = [0, 1, 2, 4, 8];
 
-/// Resolves a ratio axis value into the `(t, g, p)` resource knobs:
-/// `t = g = ratio·p` with `t + g + p ≈ area`, or the unlimited baseline
-/// for ratio 0.
-fn resources_for(ratio: i64, area: u32) -> (u32, u32, u32) {
-    if ratio == 0 {
-        return (1024, 1024, 1024);
-    }
-    let ratio = ratio as u32;
-    let p = (area / (2 * ratio + 1)).max(1);
-    let t = (ratio * p).max(2);
-    (t, t, p)
-}
-
-/// The Figure 16 sweep as a campaign: ratio × layout, one QFT run per
-/// point, the full [`qic_net::report::NetReport`] metric set per point.
+/// The Figure 16 sweep as a campaign.
 ///
-/// Points are evaluated on the campaign worker pool (the baseline runs
-/// are the slowest points, so they no longer serialise the sweep);
-/// results are deterministic for any worker count.
+/// Deprecated shim over the Scenario API; output is byte-identical.
+#[deprecated(
+    since = "0.2.0",
+    note = "run `qic_core::scenario::fig16_spec(scale)` through `qic::run` instead"
+)]
 pub fn figure16_campaign(scale: Fig16Scale) -> CampaignReport {
-    let net = scale.net();
-    let qft = Program::qft(scale.qft_size());
-    let area = scale.area();
-    let space = ParamSpace::new()
-        .axis(Axis::ints("ratio", RATIOS))
-        .axis(Axis::labels("layout", Layout::ALL.map(|l| l.to_string())));
-    // The scale is baked into the campaign name so a report can never be
-    // silently unpacked against a different scale's baseline.
-    Campaign::new(format!("figure16:{scale:?}"), space)
-        .seed(net.seed)
-        .run(|point, ctx| {
-            let (t, g, p) = resources_for(point.i64("ratio"), area);
-            let layout = Layout::ALL[point.coord(1)];
-            let mut b = Machine::builder();
-            // Derived per-point seeds follow the engine's replication
-            // contract; they cannot shift the figure's numbers because
-            // the net RNG only draws classical correction bits, which
-            // never affect simulated timing (makespans are bit-identical
-            // for any seed).
-            b.net_config(net.clone().with_resources(t, g, p))
-                .layout(layout)
-                .seed(ctx.seed);
-            let machine = b.build().expect("sweep configs validate");
-            machine.run(&qft).net.metrics()
-        })
+    scenario::run(&scenario::fig16_spec(scale))
+        .expect("figure presets validate")
+        .report
 }
 
 /// Runs the Figure 16 sweep at a given scale.
+///
+/// Deprecated shim over the Scenario API; output is byte-identical.
+#[deprecated(
+    since = "0.2.0",
+    note = "run `qic_core::scenario::fig16_spec(scale)` through `qic::run`, \
+            then unpack with `figure16_from_campaign`"
+)]
 pub fn figure16(scale: Fig16Scale) -> Fig16Result {
-    figure16_from_campaign(scale, &figure16_campaign(scale))
+    let report = scenario::run(&scenario::fig16_spec(scale))
+        .expect("figure presets validate")
+        .report;
+    figure16_from_campaign(scale, &report)
 }
 
 /// Extracts the paper's normalized Figure 16 dataset from an
-/// already-run campaign (see [`figure16_campaign`]).
+/// already-run campaign (the report of
+/// [`crate::scenario::fig16_spec`] through `qic::run`).
 ///
 /// # Panics
 ///
@@ -188,7 +159,7 @@ pub fn figure16_from_campaign(scale: Fig16Scale, report: &CampaignReport) -> Fig
         .iter()
         .enumerate()
         .map(|(i, &ratio)| {
-            let (t, g, p) = resources_for(ratio, area);
+            let (t, g, p) = ratio_resources(ratio, area);
             Fig16Point {
                 label: format!("t=g={}p", ratio),
                 t,
@@ -217,25 +188,8 @@ pub enum FaceoffScale {
 }
 
 impl FaceoffScale {
-    fn net(self) -> NetConfig {
-        match self {
-            FaceoffScale::Full => {
-                let mut c = NetConfig::reduced();
-                // Keep the faceoff CI-friendly: the contention shape is
-                // set by the fabric, not the purifier depth.
-                c.purify_depth = 2;
-                c
-            }
-            FaceoffScale::Tiny => {
-                let mut c = NetConfig::small_test();
-                c.purify_depth = 2;
-                c.outputs_per_comm = 3;
-                c
-            }
-        }
-    }
-
-    fn qft_size(self) -> u32 {
+    /// The QFT size the faceoff runs at this scale.
+    pub(crate) fn qft_size(self) -> u32 {
         match self {
             FaceoffScale::Full => 64,
             FaceoffScale::Tiny => 16,
@@ -243,58 +197,51 @@ impl FaceoffScale {
     }
 }
 
-/// The topology faceoff as a campaign: fabric × routing policy at a
-/// matched node count, one QFT run per point under the Home-Base layout
-/// (the communication-heaviest layout), full
-/// [`qic_net::report::NetReport`] metric set per point.
+/// The topology faceoff as a campaign.
 ///
-/// The campaign axes are categorical labels
-/// ([`TopologyKind::parse`] / [`RoutingPolicy::parse`] round-trip them),
-/// so a topology sweeps like any other parameter: the report's CSV/JSON
-/// is deterministic and byte-identical for any worker count.
+/// Deprecated shim over the Scenario API; output is byte-identical.
+#[deprecated(
+    since = "0.2.0",
+    note = "run `qic_core::scenario::faceoff_spec(scale)` through `qic::run` instead"
+)]
 pub fn topology_faceoff_campaign(scale: FaceoffScale) -> CampaignReport {
-    topology_faceoff_campaign_on(scale, 0)
+    scenario::run(&scenario::faceoff_spec(scale))
+        .expect("faceoff presets validate")
+        .report
 }
 
-/// [`topology_faceoff_campaign`] with a pinned worker-thread count
-/// (`0` = the engine default) — the examples use it to demonstrate
-/// byte-identical reports for 1 vs 4 workers.
+/// [`topology_faceoff_campaign`] with a pinned worker-thread count.
+///
+/// Deprecated shim over the Scenario API; output is byte-identical.
+#[deprecated(
+    since = "0.2.0",
+    note = "run `qic_core::scenario::faceoff_spec(scale).with_workers(n)` \
+            through `qic::run` instead"
+)]
 pub fn topology_faceoff_campaign_on(scale: FaceoffScale, workers: usize) -> CampaignReport {
-    let net = scale.net();
-    let qft = Program::qft(scale.qft_size());
-    let space = ParamSpace::new()
-        .axis(Axis::labels(
-            "topology",
-            TopologyKind::ALL.map(|k| k.to_string()),
-        ))
-        .axis(Axis::labels(
-            "routing",
-            RoutingPolicy::ALL.map(|r| r.to_string()),
-        ));
-    Campaign::new(format!("topology_faceoff:{scale:?}"), space)
-        .seed(net.seed)
-        .workers(workers)
-        .run(|point, ctx| {
-            let kind = TopologyKind::ALL[point.coord(0)];
-            let routing = RoutingPolicy::ALL[point.coord(1)];
-            let mut b = Machine::builder();
-            b.net_config(net.clone())
-                .topology(kind)
-                .routing(routing)
-                .layout(Layout::HomeBase)
-                .seed(ctx.seed);
-            let machine = b.build().expect("faceoff configs validate");
-            machine.run(&qft).net.metrics()
-        })
+    scenario::run(&scenario::faceoff_spec(scale).with_workers(workers))
+        .expect("faceoff presets validate")
+        .report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{faceoff_spec, fig16_spec, run};
+    use qic_net::routing::RoutingPolicy;
+    use qic_net::topology::TopologyKind;
+
+    fn fig16_report(scale: Fig16Scale) -> CampaignReport {
+        run(&fig16_spec(scale)).expect("preset validates").report
+    }
+
+    fn faceoff_report(scale: FaceoffScale) -> CampaignReport {
+        run(&faceoff_spec(scale)).expect("preset validates").report
+    }
 
     #[test]
     fn campaign_shape_and_metrics() {
-        let report = figure16_campaign(Fig16Scale::Tiny);
+        let report = fig16_report(Fig16Scale::Tiny);
         assert_eq!(report.name, "figure16:Tiny");
         assert_eq!(report.points.len(), RATIOS.len() * Layout::ALL.len());
         for p in &report.points {
@@ -310,13 +257,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "not a Figure 16 campaign for this scale")]
     fn mismatched_scale_is_rejected() {
-        let report = figure16_campaign(Fig16Scale::Tiny);
+        let report = fig16_report(Fig16Scale::Tiny);
         let _ = figure16_from_campaign(Fig16Scale::Reduced, &report);
     }
 
     #[test]
     fn tiny_sweep_shape() {
-        let result = figure16(Fig16Scale::Tiny);
+        let result = figure16_from_campaign(Fig16Scale::Tiny, &fig16_report(Fig16Scale::Tiny));
         assert_eq!(result.points.len(), 4);
         for pt in &result.points {
             assert!(pt.home_base >= 0.99, "{}: constrained ≥ baseline", pt.label);
@@ -335,7 +282,7 @@ mod tests {
 
     #[test]
     fn faceoff_covers_every_fabric_and_policy() {
-        let report = topology_faceoff_campaign(FaceoffScale::Tiny);
+        let report = faceoff_report(FaceoffScale::Tiny);
         assert_eq!(report.name, "topology_faceoff:Tiny");
         assert_eq!(
             report.points.len(),
@@ -356,7 +303,7 @@ mod tests {
 
     #[test]
     fn faceoff_orders_fabrics_by_connectivity() {
-        let report = topology_faceoff_campaign(FaceoffScale::Tiny);
+        let report = faceoff_report(FaceoffScale::Tiny);
         let metric = |topo: &str, name: &str| {
             report
                 .points
@@ -396,8 +343,12 @@ mod tests {
         // The acceptance gate: the real faceoff campaign sweeps
         // topology × routing and emits byte-identical reports for 1 and
         // 4 workers.
-        let serial = topology_faceoff_campaign_on(FaceoffScale::Tiny, 1);
-        let parallel = topology_faceoff_campaign_on(FaceoffScale::Tiny, 4);
+        let serial = run(&faceoff_spec(FaceoffScale::Tiny).with_workers(1))
+            .unwrap()
+            .report;
+        let parallel = run(&faceoff_spec(FaceoffScale::Tiny).with_workers(4))
+            .unwrap()
+            .report;
         assert_eq!(serial.to_csv(), parallel.to_csv());
         assert_eq!(serial.to_json(), parallel.to_json());
     }
@@ -406,7 +357,7 @@ mod tests {
     fn mobile_suffers_at_extreme_purifier_starvation() {
         // The paper's key Mobile observation: taking resources away from
         // P nodes eventually hurts (t=g=8p worse than t=g=4p).
-        let result = figure16(Fig16Scale::Tiny);
+        let result = figure16_from_campaign(Fig16Scale::Tiny, &fig16_report(Fig16Scale::Tiny));
         let at = |label: &str| {
             result
                 .points

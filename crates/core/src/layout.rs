@@ -22,6 +22,16 @@ pub enum Layout {
 impl Layout {
     /// Both layouts, for sweeps.
     pub const ALL: [Layout; 2] = [Layout::HomeBase, Layout::MobileQubit];
+
+    /// Parses a campaign label (`"Home Base"` / `"Mobile Qubit"`, as
+    /// produced by the `Display` impl).
+    pub fn parse(label: &str) -> Option<Layout> {
+        match label {
+            "Home Base" => Some(Layout::HomeBase),
+            "Mobile Qubit" => Some(Layout::MobileQubit),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Layout {

@@ -14,7 +14,13 @@
 //!   instruction stream ends.
 //!
 //! [`machine::Machine`] wraps the whole stack behind a builder;
-//! [`experiment`] packages the Figure 16 resource-allocation sweep.
+//! [`scenario`] is the declarative layer on top: one serializable
+//! [`scenario::ScenarioSpec`] describes any experiment (machine ×
+//! fabric × routing × workload × purification strategy, swept), runs
+//! through [`scenario::run`] (re-exported as `qic::run` by the facade),
+//! and the named figure presets live in the
+//! [`scenario::ScenarioRegistry`]. [`experiment`] keeps the figure
+//! datatypes plus deprecated shims over the registry.
 //!
 //! # Example
 //!
@@ -40,17 +46,23 @@
 pub mod experiment;
 pub mod layout;
 pub mod machine;
+pub mod scenario;
 pub mod scheduler;
 
 /// Convenient glob-import surface: `use qic_core::prelude::*;`.
 pub mod prelude {
     pub use crate::experiment::{
-        figure16, figure16_campaign, figure16_from_campaign, topology_faceoff_campaign,
-        topology_faceoff_campaign_on, FaceoffScale, Fig16Point, Fig16Result, Fig16Scale,
+        figure16_from_campaign, FaceoffScale, Fig16Point, Fig16Result, Fig16Scale,
     };
     pub use crate::layout::{Layout, Placement};
     pub use crate::machine::{Machine, MachineBuilder, MachineError, RunReport};
+    pub use crate::scenario::{
+        faceoff_spec, fig16_spec, ExperimentSpec, MachineSpec, NetPreset, ScenarioAxis,
+        ScenarioError, ScenarioRegistry, ScenarioReport, ScenarioScale, ScenarioSpec, WorkloadSpec,
+    };
+    pub use crate::scheduler::ProgramDriver;
 }
 
 pub use layout::{Layout, Placement};
 pub use machine::{Machine, MachineBuilder, MachineError, RunReport};
+pub use scenario::{ScenarioReport, ScenarioSpec};

@@ -12,8 +12,8 @@ use qic_net::topology::TopologyKind;
 use qic_physics::time::Duration;
 use qic_workload::Program;
 
-use crate::layout::{Layout, Placement};
-use crate::scheduler::LayoutScheduler;
+use crate::layout::Layout;
+use crate::scheduler::ProgramDriver;
 
 /// Errors raised when building or running a [`Machine`].
 #[derive(Debug, Clone, PartialEq)]
@@ -106,36 +106,17 @@ impl Machine {
     ///
     /// [`MachineError::Capacity`] if the program does not fit the grid.
     pub fn try_run(&self, program: &Program) -> Result<RunReport, MachineError> {
-        // Placement follows the fabric: the snake keeps consecutive
-        // qubits one mesh/torus hop apart; its hypercube analogue is the
-        // Gray-code walk (one address bit between consecutive qubits).
-        let place = if self.net.topology == TopologyKind::Hypercube {
-            Placement::gray
-        } else {
-            Placement::snake
-        };
-        let placement = place(
-            self.net.mesh_width,
-            self.net.mesh_height,
-            program.n_qubits(),
-        )
-        .map_err(|e| MachineError::Capacity {
-            qubits: e.qubits,
-            sites: e.sites,
-        })?;
-        let mut driver = LayoutScheduler::new(program, self.layout, placement, self.gate_time);
+        let mut driver =
+            ProgramDriver::with_gate_time(&self.net, self.layout, program, self.gate_time)
+                .map_err(|e| MachineError::Capacity {
+                    qubits: e.qubits,
+                    sites: e.sites,
+                })?;
         let net = NetworkSim::new(self.net.clone()).run(&mut driver);
-        assert_eq!(
-            driver.completed as usize,
-            program.len(),
-            "scheduler wedged: {} of {} instructions completed\n{}",
-            driver.completed,
-            program.len(),
-            driver.debug_state()
-        );
+        driver.assert_finished();
         Ok(RunReport {
             makespan: net.makespan,
-            instructions: driver.completed,
+            instructions: driver.completed(),
             layout: self.layout,
             net,
         })

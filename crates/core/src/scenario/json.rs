@@ -1,0 +1,576 @@
+//! A minimal, deterministic JSON value model for scenario specs.
+//!
+//! The vendored `serde` stand-in provides trait names but no wire
+//! format (see `vendor/README.md`), so — like the campaign report
+//! emitters in `qic-sweep` — the scenario layer formats and parses JSON
+//! directly. The model is deliberately small:
+//!
+//! * integers are kept apart from floats (`i128` holds every `u64`
+//!   seed and every `i64` ratio losslessly);
+//! * floats emit with Rust's shortest-roundtrip `Display`, so
+//!   `parse(emit(x)) == x` bit-for-bit;
+//! * objects preserve insertion order, making emission deterministic.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal (no `.`/exponent). `i128` covers `u64`.
+    Int(i128),
+    /// A float literal.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A JSON syntax or schema error, with the byte offset where it was
+/// detected (syntax errors only; schema errors use offset 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input (0 for schema-level errors).
+    pub at: usize,
+    /// What went wrong.
+    pub problem: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid scenario JSON at byte {}: {}",
+            self.at, self.problem
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    pub(crate) fn schema_err(problem: impl Into<String>) -> JsonError {
+        JsonError {
+            at: 0,
+            problem: problem.into(),
+        }
+    }
+
+    /// Typed accessors; all produce a schema error naming `ctx` on
+    /// mismatch so spec decoding reads linearly.
+    pub(crate) fn str_of(&self, ctx: &str) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(Json::schema_err(format!(
+                "{ctx}: expected a string, got {other:?}"
+            ))),
+        }
+    }
+
+    pub(crate) fn u64_of(&self, ctx: &str) -> Result<u64, JsonError> {
+        match self {
+            Json::Int(v) => u64::try_from(*v)
+                .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of u64 range"))),
+            other => Err(Json::schema_err(format!(
+                "{ctx}: expected an integer, got {other:?}"
+            ))),
+        }
+    }
+
+    pub(crate) fn u32_of(&self, ctx: &str) -> Result<u32, JsonError> {
+        match self {
+            Json::Int(v) => u32::try_from(*v)
+                .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of u32 range"))),
+            other => Err(Json::schema_err(format!(
+                "{ctx}: expected an integer, got {other:?}"
+            ))),
+        }
+    }
+
+    pub(crate) fn u16_of(&self, ctx: &str) -> Result<u16, JsonError> {
+        match self {
+            Json::Int(v) => u16::try_from(*v)
+                .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of u16 range"))),
+            other => Err(Json::schema_err(format!(
+                "{ctx}: expected an integer, got {other:?}"
+            ))),
+        }
+    }
+
+    pub(crate) fn i64_of(&self, ctx: &str) -> Result<i64, JsonError> {
+        match self {
+            Json::Int(v) => i64::try_from(*v)
+                .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of i64 range"))),
+            other => Err(Json::schema_err(format!(
+                "{ctx}: expected an integer, got {other:?}"
+            ))),
+        }
+    }
+
+    pub(crate) fn i32_of(&self, ctx: &str) -> Result<i32, JsonError> {
+        match self {
+            Json::Int(v) => i32::try_from(*v)
+                .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of i32 range"))),
+            other => Err(Json::schema_err(format!(
+                "{ctx}: expected an integer, got {other:?}"
+            ))),
+        }
+    }
+
+    pub(crate) fn usize_of(&self, ctx: &str) -> Result<usize, JsonError> {
+        match self {
+            Json::Int(v) => usize::try_from(*v)
+                .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of usize range"))),
+            other => Err(Json::schema_err(format!(
+                "{ctx}: expected an integer, got {other:?}"
+            ))),
+        }
+    }
+
+    pub(crate) fn arr_of(&self, ctx: &str) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(Json::schema_err(format!(
+                "{ctx}: expected an array, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The value as an object's field list.
+    pub(crate) fn obj_of(&self, ctx: &str) -> Result<&[(String, Json)], JsonError> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(Json::schema_err(format!(
+                "{ctx}: expected an object, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Serialises the value (compact, deterministic).
+    pub(crate) fn emit(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // Shortest-roundtrip Display, with a float marker kept
+                    // so the parser reads the value back as a float.
+                    let text = format!("{v}");
+                    let needs_marker = !text.contains(['.', 'e', 'E']);
+                    out.push_str(&text);
+                    if needs_marker {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (name, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    Json::Str(name.clone()).write(out);
+                    out.push_str(": ");
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, nothing
+    /// else).
+    pub(crate) fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+/// Convenience constructors used by the spec encoder.
+pub(crate) fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+pub(crate) fn ints<I: Into<i128>>(values: impl IntoIterator<Item = I>) -> Json {
+    Json::Arr(values.into_iter().map(|v| Json::Int(v.into())).collect())
+}
+
+/// Looks a field up in an object, requiring exactly the given schema:
+/// unknown fields in `fields` are rejected by [`check_fields`].
+pub(crate) fn get<'a>(
+    fields: &'a [(String, Json)],
+    name: &str,
+    ctx: &str,
+) -> Result<&'a Json, JsonError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Json::schema_err(format!("{ctx}: missing field {name:?}")))
+}
+
+/// Rejects unknown or duplicate fields, so typos fail loudly instead of
+/// silently configuring nothing.
+pub(crate) fn check_fields(
+    fields: &[(String, Json)],
+    allowed: &[&str],
+    ctx: &str,
+) -> Result<(), JsonError> {
+    for (i, (name, _)) in fields.iter().enumerate() {
+        if !allowed.contains(&name.as_str()) {
+            return Err(Json::schema_err(format!(
+                "{ctx}: unknown field {name:?} (expected one of {allowed:?})"
+            )));
+        }
+        if fields[..i].iter().any(|(k, _)| k == name) {
+            return Err(Json::schema_err(format!("{ctx}: duplicate field {name:?}")));
+        }
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, problem: impl Into<String>) -> JsonError {
+        JsonError {
+            at: self.at,
+            problem: problem.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.at += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.at + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.at..self.at + 4])
+                                .map_err(|_| self.err("non-UTF8 \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.at += 4;
+                            // Basic-plane scalars only (enough for the
+                            // labels scenario specs use; surrogate pairs
+                            // are rejected explicitly).
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(ch);
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-read the full UTF-8 character starting at c.
+                    let start = self.at - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s.chars().next().expect("non-empty");
+                    if (ch as u32) < 0x20 {
+                        return Err(self.err("unescaped control character in string"));
+                    }
+                    out.push(ch);
+                    self.at = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.at += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.at += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.at += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.at += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.at]).expect("number spans are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err(format!("invalid number {text:?}")))
+        } else {
+            text.parse::<i128>()
+                .map(Json::Int)
+                .map_err(|_| self.err(format!("invalid integer {text:?}")))
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_values() {
+        let v = obj(vec![
+            ("name", Json::Str("fig16:\"Tiny\"".into())),
+            ("seed", Json::Int(u64::MAX as i128)),
+            ("ratio", ints([0i64, 1, 2, 4, 8])),
+            ("rate", Json::Float(1e-9)),
+            ("whole", Json::Float(2.0)),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+            ("nested", Json::Arr(vec![obj(vec![("x", Json::Int(-3))])])),
+        ]);
+        let text = v.emit();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let text = Json::Float(2.0).emit();
+        assert_eq!(text, "2.0");
+        assert_eq!(Json::parse(&text).unwrap(), Json::Float(2.0));
+    }
+
+    #[test]
+    fn big_integers_are_lossless() {
+        let seed = u64::MAX - 1;
+        let text = Json::Int(i128::from(seed)).emit();
+        assert_eq!(Json::parse(&text).unwrap().u64_of("seed").unwrap(), seed);
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v = Json::parse(" { \"a\\n\" : [ 1 , 2.5 ] , \"b\" : \"\\u0041\" } ").unwrap();
+        let fields = v.obj_of("doc").unwrap();
+        assert_eq!(fields[0].0, "a\n");
+        assert_eq!(fields[0].1, Json::Arr(vec![Json::Int(1), Json::Float(2.5)]));
+        assert_eq!(fields[1].1, Json::Str("A".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "nul",
+            "1 2",
+            "\"abc",
+            "{\"a\" 1}",
+            "01a",
+            "\"\\q\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn schema_helpers_reject_mismatches() {
+        let fields = vec![("a".to_string(), Json::Int(1))];
+        assert!(get(&fields, "a", "t").is_ok());
+        assert!(get(&fields, "b", "t").is_err());
+        assert!(check_fields(&fields, &["a"], "t").is_ok());
+        assert!(check_fields(&fields, &["b"], "t").is_err());
+        let dup = vec![
+            ("a".to_string(), Json::Int(1)),
+            ("a".to_string(), Json::Int(2)),
+        ];
+        assert!(check_fields(&dup, &["a"], "t").is_err());
+        assert!(Json::Int(1).str_of("t").is_err());
+        assert!(Json::Str("x".into()).u64_of("t").is_err());
+        assert!(Json::Int(-1).u32_of("t").is_err());
+        assert!(Json::Int(70000).u16_of("t").is_err());
+    }
+}

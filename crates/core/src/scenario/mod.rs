@@ -1,0 +1,333 @@
+//! The **Scenario API**: one declarative, serializable entry point for
+//! every experiment.
+//!
+//! The paper's results are all instances of one shape — *machine ×
+//! fabric × routing × workload × purification strategy, swept and
+//! measured*. This module makes that shape data instead of code:
+//!
+//! * [`ScenarioSpec`] describes an experiment completely — machine
+//!   scale and placement, [`qic_net::topology::TopologyKind`] +
+//!   [`qic_net::routing::RoutingPolicy`], workload (QFT / MM / ME /
+//!   Shor / synthetic or raw batch traffic), purification strategy,
+//!   sweep axes, replicates and seeding — and round-trips through JSON
+//!   ([`ScenarioSpec::to_json`] / [`ScenarioSpec::from_json`]);
+//! * [`run`] is the single entry point: validate, build the campaign,
+//!   evaluate deterministically, return a [`ScenarioReport`];
+//! * [`ScenarioRegistry`] names the presets (`fig10`…`fig16`,
+//!   `topology_faceoff`, and studies the legacy per-figure functions
+//!   could not express, like the Figure 16 sweep on a torus).
+//!
+//! Figure presets reproduce the legacy campaign outputs **byte for
+//! byte** (golden-file tests in the workspace root hold the line).
+//!
+//! # Example
+//!
+//! ```
+//! use qic_core::scenario::{self, ScenarioRegistry, ScenarioScale};
+//!
+//! let spec = ScenarioRegistry::builtin()
+//!     .spec("topology_faceoff", ScenarioScale::SmallTest)
+//!     .expect("registered");
+//! // The spec is data: serialize it, ship it, edit it, rerun it.
+//! let same = scenario::ScenarioSpec::from_json(&spec.to_json())?;
+//! assert_eq!(spec, same);
+//! let report = scenario::run(&same)?;
+//! assert_eq!(report.report.points.len(), 6); // 3 fabrics × 2 policies
+//! # Ok::<(), qic_core::scenario::ScenarioError>(())
+//! ```
+
+mod json;
+mod registry;
+mod runner;
+mod spec;
+
+pub use json::JsonError;
+pub use registry::{faceoff_spec, fig16_spec, ScenarioEntry, ScenarioRegistry, ScenarioScale};
+pub use runner::{run, ScenarioReport};
+pub use spec::{
+    ratio_resources, ExperimentSpec, MachineSpec, NetPreset, ScenarioAxis, ScenarioError,
+    ScenarioSpec, WorkloadSpec,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qic_analytic::figures::PairMetric;
+    use qic_analytic::strategy::PurifyPlacement;
+    use qic_net::routing::RoutingPolicy;
+    use qic_net::topology::TopologyKind;
+
+    use crate::layout::Layout;
+
+    #[test]
+    fn registry_has_the_promised_coverage() {
+        let registry = ScenarioRegistry::builtin();
+        assert!(registry.entries().len() >= 8);
+        let mut fabrics = std::collections::HashSet::new();
+        let mut routings = std::collections::HashSet::new();
+        for entry in registry.entries() {
+            for scale in [ScenarioScale::Full, ScenarioScale::SmallTest] {
+                let spec = entry.spec(scale);
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("{} at {scale:?}: {e}", entry.name));
+                if let ExperimentSpec::Machine { machine, .. } = &spec.experiment {
+                    fabrics.insert(machine.topology);
+                    routings.insert(machine.routing);
+                }
+                for axis in &spec.axes {
+                    match axis {
+                        ScenarioAxis::Topologies { kinds } => fabrics.extend(kinds.iter()),
+                        ScenarioAxis::Routings { policies } => routings.extend(policies.iter()),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert_eq!(fabrics.len(), TopologyKind::ALL.len(), "{fabrics:?}");
+        assert_eq!(routings.len(), RoutingPolicy::ALL.len(), "{routings:?}");
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let registry = ScenarioRegistry::builtin();
+        for entry in registry.entries() {
+            assert!(registry.get(entry.name).is_some());
+            assert_eq!(
+                registry
+                    .entries()
+                    .iter()
+                    .filter(|e| e.name == entry.name)
+                    .count(),
+                1,
+                "duplicate registry name {}",
+                entry.name
+            );
+        }
+        assert!(registry.get("nope").is_none());
+        assert!(registry.spec("nope", ScenarioScale::Full).is_none());
+    }
+
+    #[test]
+    fn every_registry_spec_round_trips_json() {
+        for entry in ScenarioRegistry::builtin().entries() {
+            for scale in [ScenarioScale::Full, ScenarioScale::SmallTest] {
+                let spec = entry.spec(scale);
+                let json = spec.to_json();
+                let back = ScenarioSpec::from_json(&json)
+                    .unwrap_or_else(|e| panic!("{} at {scale:?}: {e}\n{json}", entry.name));
+                assert_eq!(spec, back, "{} at {scale:?}", entry.name);
+            }
+        }
+    }
+
+    #[test]
+    fn run_is_the_single_entry_point_for_both_families() {
+        // A machine scenario …
+        let machine = ScenarioRegistry::builtin()
+            .spec("synthetic_stress", ScenarioScale::SmallTest)
+            .unwrap();
+        let report = run(&machine).unwrap();
+        assert_eq!(report.report.points.len(), 3);
+        for p in &report.report.points {
+            assert!(p.mean("makespan_us").unwrap() > 0.0);
+        }
+        // … and an analytic channel scenario go through the same door.
+        let channel = ScenarioSpec::channel(
+            "one_point",
+            PurifyPlacement::VirtualWire { rounds: 1 },
+            20,
+            PairMetric::TotalPairs,
+        );
+        let report = run(&channel).unwrap();
+        assert_eq!(report.report.points.len(), 1);
+        assert!(report.report.points[0].mean("pairs").unwrap() > 0.0);
+        assert!(report.to_csv().starts_with("index,"));
+        assert!(report.to_json().starts_with("{\n"));
+    }
+
+    #[test]
+    fn batch_traffic_drives_the_simulator_directly() {
+        let spec = ScenarioSpec::machine(
+            "crossing_batch",
+            MachineSpec::preset(NetPreset::SmallTest),
+            WorkloadSpec::Batch {
+                comms: vec![((0, 0), (3, 3)), ((3, 0), (0, 3))],
+            },
+        )
+        .with_axis(ScenarioAxis::Topologies {
+            kinds: vec![TopologyKind::Mesh, TopologyKind::Torus],
+        });
+        let report = run(&spec).unwrap();
+        assert_eq!(report.report.points.len(), 2);
+        for p in &report.report.points {
+            assert_eq!(p.mean("comms_completed"), Some(2.0));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs_with_context() {
+        // Channel axis on a machine experiment.
+        let spec = ScenarioSpec::machine(
+            "mixed",
+            MachineSpec::preset(NetPreset::SmallTest),
+            WorkloadSpec::Qft { qubits: 8 },
+        )
+        .with_axis(ScenarioAxis::Hops { hops: vec![4] });
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ScenarioError::Spec { .. }
+        ));
+
+        // A sweep point whose config fails qic-net validation: the
+        // hypercube needs a power-of-two node count.
+        let spec = ScenarioSpec::machine(
+            "bad_grid",
+            MachineSpec::preset(NetPreset::SmallTest).with_grid(5, 4),
+            WorkloadSpec::Qft { qubits: 8 },
+        )
+        .with_axis(ScenarioAxis::Topologies {
+            kinds: vec![TopologyKind::Mesh, TopologyKind::Hypercube],
+        });
+        let err = spec.validate().unwrap_err();
+        match &err {
+            ScenarioError::Config {
+                scenario,
+                point,
+                source,
+            } => {
+                assert_eq!(scenario, "bad_grid");
+                assert!(point.as_deref().unwrap().contains("hypercube"), "{point:?}");
+                assert_eq!(source.field_name(), "topology");
+            }
+            other => panic!("expected config error, got {other}"),
+        }
+        assert!(err.to_string().contains("bad_grid"));
+        assert!(std::error::Error::source(&err).is_some());
+
+        // A workload that does not fit the grid.
+        let spec = ScenarioSpec::machine(
+            "too_big",
+            MachineSpec::preset(NetPreset::SmallTest),
+            WorkloadSpec::Qft { qubits: 64 },
+        );
+        let err = spec.validate().unwrap_err();
+        assert!(err.to_string().contains("16 sites"), "{err}");
+
+        // Batch traffic off the grid.
+        let spec = ScenarioSpec::machine(
+            "off_grid",
+            MachineSpec::preset(NetPreset::SmallTest),
+            WorkloadSpec::Batch {
+                comms: vec![((0, 0), (9, 9))],
+            },
+        );
+        assert!(spec.validate().is_err());
+
+        // run() refuses invalid specs instead of panicking mid-campaign.
+        assert!(run(&spec).is_err());
+
+        // Ratios that would truncate in u32 arithmetic are rejected, not
+        // silently wrapped.
+        let spec = ScenarioSpec::machine(
+            "huge_ratio",
+            MachineSpec::preset(NetPreset::SmallTest),
+            WorkloadSpec::Qft { qubits: 8 },
+        )
+        .with_axis(ScenarioAxis::ResourceRatio {
+            area: 36,
+            ratios: vec![0, 1i64 << 32],
+        });
+        assert!(spec.validate().unwrap_err().to_string().contains("u32"));
+
+        // Zero-instruction synthetic traffic is as degenerate as an
+        // empty batch.
+        let spec = ScenarioSpec::machine(
+            "empty_synthetic",
+            MachineSpec::preset(NetPreset::SmallTest),
+            WorkloadSpec::Synthetic {
+                qubits: 8,
+                comms: 0,
+                seed: 1,
+            },
+        );
+        assert!(spec.validate().is_err());
+
+        // A degenerate error-rate axis gets the specific diagnosis, not
+        // the generic "axis has no values".
+        let spec = ScenarioSpec::channel(
+            "bad_exponents",
+            PurifyPlacement::EndpointsOnly,
+            16,
+            PairMetric::TeleportedPairs,
+        )
+        .with_axis(ScenarioAxis::ErrorRateLog {
+            start_exp: -4,
+            stop_exp: -9,
+            per_decade: 4,
+        });
+        let err = spec.validate().unwrap_err().to_string();
+        assert!(err.contains("stop_exp > start_exp"), "{err}");
+    }
+
+    #[test]
+    fn json_rejects_unknown_fields_and_kinds() {
+        let spec = ScenarioRegistry::builtin()
+            .spec("fig12", ScenarioScale::SmallTest)
+            .unwrap();
+        let json = spec.to_json();
+        let typo = json.replace("\"replicates\"", "\"replicants\"");
+        assert!(matches!(
+            ScenarioSpec::from_json(&typo),
+            Err(ScenarioError::Json(_))
+        ));
+        let bad_kind = json.replace("\"channel\"", "\"chanel\"");
+        assert!(ScenarioSpec::from_json(&bad_kind).is_err());
+        assert!(ScenarioSpec::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn ratio_resources_matches_the_paper_axis() {
+        assert_eq!(ratio_resources(0, 90), (1024, 1024, 1024));
+        assert_eq!(ratio_resources(1, 90), (30, 30, 30));
+        assert_eq!(ratio_resources(2, 90), (36, 36, 18));
+        assert_eq!(ratio_resources(4, 90), (40, 40, 10));
+        assert_eq!(ratio_resources(8, 90), (40, 40, 5));
+        assert_eq!(ratio_resources(1, 36), (12, 12, 12));
+        assert_eq!(ratio_resources(8, 36), (16, 16, 2));
+    }
+
+    #[test]
+    fn workload_axis_changes_the_program_per_point() {
+        let spec = ScenarioRegistry::builtin()
+            .spec("shor_kernel", ScenarioScale::SmallTest)
+            .unwrap();
+        let report = run(&spec).unwrap();
+        // 2 layouts × 4 workloads.
+        assert_eq!(report.report.points.len(), 8);
+        let comms = |idx: usize| report.report.points[idx].mean("comms_completed").unwrap();
+        // QFT-4 (6 instructions) completes fewer comms than the Shor
+        // kernel (ME + QFT), whatever the layout.
+        assert!(comms(0) < comms(3));
+    }
+
+    #[test]
+    fn specs_with_explicit_layouts_round_trip_behaviour() {
+        // The same spec, serialized and re-run, produces the identical
+        // report (the whole point of a declarative scenario).
+        let spec = ScenarioRegistry::builtin()
+            .spec("fig16", ScenarioScale::SmallTest)
+            .unwrap();
+        let direct = run(&spec).unwrap();
+        let reloaded = run(&ScenarioSpec::from_json(&spec.to_json()).unwrap()).unwrap();
+        assert_eq!(direct.report.to_json(), reloaded.report.to_json());
+        assert_eq!(direct.report.to_csv(), reloaded.report.to_csv());
+    }
+
+    #[test]
+    fn layout_labels_round_trip() {
+        for layout in Layout::ALL {
+            assert_eq!(Layout::parse(&layout.to_string()), Some(layout));
+        }
+        assert_eq!(Layout::parse("homebase"), None);
+    }
+}

@@ -1,0 +1,151 @@
+//! The single entry point: `run(&spec) -> ScenarioReport`.
+
+use qic_analytic::figures::pair_budget;
+use qic_analytic::plan::ChannelModel;
+use qic_analytic::strategy::PurifyPlacement;
+use qic_net::sim::{BatchDriver, NetworkSim};
+use qic_net::topology::Coord;
+use qic_sweep::{Campaign, CampaignReport, Metrics};
+
+use crate::machine::Machine;
+use crate::scenario::spec::{
+    ExperimentSpec, MachineSpec, ScenarioError, ScenarioSpec, WorkloadSpec,
+};
+
+/// The result of running a scenario: the spec that produced it plus the
+/// full campaign report.
+///
+/// The report is byte-identical however the run was scheduled (worker
+/// count, thread interleaving); see `qic-sweep`'s determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// The spec that was run (after validation).
+    pub spec: ScenarioSpec,
+    /// Per-point results, CSV/JSON emitters included.
+    pub report: CampaignReport,
+}
+
+impl ScenarioReport {
+    /// The campaign report as deterministic CSV.
+    pub fn to_csv(&self) -> String {
+        self.report.to_csv()
+    }
+
+    /// The campaign report as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        self.report.to_json()
+    }
+}
+
+/// Runs a scenario: validates the spec, builds the campaign its axes
+/// describe, evaluates every point (in parallel, deterministically) and
+/// returns the report.
+///
+/// This is the one entry point every experiment goes through — the
+/// figure presets in [`crate::scenario::ScenarioRegistry`], the
+/// examples, and ad-hoc specs loaded from JSON.
+///
+/// # Errors
+///
+/// [`ScenarioError`] if the spec fails validation; running a validated
+/// spec cannot fail.
+pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
+    spec.validate()?;
+    let report = match &spec.experiment {
+        ExperimentSpec::Machine { machine, workload } => run_machine(spec, machine, workload),
+        ExperimentSpec::Channel {
+            placement,
+            hops,
+            metric,
+        } => run_channel(spec, *placement, *hops, *metric),
+    };
+    Ok(ScenarioReport {
+        spec: spec.clone(),
+        report,
+    })
+}
+
+fn campaign(spec: &ScenarioSpec) -> Campaign {
+    Campaign::new(spec.name.clone(), spec.param_space())
+        .seed(spec.seed)
+        .replicates(spec.replicates)
+        .workers(spec.workers)
+}
+
+fn run_machine(
+    spec: &ScenarioSpec,
+    machine: &MachineSpec,
+    workload: &WorkloadSpec,
+) -> CampaignReport {
+    // Unless a workload axis varies it per point, generate the program
+    // once up front (QFT-256 is tens of thousands of instructions).
+    let workload_varies = spec
+        .axes
+        .iter()
+        .any(|a| matches!(a, crate::scenario::ScenarioAxis::Workloads { .. }));
+    let base_program = if workload_varies {
+        None
+    } else {
+        workload.program()
+    };
+    campaign(spec).run(|point, ctx| {
+        let mut net = machine.net_config();
+        let mut layout = machine.layout;
+        let mut wl = workload.clone();
+        for (a, axis) in spec.axes.iter().enumerate() {
+            axis.apply_machine(point.coord(a), &mut net, &mut layout, &mut wl);
+        }
+        // Per-point derived seeds follow the engine's replication
+        // contract; the net RNG only draws classical correction bits,
+        // which never move simulated time, so they cannot shift a
+        // figure's numbers.
+        net.seed = ctx.seed;
+        match &wl {
+            WorkloadSpec::Batch { comms } => {
+                let batch = comms
+                    .iter()
+                    .map(|&((sx, sy), (dx, dy))| (Coord::new(sx, sy), Coord::new(dx, dy)))
+                    .collect();
+                let mut driver = BatchDriver::new(batch);
+                NetworkSim::new(net).run(&mut driver).metrics()
+            }
+            program_workload => {
+                let per_point;
+                let program = match &base_program {
+                    Some(shared) => shared,
+                    None => {
+                        per_point = program_workload
+                            .program()
+                            .expect("non-batch workloads generate programs");
+                        &per_point
+                    }
+                };
+                let mut b = Machine::builder();
+                b.net_config(net).layout(layout);
+                let machine = b.build().expect("validated scenario points build");
+                machine.run(program).net.metrics()
+            }
+        }
+    })
+}
+
+fn run_channel(
+    spec: &ScenarioSpec,
+    base_placement: PurifyPlacement,
+    base_hops: u32,
+    metric: qic_analytic::figures::PairMetric,
+) -> CampaignReport {
+    campaign(spec).run(|point, _ctx| {
+        let mut placement = base_placement;
+        let mut hops = base_hops;
+        let mut rates = None;
+        for (a, axis) in spec.axes.iter().enumerate() {
+            axis.apply_channel(point.coord(a), &mut placement, &mut hops, &mut rates);
+        }
+        let mut model = ChannelModel::ion_trap().with_placement(placement);
+        if let Some(rates) = rates {
+            model = model.with_rates(rates);
+        }
+        Metrics::new().with("pairs", pair_budget(&model, hops, metric))
+    })
+}

@@ -1,0 +1,1419 @@
+//! `ScenarioSpec`: the declarative, serializable experiment description.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qic_analytic::figures::PairMetric;
+use qic_analytic::strategy::PurifyPlacement;
+use qic_net::config::{ConfigError, NetConfig};
+use qic_net::routing::RoutingPolicy;
+use qic_net::topology::TopologyKind;
+use qic_physics::error::ErrorRates;
+use qic_sweep::{Axis, ParamSpace};
+use qic_workload::Program;
+
+use crate::layout::Layout;
+use crate::scenario::json::{check_fields, get, ints, obj, Json, JsonError};
+
+/// A named base network configuration a [`MachineSpec`] starts from.
+///
+/// The preset supplies the physics constants (operation times, error
+/// rates, hop/turn cells, event budget); everything a scenario sweeps
+/// or overrides is an explicit [`MachineSpec`] field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetPreset {
+    /// [`NetConfig::paper_scale`] — the paper's 16×16, depth-3 setup.
+    Paper,
+    /// [`NetConfig::reduced`] — 8×8, level-1 code, fast benchmarking.
+    Reduced,
+    /// [`NetConfig::small_test`] — 4×4 deterministic test scale.
+    SmallTest,
+}
+
+impl NetPreset {
+    /// The preset's base configuration.
+    pub fn net(self) -> NetConfig {
+        match self {
+            NetPreset::Paper => NetConfig::paper_scale(),
+            NetPreset::Reduced => NetConfig::reduced(),
+            NetPreset::SmallTest => NetConfig::small_test(),
+        }
+    }
+
+    /// A compact label (`"paper"` / `"reduced"` / `"small_test"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            NetPreset::Paper => "paper",
+            NetPreset::Reduced => "reduced",
+            NetPreset::SmallTest => "small_test",
+        }
+    }
+
+    /// Parses a [`NetPreset::label`].
+    pub fn parse(label: &str) -> Option<NetPreset> {
+        match label {
+            "paper" => Some(NetPreset::Paper),
+            "reduced" => Some(NetPreset::Reduced),
+            "small_test" => Some(NetPreset::SmallTest),
+            _ => None,
+        }
+    }
+}
+
+/// The machine side of a simulation scenario: scale, fabric, routing,
+/// layout and the Section 5.3 resource knobs, all as data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Base preset supplying physics constants.
+    pub preset: NetPreset,
+    /// Grid width in sites.
+    pub width: u16,
+    /// Grid height in sites.
+    pub height: u16,
+    /// Interconnect fabric.
+    pub topology: TopologyKind,
+    /// Channel routing policy.
+    pub routing: RoutingPolicy,
+    /// Logical-qubit layout.
+    pub layout: Layout,
+    /// Teleporters per T' node (`t`).
+    pub teleporters: u32,
+    /// Generators per G node (`g`).
+    pub generators: u32,
+    /// Queue purifiers per P node (`p`).
+    pub purifiers: u32,
+    /// Purification rounds per delivered pair.
+    pub purify_depth: u32,
+    /// Purified pairs per logical communication.
+    pub outputs_per_comm: u32,
+}
+
+impl MachineSpec {
+    /// A machine spec whose fields mirror `preset` exactly (Home-Base
+    /// layout, the preset's grid and resources).
+    pub fn preset(preset: NetPreset) -> MachineSpec {
+        let net = preset.net();
+        MachineSpec {
+            preset,
+            width: net.mesh_width,
+            height: net.mesh_height,
+            topology: net.topology,
+            routing: net.routing,
+            layout: Layout::HomeBase,
+            teleporters: net.teleporters_per_node,
+            generators: net.generators_per_edge,
+            purifiers: net.purifiers_per_site,
+            purify_depth: net.purify_depth,
+            outputs_per_comm: net.outputs_per_comm,
+        }
+    }
+
+    /// Sets the grid dimensions.
+    pub fn with_grid(mut self, width: u16, height: u16) -> MachineSpec {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Sets the fabric.
+    pub fn with_topology(mut self, kind: TopologyKind) -> MachineSpec {
+        self.topology = kind;
+        self
+    }
+
+    /// Sets the routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> MachineSpec {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the layout.
+    pub fn with_layout(mut self, layout: Layout) -> MachineSpec {
+        self.layout = layout;
+        self
+    }
+
+    /// Sets `t`, `g`, `p` together.
+    pub fn with_resources(mut self, t: u32, g: u32, p: u32) -> MachineSpec {
+        self.teleporters = t;
+        self.generators = g;
+        self.purifiers = p;
+        self
+    }
+
+    /// Sets the purifier depth.
+    pub fn with_purify_depth(mut self, depth: u32) -> MachineSpec {
+        self.purify_depth = depth;
+        self
+    }
+
+    /// Sets purified pairs per communication.
+    pub fn with_outputs_per_comm(mut self, outputs: u32) -> MachineSpec {
+        self.outputs_per_comm = outputs;
+        self
+    }
+
+    /// Materialises the full [`NetConfig`]: the preset's physics
+    /// constants with this spec's declarative fields applied. The
+    /// config keeps the preset's seed; at run time the campaign
+    /// engine's derived per-point seed replaces it (see
+    /// [`ScenarioSpec::seed`]).
+    pub fn net_config(&self) -> NetConfig {
+        let mut net = self.preset.net();
+        net.mesh_width = self.width;
+        net.mesh_height = self.height;
+        net.topology = self.topology;
+        net.routing = self.routing;
+        net.teleporters_per_node = self.teleporters;
+        net.generators_per_edge = self.generators;
+        net.purifiers_per_site = self.purifiers;
+        net.purify_depth = self.purify_depth;
+        net.outputs_per_comm = self.outputs_per_comm;
+        net
+    }
+}
+
+/// The workload a simulation scenario drives through the machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The Quantum Fourier Transform on `qubits` logical qubits.
+    Qft {
+        /// Logical qubit count (≥ 2).
+        qubits: u32,
+    },
+    /// Modular multiplication over two `register`-qubit registers.
+    ModMul {
+        /// Register width (≥ 1).
+        register: u32,
+    },
+    /// Modular exponentiation: `steps` square-and-multiply iterations.
+    ModExp {
+        /// Register width (≥ 2).
+        register: u32,
+        /// Square-and-multiply steps (≥ 1).
+        steps: u32,
+    },
+    /// The composed Shor kernel (ME then QFT over register A).
+    Shor {
+        /// Register width (≥ 2).
+        register: u32,
+        /// ME steps (≥ 1).
+        steps: u32,
+    },
+    /// Seeded uniform-random two-qubit interactions
+    /// ([`Program::synthetic`]).
+    Synthetic {
+        /// Logical qubit count (≥ 2).
+        qubits: u32,
+        /// Number of instructions.
+        comms: u32,
+        /// Traffic seed.
+        seed: u64,
+    },
+    /// Raw batch traffic: `(src, dst)` site pairs submitted at time
+    /// zero through [`qic_net::sim::BatchDriver`], bypassing the
+    /// logical scheduler (layout is ignored).
+    Batch {
+        /// `(src, dst)` grid coordinates, as `((x, y), (x, y))`.
+        comms: Vec<((u16, u16), (u16, u16))>,
+    },
+}
+
+impl WorkloadSpec {
+    /// The logical program this workload generates, or `None` for raw
+    /// batch traffic (which has no program).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters; [`ScenarioSpec::validate`]
+    /// checks them first.
+    pub fn program(&self) -> Option<Program> {
+        match *self {
+            WorkloadSpec::Qft { qubits } => Some(Program::qft(qubits)),
+            WorkloadSpec::ModMul { register } => Some(Program::modular_multiplication(register)),
+            WorkloadSpec::ModExp { register, steps } => {
+                Some(Program::modular_exponentiation(register, steps))
+            }
+            WorkloadSpec::Shor { register, steps } => Some(Program::shor_kernel(register, steps)),
+            WorkloadSpec::Synthetic {
+                qubits,
+                comms,
+                seed,
+            } => Some(Program::synthetic(qubits, comms as usize, seed)),
+            WorkloadSpec::Batch { .. } => None,
+        }
+    }
+
+    /// Logical qubits (grid sites) the workload needs.
+    pub fn qubits(&self) -> u32 {
+        match *self {
+            WorkloadSpec::Qft { qubits } | WorkloadSpec::Synthetic { qubits, .. } => qubits,
+            WorkloadSpec::ModMul { register }
+            | WorkloadSpec::ModExp { register, .. }
+            | WorkloadSpec::Shor { register, .. } => 2 * register,
+            WorkloadSpec::Batch { .. } => 0,
+        }
+    }
+
+    /// A compact label for sweep axes (`"qft:16"`, `"me:4x2"`, …).
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Qft { qubits } => format!("qft:{qubits}"),
+            WorkloadSpec::ModMul { register } => format!("mm:{register}"),
+            WorkloadSpec::ModExp { register, steps } => format!("me:{register}x{steps}"),
+            WorkloadSpec::Shor { register, steps } => format!("shor:{register}x{steps}"),
+            WorkloadSpec::Synthetic { qubits, comms, .. } => {
+                format!("synthetic:{qubits}x{comms}")
+            }
+            WorkloadSpec::Batch { comms } => format!("batch:{}", comms.len()),
+        }
+    }
+
+    fn check(&self, scenario: &str) -> Result<(), ScenarioError> {
+        let spec_err = |problem: String| ScenarioError::Spec {
+            scenario: scenario.to_string(),
+            problem,
+        };
+        match *self {
+            WorkloadSpec::Qft { qubits } | WorkloadSpec::Synthetic { qubits, .. } if qubits < 2 => {
+                Err(spec_err(format!(
+                    "workload {} needs ≥ 2 qubits",
+                    self.label()
+                )))
+            }
+            WorkloadSpec::ModMul { register: 0 } => Err(spec_err(
+                "modular multiplication needs a non-empty register".into(),
+            )),
+            WorkloadSpec::ModExp { register, steps } | WorkloadSpec::Shor { register, steps }
+                if register < 2 || steps == 0 =>
+            {
+                Err(spec_err(format!(
+                    "workload {} needs register ≥ 2 and steps ≥ 1",
+                    self.label()
+                )))
+            }
+            WorkloadSpec::Synthetic { comms: 0, .. } => Err(spec_err(
+                "synthetic workloads need at least one instruction".into(),
+            )),
+            WorkloadSpec::Batch { ref comms } if comms.is_empty() => Err(spec_err(
+                "batch workloads need at least one communication".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// One sweep dimension of a scenario.
+///
+/// Each variant both defines a campaign axis (name + values, exactly as
+/// the legacy per-figure campaigns built them) and a binding that
+/// rewrites the per-point configuration before evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioAxis {
+    /// Figure 16's joint resource axis: `t = g = R·p` under a fixed
+    /// interconnect area budget; ratio `0` encodes the unlimited
+    /// `t = g = p = 1024` baseline. Campaign axis `ratio`.
+    ResourceRatio {
+        /// Unit-area resource budget shared by `t + g + p`.
+        area: u32,
+        /// The `t:p` ratios to sweep (`0` = unlimited baseline).
+        ratios: Vec<i64>,
+    },
+    /// Sweeps the logical-qubit layout. Campaign axis `layout`.
+    Layouts {
+        /// Layouts in sweep order.
+        layouts: Vec<Layout>,
+    },
+    /// Sweeps the interconnect fabric. Campaign axis `topology`.
+    Topologies {
+        /// Fabric kinds in sweep order.
+        kinds: Vec<TopologyKind>,
+    },
+    /// Sweeps the routing policy. Campaign axis `routing`.
+    Routings {
+        /// Policies in sweep order.
+        policies: Vec<RoutingPolicy>,
+    },
+    /// Sweeps a square grid edge (width = height). Campaign axis `mesh`.
+    GridEdges {
+        /// Edge lengths in sweep order.
+        edges: Vec<u16>,
+    },
+    /// Sweeps the purifier depth. Campaign axis `depth`.
+    PurifyDepths {
+        /// Depths in sweep order.
+        depths: Vec<u32>,
+    },
+    /// Sweeps `t = g = p` together. Campaign axis `units`.
+    Units {
+        /// Unit counts in sweep order.
+        units: Vec<u32>,
+    },
+    /// Sweeps teleporters per node. Campaign axis `t`.
+    Teleporters {
+        /// Counts in sweep order.
+        values: Vec<u32>,
+    },
+    /// Sweeps generators per edge. Campaign axis `g`.
+    Generators {
+        /// Counts in sweep order.
+        values: Vec<u32>,
+    },
+    /// Sweeps purifiers per site. Campaign axis `p`.
+    Purifiers {
+        /// Counts in sweep order.
+        values: Vec<u32>,
+    },
+    /// Sweeps the workload itself. Campaign axis `workload`.
+    Workloads {
+        /// Workloads in sweep order.
+        workloads: Vec<WorkloadSpec>,
+    },
+    /// Sweeps the purification placement of a channel scenario
+    /// (Figures 10–12's legend set). Campaign axis `placement`.
+    Placements {
+        /// Placements in sweep order.
+        placements: Vec<PurifyPlacement>,
+    },
+    /// Sweeps the channel distance. Campaign axis `hops`.
+    Hops {
+        /// Teleport-hop counts in sweep order.
+        hops: Vec<u32>,
+    },
+    /// Sweeps a log-spaced uniform operation error rate
+    /// (`10^(start_exp + i/per_decade)`, Figure 12's x-axis). Campaign
+    /// axis `error_rate`.
+    ErrorRateLog {
+        /// First decade exponent.
+        start_exp: i32,
+        /// Last decade exponent (exclusive bound is `stop_exp`
+        /// inclusive, as [`Axis::log_spaced`]).
+        stop_exp: i32,
+        /// Grid points per decade.
+        per_decade: u32,
+    },
+}
+
+impl ScenarioAxis {
+    /// The campaign axis this dimension sweeps (name + values), exactly
+    /// as the legacy per-figure campaigns built it.
+    pub fn axis(&self) -> Axis {
+        match self {
+            ScenarioAxis::ResourceRatio { ratios, .. } => Axis::ints("ratio", ratios.clone()),
+            ScenarioAxis::Layouts { layouts } => {
+                Axis::labels("layout", layouts.iter().map(Layout::to_string))
+            }
+            ScenarioAxis::Topologies { kinds } => {
+                Axis::labels("topology", kinds.iter().map(TopologyKind::to_string))
+            }
+            ScenarioAxis::Routings { policies } => {
+                Axis::labels("routing", policies.iter().map(RoutingPolicy::to_string))
+            }
+            ScenarioAxis::GridEdges { edges } => {
+                Axis::ints("mesh", edges.iter().map(|&e| i64::from(e)))
+            }
+            ScenarioAxis::PurifyDepths { depths } => {
+                Axis::ints("depth", depths.iter().map(|&d| i64::from(d)))
+            }
+            ScenarioAxis::Units { units } => {
+                Axis::ints("units", units.iter().map(|&u| i64::from(u)))
+            }
+            ScenarioAxis::Teleporters { values } => {
+                Axis::ints("t", values.iter().map(|&v| i64::from(v)))
+            }
+            ScenarioAxis::Generators { values } => {
+                Axis::ints("g", values.iter().map(|&v| i64::from(v)))
+            }
+            ScenarioAxis::Purifiers { values } => {
+                Axis::ints("p", values.iter().map(|&v| i64::from(v)))
+            }
+            ScenarioAxis::Workloads { workloads } => {
+                Axis::labels("workload", workloads.iter().map(WorkloadSpec::label))
+            }
+            ScenarioAxis::Placements { placements } => {
+                Axis::labels("placement", placements.iter().map(PurifyPlacement::legend))
+            }
+            ScenarioAxis::Hops { hops } => Axis::ints("hops", hops.iter().map(|&h| i64::from(h))),
+            ScenarioAxis::ErrorRateLog {
+                start_exp,
+                stop_exp,
+                per_decade,
+            } => Axis::log_spaced("error_rate", *start_exp, *stop_exp, *per_decade),
+        }
+    }
+
+    /// Number of values along this axis.
+    pub fn len(&self) -> usize {
+        match self {
+            ScenarioAxis::ResourceRatio { ratios, .. } => ratios.len(),
+            ScenarioAxis::Layouts { layouts } => layouts.len(),
+            ScenarioAxis::Topologies { kinds } => kinds.len(),
+            ScenarioAxis::Routings { policies } => policies.len(),
+            ScenarioAxis::GridEdges { edges } => edges.len(),
+            ScenarioAxis::PurifyDepths { depths } => depths.len(),
+            ScenarioAxis::Units { units } => units.len(),
+            ScenarioAxis::Teleporters { values }
+            | ScenarioAxis::Generators { values }
+            | ScenarioAxis::Purifiers { values } => values.len(),
+            ScenarioAxis::Workloads { workloads } => workloads.len(),
+            ScenarioAxis::Placements { placements } => placements.len(),
+            ScenarioAxis::Hops { hops } => hops.len(),
+            ScenarioAxis::ErrorRateLog {
+                start_exp,
+                stop_exp,
+                per_decade,
+            } => {
+                if stop_exp <= start_exp || *per_decade == 0 {
+                    0
+                } else {
+                    ((stop_exp - start_exp) as usize * *per_decade as usize) + 1
+                }
+            }
+        }
+    }
+
+    /// Whether the axis has no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this axis configures a machine experiment (as opposed to
+    /// an analytic channel experiment).
+    pub fn is_machine_axis(&self) -> bool {
+        !matches!(
+            self,
+            ScenarioAxis::Placements { .. }
+                | ScenarioAxis::Hops { .. }
+                | ScenarioAxis::ErrorRateLog { .. }
+        )
+    }
+
+    /// Applies value `coord` of this axis to a machine point.
+    pub(crate) fn apply_machine(
+        &self,
+        coord: usize,
+        net: &mut NetConfig,
+        layout: &mut Layout,
+        workload: &mut WorkloadSpec,
+    ) {
+        match self {
+            ScenarioAxis::ResourceRatio { area, ratios } => {
+                let (t, g, p) = ratio_resources(ratios[coord], *area);
+                net.teleporters_per_node = t;
+                net.generators_per_edge = g;
+                net.purifiers_per_site = p;
+            }
+            ScenarioAxis::Layouts { layouts } => *layout = layouts[coord],
+            ScenarioAxis::Topologies { kinds } => net.topology = kinds[coord],
+            ScenarioAxis::Routings { policies } => net.routing = policies[coord],
+            ScenarioAxis::GridEdges { edges } => {
+                net.mesh_width = edges[coord];
+                net.mesh_height = edges[coord];
+            }
+            ScenarioAxis::PurifyDepths { depths } => net.purify_depth = depths[coord],
+            ScenarioAxis::Units { units } => {
+                net.teleporters_per_node = units[coord];
+                net.generators_per_edge = units[coord];
+                net.purifiers_per_site = units[coord];
+            }
+            ScenarioAxis::Teleporters { values } => net.teleporters_per_node = values[coord],
+            ScenarioAxis::Generators { values } => net.generators_per_edge = values[coord],
+            ScenarioAxis::Purifiers { values } => net.purifiers_per_site = values[coord],
+            ScenarioAxis::Workloads { workloads } => *workload = workloads[coord].clone(),
+            _ => unreachable!("validated: channel axes never reach machine points"),
+        }
+    }
+
+    /// Applies value `coord` of this axis to a channel point.
+    pub(crate) fn apply_channel(
+        &self,
+        coord: usize,
+        placement: &mut PurifyPlacement,
+        hops: &mut u32,
+        rates: &mut Option<ErrorRates>,
+    ) {
+        match self {
+            ScenarioAxis::Placements { placements } => *placement = placements[coord],
+            ScenarioAxis::Hops { hops: values } => *hops = values[coord],
+            ScenarioAxis::ErrorRateLog {
+                start_exp,
+                per_decade,
+                ..
+            } => {
+                // The same expression Axis::log_spaced evaluates, so the
+                // applied rate equals the reported axis value bit-for-bit.
+                let p = 10f64.powf(f64::from(*start_exp) + coord as f64 / f64::from(*per_decade));
+                *rates = Some(ErrorRates::uniform(p).expect("validated: rates are probabilities"));
+            }
+            _ => unreachable!("validated: machine axes never reach channel points"),
+        }
+    }
+}
+
+/// Resolves a Figure 16 ratio-axis value into the `(t, g, p)` resource
+/// knobs: `t = g = ratio·p` with `t + g + p ≈ area`, or the unlimited
+/// `(1024, 1024, 1024)` baseline for ratio `0`.
+pub fn ratio_resources(ratio: i64, area: u32) -> (u32, u32, u32) {
+    if ratio == 0 {
+        return (1024, 1024, 1024);
+    }
+    let ratio = ratio as u32;
+    let p = (area / (2 * ratio + 1)).max(1);
+    let t = (ratio * p).max(2);
+    (t, t, p)
+}
+
+/// What a scenario measures: a full machine simulation or the
+/// closed-form channel-resource model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExperimentSpec {
+    /// Event-driven simulation: a machine runs a workload; every point
+    /// reports the full `NetReport` metric set.
+    Machine {
+        /// The machine description (base values; axes override).
+        machine: MachineSpec,
+        /// The workload (base value; a workload axis overrides).
+        workload: WorkloadSpec,
+    },
+    /// Closed-form channel model (Figures 10–12); every point reports
+    /// the `pairs` metric.
+    Channel {
+        /// Base purification placement (a placement axis overrides).
+        placement: PurifyPlacement,
+        /// Base channel distance in teleport hops (a hops axis
+        /// overrides).
+        hops: u32,
+        /// Which pair budget the scenario reports.
+        metric: PairMetric,
+    },
+}
+
+/// A fully declarative, serializable experiment: one spec describes
+/// everything `qic::run` needs — machine, workload, purification
+/// strategy, sweep axes, replication and seeding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Campaign name (also the report identity; figure presets use the
+    /// legacy campaign names so reports stay byte-identical).
+    pub name: String,
+    /// Campaign-level seed per-point seeds derive from.
+    pub seed: u64,
+    /// Replicates per point (≥ 1).
+    pub replicates: u32,
+    /// Worker threads (`0` = engine default). Reports never depend on
+    /// this — it is an execution hint, carried for reproducible runs.
+    pub workers: usize,
+    /// Sweep dimensions, slowest-varying first.
+    pub axes: Vec<ScenarioAxis>,
+    /// What each point evaluates.
+    pub experiment: ExperimentSpec,
+}
+
+impl ScenarioSpec {
+    /// A simulation scenario (no axes yet); the campaign seed defaults
+    /// to the machine preset's base seed.
+    pub fn machine(
+        name: impl Into<String>,
+        machine: MachineSpec,
+        workload: WorkloadSpec,
+    ) -> ScenarioSpec {
+        let seed = machine.preset.net().seed;
+        ScenarioSpec {
+            name: name.into(),
+            seed,
+            replicates: 1,
+            workers: 0,
+            axes: Vec::new(),
+            experiment: ExperimentSpec::Machine { machine, workload },
+        }
+    }
+
+    /// An analytic channel scenario (no axes yet), seed 0 like the
+    /// legacy figure campaigns.
+    pub fn channel(
+        name: impl Into<String>,
+        placement: PurifyPlacement,
+        hops: u32,
+        metric: PairMetric,
+    ) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.into(),
+            seed: 0,
+            replicates: 1,
+            workers: 0,
+            axes: Vec::new(),
+            experiment: ExperimentSpec::Channel {
+                placement,
+                hops,
+                metric,
+            },
+        }
+    }
+
+    /// Appends a sweep axis (row-major: later axes vary fastest).
+    pub fn with_axis(mut self, axis: ScenarioAxis) -> ScenarioSpec {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Overrides the campaign seed.
+    pub fn with_seed(mut self, seed: u64) -> ScenarioSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets replicates per point.
+    pub fn with_replicates(mut self, replicates: u32) -> ScenarioSpec {
+        self.replicates = replicates;
+        self
+    }
+
+    /// Pins the worker-thread count (`0` = engine default).
+    pub fn with_workers(mut self, workers: usize) -> ScenarioSpec {
+        self.workers = workers;
+        self
+    }
+
+    /// The campaign parameter space the axes span.
+    pub fn param_space(&self) -> ParamSpace {
+        self.axes
+            .iter()
+            .fold(ParamSpace::new(), |space, axis| space.axis(axis.axis()))
+    }
+
+    fn spec_err(&self, problem: impl Into<String>) -> ScenarioError {
+        ScenarioError::Spec {
+            scenario: self.name.clone(),
+            problem: problem.into(),
+        }
+    }
+
+    /// Checks the spec end to end: axis/experiment family consistency,
+    /// workload invariants, and — for machine scenarios — `qic-net`
+    /// validation of **every** sweep point's configuration, wrapped
+    /// with scenario context.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Spec`] for spec-level problems,
+    /// [`ScenarioError::Config`] when a point's [`NetConfig`] fails
+    /// [`NetConfig::validate`].
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.name.is_empty() {
+            return Err(self.spec_err("scenarios need a non-empty name"));
+        }
+        if self.replicates == 0 {
+            return Err(self.spec_err("scenarios need at least one replicate"));
+        }
+        for (i, axis) in self.axes.iter().enumerate() {
+            // The dedicated error-rate diagnosis must run before the
+            // generic emptiness check (a degenerate exponent range is
+            // exactly what makes the axis empty).
+            if let ScenarioAxis::ErrorRateLog {
+                start_exp,
+                stop_exp,
+                per_decade,
+            } = axis
+            {
+                if stop_exp <= start_exp || *per_decade == 0 {
+                    return Err(self
+                        .spec_err("error-rate axes need stop_exp > start_exp and per_decade ≥ 1"));
+                }
+                if *stop_exp > 0 {
+                    return Err(self.spec_err("error rates above 1.0 are not probabilities"));
+                }
+            }
+            if axis.is_empty() {
+                return Err(self.spec_err(format!("axis #{i} has no values")));
+            }
+            let machine_experiment = matches!(self.experiment, ExperimentSpec::Machine { .. });
+            if axis.is_machine_axis() != machine_experiment {
+                return Err(
+                    self.spec_err(format!("axis #{i} does not apply to this experiment kind"))
+                );
+            }
+            if let ScenarioAxis::ResourceRatio { ratios, .. } = axis {
+                if ratios
+                    .iter()
+                    .any(|&r| !(0..=i64::from(u32::MAX)).contains(&r))
+                {
+                    return Err(
+                        self.spec_err("resource ratios must be non-negative and fit in u32")
+                    );
+                }
+            }
+            if let ScenarioAxis::Hops { hops } = axis {
+                if hops.contains(&0) {
+                    return Err(self.spec_err("channels need at least one hop"));
+                }
+            }
+            if let ScenarioAxis::Workloads { workloads } = axis {
+                for w in workloads {
+                    w.check(&self.name)?;
+                }
+            }
+        }
+        let names: Vec<&str> = self.axes.iter().map(axis_name).collect();
+        for (i, n) in names.iter().enumerate() {
+            if names[..i].contains(n) {
+                return Err(self.spec_err(format!("duplicate sweep axis {n:?}")));
+            }
+        }
+        match &self.experiment {
+            ExperimentSpec::Machine { machine, workload } => {
+                workload.check(&self.name)?;
+                let space = self.param_space();
+                for index in 0..space.len() {
+                    let point = space.point(index);
+                    let mut net = machine.net_config();
+                    let mut layout = machine.layout;
+                    let mut wl = workload.clone();
+                    for (a, axis) in self.axes.iter().enumerate() {
+                        axis.apply_machine(point.coord(a), &mut net, &mut layout, &mut wl);
+                    }
+                    net.validate().map_err(|source| ScenarioError::Config {
+                        scenario: self.name.clone(),
+                        point: Some(point.to_string()),
+                        source,
+                    })?;
+                    let sites = u32::from(net.mesh_width) * u32::from(net.mesh_height);
+                    match &wl {
+                        WorkloadSpec::Batch { comms } => {
+                            for &((sx, sy), (dx, dy)) in comms {
+                                if sx >= net.mesh_width
+                                    || sy >= net.mesh_height
+                                    || dx >= net.mesh_width
+                                    || dy >= net.mesh_height
+                                {
+                                    return Err(self.spec_err(format!(
+                                        "{point}: batch site ({sx},{sy})→({dx},{dy}) is off \
+                                         the {}×{} grid",
+                                        net.mesh_width, net.mesh_height
+                                    )));
+                                }
+                                if (sx, sy) == (dx, dy) {
+                                    return Err(self.spec_err(format!(
+                                        "{point}: batch traffic cannot send a site to itself \
+                                         (({sx},{sy}))"
+                                    )));
+                                }
+                            }
+                        }
+                        program_workload => {
+                            let qubits = program_workload.qubits();
+                            if qubits > sites {
+                                return Err(self.spec_err(format!(
+                                    "{point}: workload {} needs {qubits} qubits but the grid \
+                                     has {sites} sites",
+                                    program_workload.label()
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+            ExperimentSpec::Channel { hops, .. } => {
+                if *hops == 0
+                    && !self
+                        .axes
+                        .iter()
+                        .any(|a| matches!(a, ScenarioAxis::Hops { .. }))
+                {
+                    return Err(self.spec_err("channels need at least one hop"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises the spec as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        self.encode().emit()
+    }
+
+    /// Parses a spec from JSON. Strict: unknown or duplicate fields are
+    /// rejected, so a typo can never silently configure nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Json`] on syntax or schema problems. The parsed
+    /// spec is *not* validated — call [`ScenarioSpec::validate`] (or
+    /// let `qic::run` do it).
+    pub fn from_json(text: &str) -> Result<ScenarioSpec, ScenarioError> {
+        let value = Json::parse(text)?;
+        ScenarioSpec::decode(&value).map_err(ScenarioError::Json)
+    }
+
+    fn encode(&self) -> Json {
+        obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("seed", Json::Int(i128::from(self.seed))),
+            ("replicates", Json::Int(i128::from(self.replicates))),
+            ("workers", Json::Int(self.workers as i128)),
+            ("experiment", encode_experiment(&self.experiment)),
+            (
+                "axes",
+                Json::Arr(self.axes.iter().map(encode_axis).collect()),
+            ),
+        ])
+    }
+
+    fn decode(value: &Json) -> Result<ScenarioSpec, JsonError> {
+        let fields = value.obj_of("scenario")?;
+        check_fields(
+            fields,
+            &[
+                "name",
+                "seed",
+                "replicates",
+                "workers",
+                "experiment",
+                "axes",
+            ],
+            "scenario",
+        )?;
+        Ok(ScenarioSpec {
+            name: get(fields, "name", "scenario")?.str_of("name")?.to_string(),
+            seed: get(fields, "seed", "scenario")?.u64_of("seed")?,
+            replicates: get(fields, "replicates", "scenario")?.u32_of("replicates")?,
+            workers: get(fields, "workers", "scenario")?.usize_of("workers")?,
+            experiment: decode_experiment(get(fields, "experiment", "scenario")?)?,
+            axes: get(fields, "axes", "scenario")?
+                .arr_of("axes")?
+                .iter()
+                .map(decode_axis)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+fn axis_name(axis: &ScenarioAxis) -> &'static str {
+    match axis {
+        ScenarioAxis::ResourceRatio { .. } => "ratio",
+        ScenarioAxis::Layouts { .. } => "layout",
+        ScenarioAxis::Topologies { .. } => "topology",
+        ScenarioAxis::Routings { .. } => "routing",
+        ScenarioAxis::GridEdges { .. } => "mesh",
+        ScenarioAxis::PurifyDepths { .. } => "depth",
+        ScenarioAxis::Units { .. } => "units",
+        ScenarioAxis::Teleporters { .. } => "t",
+        ScenarioAxis::Generators { .. } => "g",
+        ScenarioAxis::Purifiers { .. } => "p",
+        ScenarioAxis::Workloads { .. } => "workload",
+        ScenarioAxis::Placements { .. } => "placement",
+        ScenarioAxis::Hops { .. } => "hops",
+        ScenarioAxis::ErrorRateLog { .. } => "error_rate",
+    }
+}
+
+// --- JSON encoding ---------------------------------------------------------
+
+fn encode_machine(m: &MachineSpec) -> Json {
+    obj(vec![
+        ("preset", Json::Str(m.preset.label().into())),
+        ("width", Json::Int(i128::from(m.width))),
+        ("height", Json::Int(i128::from(m.height))),
+        ("topology", Json::Str(m.topology.to_string())),
+        ("routing", Json::Str(m.routing.to_string())),
+        ("layout", Json::Str(m.layout.to_string())),
+        ("teleporters", Json::Int(i128::from(m.teleporters))),
+        ("generators", Json::Int(i128::from(m.generators))),
+        ("purifiers", Json::Int(i128::from(m.purifiers))),
+        ("purify_depth", Json::Int(i128::from(m.purify_depth))),
+        (
+            "outputs_per_comm",
+            Json::Int(i128::from(m.outputs_per_comm)),
+        ),
+    ])
+}
+
+fn decode_machine(value: &Json) -> Result<MachineSpec, JsonError> {
+    let f = value.obj_of("machine")?;
+    check_fields(
+        f,
+        &[
+            "preset",
+            "width",
+            "height",
+            "topology",
+            "routing",
+            "layout",
+            "teleporters",
+            "generators",
+            "purifiers",
+            "purify_depth",
+            "outputs_per_comm",
+        ],
+        "machine",
+    )?;
+    let preset_label = get(f, "preset", "machine")?.str_of("preset")?;
+    let topology_label = get(f, "topology", "machine")?.str_of("topology")?;
+    let routing_label = get(f, "routing", "machine")?.str_of("routing")?;
+    let layout_label = get(f, "layout", "machine")?.str_of("layout")?;
+    Ok(MachineSpec {
+        preset: NetPreset::parse(preset_label)
+            .ok_or_else(|| Json::schema_err(format!("unknown preset {preset_label:?}")))?,
+        width: get(f, "width", "machine")?.u16_of("width")?,
+        height: get(f, "height", "machine")?.u16_of("height")?,
+        topology: TopologyKind::parse(topology_label)
+            .ok_or_else(|| Json::schema_err(format!("unknown topology {topology_label:?}")))?,
+        routing: RoutingPolicy::parse(routing_label)
+            .ok_or_else(|| Json::schema_err(format!("unknown routing {routing_label:?}")))?,
+        layout: Layout::parse(layout_label)
+            .ok_or_else(|| Json::schema_err(format!("unknown layout {layout_label:?}")))?,
+        teleporters: get(f, "teleporters", "machine")?.u32_of("teleporters")?,
+        generators: get(f, "generators", "machine")?.u32_of("generators")?,
+        purifiers: get(f, "purifiers", "machine")?.u32_of("purifiers")?,
+        purify_depth: get(f, "purify_depth", "machine")?.u32_of("purify_depth")?,
+        outputs_per_comm: get(f, "outputs_per_comm", "machine")?.u32_of("outputs_per_comm")?,
+    })
+}
+
+fn encode_workload(w: &WorkloadSpec) -> Json {
+    match w {
+        WorkloadSpec::Qft { qubits } => obj(vec![
+            ("kind", Json::Str("qft".into())),
+            ("qubits", Json::Int(i128::from(*qubits))),
+        ]),
+        WorkloadSpec::ModMul { register } => obj(vec![
+            ("kind", Json::Str("mod_mul".into())),
+            ("register", Json::Int(i128::from(*register))),
+        ]),
+        WorkloadSpec::ModExp { register, steps } => obj(vec![
+            ("kind", Json::Str("mod_exp".into())),
+            ("register", Json::Int(i128::from(*register))),
+            ("steps", Json::Int(i128::from(*steps))),
+        ]),
+        WorkloadSpec::Shor { register, steps } => obj(vec![
+            ("kind", Json::Str("shor".into())),
+            ("register", Json::Int(i128::from(*register))),
+            ("steps", Json::Int(i128::from(*steps))),
+        ]),
+        WorkloadSpec::Synthetic {
+            qubits,
+            comms,
+            seed,
+        } => obj(vec![
+            ("kind", Json::Str("synthetic".into())),
+            ("qubits", Json::Int(i128::from(*qubits))),
+            ("comms", Json::Int(i128::from(*comms))),
+            ("seed", Json::Int(i128::from(*seed))),
+        ]),
+        WorkloadSpec::Batch { comms } => obj(vec![
+            ("kind", Json::Str("batch".into())),
+            (
+                "comms",
+                Json::Arr(
+                    comms
+                        .iter()
+                        .map(|&((sx, sy), (dx, dy))| {
+                            Json::Arr(vec![ints([sx, sy]), ints([dx, dy])])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+fn decode_workload(value: &Json) -> Result<WorkloadSpec, JsonError> {
+    let f = value.obj_of("workload")?;
+    let kind = get(f, "kind", "workload")?.str_of("kind")?;
+    match kind {
+        "qft" => {
+            check_fields(f, &["kind", "qubits"], "workload")?;
+            Ok(WorkloadSpec::Qft {
+                qubits: get(f, "qubits", "workload")?.u32_of("qubits")?,
+            })
+        }
+        "mod_mul" => {
+            check_fields(f, &["kind", "register"], "workload")?;
+            Ok(WorkloadSpec::ModMul {
+                register: get(f, "register", "workload")?.u32_of("register")?,
+            })
+        }
+        "mod_exp" | "shor" => {
+            check_fields(f, &["kind", "register", "steps"], "workload")?;
+            let register = get(f, "register", "workload")?.u32_of("register")?;
+            let steps = get(f, "steps", "workload")?.u32_of("steps")?;
+            Ok(if kind == "mod_exp" {
+                WorkloadSpec::ModExp { register, steps }
+            } else {
+                WorkloadSpec::Shor { register, steps }
+            })
+        }
+        "synthetic" => {
+            check_fields(f, &["kind", "qubits", "comms", "seed"], "workload")?;
+            Ok(WorkloadSpec::Synthetic {
+                qubits: get(f, "qubits", "workload")?.u32_of("qubits")?,
+                comms: get(f, "comms", "workload")?.u32_of("comms")?,
+                seed: get(f, "seed", "workload")?.u64_of("seed")?,
+            })
+        }
+        "batch" => {
+            check_fields(f, &["kind", "comms"], "workload")?;
+            let comms = get(f, "comms", "workload")?
+                .arr_of("comms")?
+                .iter()
+                .map(|pair| {
+                    let ends = pair.arr_of("batch comm")?;
+                    if ends.len() != 2 {
+                        return Err(Json::schema_err("batch comms are [[sx,sy],[dx,dy]] pairs"));
+                    }
+                    let coord = |v: &Json| -> Result<(u16, u16), JsonError> {
+                        let xy = v.arr_of("batch site")?;
+                        if xy.len() != 2 {
+                            return Err(Json::schema_err("batch sites are [x, y] pairs"));
+                        }
+                        Ok((xy[0].u16_of("x")?, xy[1].u16_of("y")?))
+                    };
+                    Ok((coord(&ends[0])?, coord(&ends[1])?))
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(WorkloadSpec::Batch { comms })
+        }
+        other => Err(Json::schema_err(format!("unknown workload kind {other:?}"))),
+    }
+}
+
+fn encode_experiment(e: &ExperimentSpec) -> Json {
+    match e {
+        ExperimentSpec::Machine { machine, workload } => obj(vec![
+            ("kind", Json::Str("machine".into())),
+            ("machine", encode_machine(machine)),
+            ("workload", encode_workload(workload)),
+        ]),
+        ExperimentSpec::Channel {
+            placement,
+            hops,
+            metric,
+        } => obj(vec![
+            ("kind", Json::Str("channel".into())),
+            ("placement", Json::Str(placement.label())),
+            ("hops", Json::Int(i128::from(*hops))),
+            ("metric", Json::Str(metric.label().into())),
+        ]),
+    }
+}
+
+fn decode_experiment(value: &Json) -> Result<ExperimentSpec, JsonError> {
+    let f = value.obj_of("experiment")?;
+    let kind = get(f, "kind", "experiment")?.str_of("kind")?;
+    match kind {
+        "machine" => {
+            check_fields(f, &["kind", "machine", "workload"], "experiment")?;
+            Ok(ExperimentSpec::Machine {
+                machine: decode_machine(get(f, "machine", "experiment")?)?,
+                workload: decode_workload(get(f, "workload", "experiment")?)?,
+            })
+        }
+        "channel" => {
+            check_fields(f, &["kind", "placement", "hops", "metric"], "experiment")?;
+            let placement_label = get(f, "placement", "experiment")?.str_of("placement")?;
+            let metric_label = get(f, "metric", "experiment")?.str_of("metric")?;
+            Ok(ExperimentSpec::Channel {
+                placement: PurifyPlacement::parse(placement_label).ok_or_else(|| {
+                    Json::schema_err(format!("unknown placement {placement_label:?}"))
+                })?,
+                hops: get(f, "hops", "experiment")?.u32_of("hops")?,
+                metric: PairMetric::parse(metric_label)
+                    .ok_or_else(|| Json::schema_err(format!("unknown metric {metric_label:?}")))?,
+            })
+        }
+        other => Err(Json::schema_err(format!(
+            "unknown experiment kind {other:?}"
+        ))),
+    }
+}
+
+fn encode_axis(axis: &ScenarioAxis) -> Json {
+    match axis {
+        ScenarioAxis::ResourceRatio { area, ratios } => obj(vec![
+            ("axis", Json::Str("resource_ratio".into())),
+            ("area", Json::Int(i128::from(*area))),
+            ("ratios", ints(ratios.iter().copied())),
+        ]),
+        ScenarioAxis::Layouts { layouts } => obj(vec![
+            ("axis", Json::Str("layout".into())),
+            (
+                "layouts",
+                Json::Arr(layouts.iter().map(|l| Json::Str(l.to_string())).collect()),
+            ),
+        ]),
+        ScenarioAxis::Topologies { kinds } => obj(vec![
+            ("axis", Json::Str("topology".into())),
+            (
+                "kinds",
+                Json::Arr(kinds.iter().map(|k| Json::Str(k.to_string())).collect()),
+            ),
+        ]),
+        ScenarioAxis::Routings { policies } => obj(vec![
+            ("axis", Json::Str("routing".into())),
+            (
+                "policies",
+                Json::Arr(policies.iter().map(|p| Json::Str(p.to_string())).collect()),
+            ),
+        ]),
+        ScenarioAxis::GridEdges { edges } => obj(vec![
+            ("axis", Json::Str("grid_edge".into())),
+            ("edges", ints(edges.iter().copied())),
+        ]),
+        ScenarioAxis::PurifyDepths { depths } => obj(vec![
+            ("axis", Json::Str("purify_depth".into())),
+            ("depths", ints(depths.iter().copied())),
+        ]),
+        ScenarioAxis::Units { units } => obj(vec![
+            ("axis", Json::Str("units".into())),
+            ("units", ints(units.iter().copied())),
+        ]),
+        ScenarioAxis::Teleporters { values } => obj(vec![
+            ("axis", Json::Str("teleporters".into())),
+            ("values", ints(values.iter().copied())),
+        ]),
+        ScenarioAxis::Generators { values } => obj(vec![
+            ("axis", Json::Str("generators".into())),
+            ("values", ints(values.iter().copied())),
+        ]),
+        ScenarioAxis::Purifiers { values } => obj(vec![
+            ("axis", Json::Str("purifiers".into())),
+            ("values", ints(values.iter().copied())),
+        ]),
+        ScenarioAxis::Workloads { workloads } => obj(vec![
+            ("axis", Json::Str("workload".into())),
+            (
+                "workloads",
+                Json::Arr(workloads.iter().map(encode_workload).collect()),
+            ),
+        ]),
+        ScenarioAxis::Placements { placements } => obj(vec![
+            ("axis", Json::Str("placement".into())),
+            (
+                "placements",
+                Json::Arr(placements.iter().map(|p| Json::Str(p.label())).collect()),
+            ),
+        ]),
+        ScenarioAxis::Hops { hops } => obj(vec![
+            ("axis", Json::Str("hops".into())),
+            ("hops", ints(hops.iter().copied())),
+        ]),
+        ScenarioAxis::ErrorRateLog {
+            start_exp,
+            stop_exp,
+            per_decade,
+        } => obj(vec![
+            ("axis", Json::Str("error_rate_log".into())),
+            ("start_exp", Json::Int(i128::from(*start_exp))),
+            ("stop_exp", Json::Int(i128::from(*stop_exp))),
+            ("per_decade", Json::Int(i128::from(*per_decade))),
+        ]),
+    }
+}
+
+fn decode_axis(value: &Json) -> Result<ScenarioAxis, JsonError> {
+    let f = value.obj_of("axis")?;
+    let kind = get(f, "axis", "axis")?.str_of("axis")?;
+    let u32_list = |field: &str| -> Result<Vec<u32>, JsonError> {
+        get(f, field, "axis")?
+            .arr_of(field)?
+            .iter()
+            .map(|v| v.u32_of(field))
+            .collect()
+    };
+    match kind {
+        "resource_ratio" => {
+            check_fields(f, &["axis", "area", "ratios"], "axis")?;
+            Ok(ScenarioAxis::ResourceRatio {
+                area: get(f, "area", "axis")?.u32_of("area")?,
+                ratios: get(f, "ratios", "axis")?
+                    .arr_of("ratios")?
+                    .iter()
+                    .map(|v| v.i64_of("ratios"))
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "layout" => {
+            check_fields(f, &["axis", "layouts"], "axis")?;
+            Ok(ScenarioAxis::Layouts {
+                layouts: get(f, "layouts", "axis")?
+                    .arr_of("layouts")?
+                    .iter()
+                    .map(|v| {
+                        let label = v.str_of("layouts")?;
+                        Layout::parse(label)
+                            .ok_or_else(|| Json::schema_err(format!("unknown layout {label:?}")))
+                    })
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "topology" => {
+            check_fields(f, &["axis", "kinds"], "axis")?;
+            Ok(ScenarioAxis::Topologies {
+                kinds: get(f, "kinds", "axis")?
+                    .arr_of("kinds")?
+                    .iter()
+                    .map(|v| {
+                        let label = v.str_of("kinds")?;
+                        TopologyKind::parse(label)
+                            .ok_or_else(|| Json::schema_err(format!("unknown topology {label:?}")))
+                    })
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "routing" => {
+            check_fields(f, &["axis", "policies"], "axis")?;
+            Ok(ScenarioAxis::Routings {
+                policies: get(f, "policies", "axis")?
+                    .arr_of("policies")?
+                    .iter()
+                    .map(|v| {
+                        let label = v.str_of("policies")?;
+                        RoutingPolicy::parse(label)
+                            .ok_or_else(|| Json::schema_err(format!("unknown routing {label:?}")))
+                    })
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "grid_edge" => {
+            check_fields(f, &["axis", "edges"], "axis")?;
+            Ok(ScenarioAxis::GridEdges {
+                edges: get(f, "edges", "axis")?
+                    .arr_of("edges")?
+                    .iter()
+                    .map(|v| v.u16_of("edges"))
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "purify_depth" => {
+            check_fields(f, &["axis", "depths"], "axis")?;
+            Ok(ScenarioAxis::PurifyDepths {
+                depths: u32_list("depths")?,
+            })
+        }
+        "units" => {
+            check_fields(f, &["axis", "units"], "axis")?;
+            Ok(ScenarioAxis::Units {
+                units: u32_list("units")?,
+            })
+        }
+        "teleporters" => {
+            check_fields(f, &["axis", "values"], "axis")?;
+            Ok(ScenarioAxis::Teleporters {
+                values: u32_list("values")?,
+            })
+        }
+        "generators" => {
+            check_fields(f, &["axis", "values"], "axis")?;
+            Ok(ScenarioAxis::Generators {
+                values: u32_list("values")?,
+            })
+        }
+        "purifiers" => {
+            check_fields(f, &["axis", "values"], "axis")?;
+            Ok(ScenarioAxis::Purifiers {
+                values: u32_list("values")?,
+            })
+        }
+        "workload" => {
+            check_fields(f, &["axis", "workloads"], "axis")?;
+            Ok(ScenarioAxis::Workloads {
+                workloads: get(f, "workloads", "axis")?
+                    .arr_of("workloads")?
+                    .iter()
+                    .map(decode_workload)
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "placement" => {
+            check_fields(f, &["axis", "placements"], "axis")?;
+            Ok(ScenarioAxis::Placements {
+                placements: get(f, "placements", "axis")?
+                    .arr_of("placements")?
+                    .iter()
+                    .map(|v| {
+                        let label = v.str_of("placements")?;
+                        PurifyPlacement::parse(label)
+                            .ok_or_else(|| Json::schema_err(format!("unknown placement {label:?}")))
+                    })
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "hops" => {
+            check_fields(f, &["axis", "hops"], "axis")?;
+            Ok(ScenarioAxis::Hops {
+                hops: u32_list("hops")?,
+            })
+        }
+        "error_rate_log" => {
+            check_fields(f, &["axis", "start_exp", "stop_exp", "per_decade"], "axis")?;
+            Ok(ScenarioAxis::ErrorRateLog {
+                start_exp: get(f, "start_exp", "axis")?.i32_of("start_exp")?,
+                stop_exp: get(f, "stop_exp", "axis")?.i32_of("stop_exp")?,
+                per_decade: get(f, "per_decade", "axis")?.u32_of("per_decade")?,
+            })
+        }
+        other => Err(Json::schema_err(format!("unknown axis kind {other:?}"))),
+    }
+}
+
+/// Errors raised by the Scenario API: spec validation, per-point
+/// network-config validation (with scenario context), or JSON
+/// syntax/schema problems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A spec-level invariant failed.
+    Spec {
+        /// The scenario's name.
+        scenario: String,
+        /// What is wrong with the spec.
+        problem: String,
+    },
+    /// A scenario point's network configuration failed
+    /// [`NetConfig::validate`].
+    Config {
+        /// The scenario's name.
+        scenario: String,
+        /// The sweep point at fault, if the base config itself is fine.
+        point: Option<String>,
+        /// The underlying structured configuration error.
+        source: ConfigError,
+    },
+    /// The JSON document could not be parsed or did not match the
+    /// schema.
+    Json(JsonError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Spec { scenario, problem } => {
+                write!(f, "scenario {scenario:?}: {problem}")
+            }
+            ScenarioError::Config {
+                scenario,
+                point,
+                source,
+            } => match point {
+                Some(point) => write!(f, "scenario {scenario:?}, point {point}: {source}"),
+                None => write!(f, "scenario {scenario:?}: {source}"),
+            },
+            ScenarioError::Json(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Config { source, .. } => Some(source),
+            ScenarioError::Json(err) => Some(err),
+            ScenarioError::Spec { .. } => None,
+        }
+    }
+}
+
+impl From<JsonError> for ScenarioError {
+    fn from(err: JsonError) -> ScenarioError {
+        ScenarioError::Json(err)
+    }
+}

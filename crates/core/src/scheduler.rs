@@ -18,7 +18,7 @@ use qic_net::topology::Coord;
 use qic_physics::time::Duration;
 use qic_workload::{LogicalQubit, Program};
 
-use crate::layout::{Layout, Placement};
+use crate::layout::{CapacityError, Layout, Placement};
 
 /// Tag phases (low two bits of a comm/notify tag).
 const PHASE_OUTBOUND: u64 = 0;
@@ -314,6 +314,126 @@ impl LayoutScheduler {
         }
         let _ = writeln!(s, "blocked: {:?}", self.blocked);
         s
+    }
+}
+
+/// A ready-to-run [`Driver`] for a logical [`Program`] — the
+/// `Program → Driver` adapter that lets `qic-workload` programs drive
+/// [`qic_net::sim::NetworkSim`] directly.
+///
+/// The adapter picks the fabric-appropriate placement (the snake for
+/// mesh/torus grids, the Gray-code walk for hypercubes), builds the
+/// layout scheduler, and tracks completion, so callers that do not want
+/// a full `Machine` can still run programs:
+///
+/// ```
+/// use qic_core::scheduler::ProgramDriver;
+/// use qic_core::Layout;
+/// use qic_net::config::NetConfig;
+/// use qic_net::sim::NetworkSim;
+/// use qic_workload::Program;
+///
+/// let net = NetConfig::small_test();
+/// let program = Program::qft(4);
+/// let mut driver = ProgramDriver::new(&net, Layout::HomeBase, &program)?;
+/// let report = NetworkSim::new(net).run(&mut driver);
+/// assert!(driver.is_finished());
+/// assert!(report.comms_completed > 0);
+/// # Ok::<(), qic_core::layout::CapacityError>(())
+/// ```
+#[derive(Debug)]
+pub struct ProgramDriver {
+    scheduler: LayoutScheduler,
+    expected: u64,
+}
+
+impl ProgramDriver {
+    /// The default logical gate latency charged between a channel's
+    /// completion and the follow-up movement (20 µs).
+    pub fn default_gate_time() -> Duration {
+        Duration::from_micros(20)
+    }
+
+    /// Builds a driver with the default gate time.
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError`] if the program needs more qubits than the
+    /// config's grid has sites.
+    pub fn new(
+        net: &qic_net::config::NetConfig,
+        layout: Layout,
+        program: &Program,
+    ) -> Result<Self, CapacityError> {
+        Self::with_gate_time(net, layout, program, Self::default_gate_time())
+    }
+
+    /// Builds a driver with an explicit gate time.
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError`] if the program needs more qubits than the
+    /// config's grid has sites.
+    pub fn with_gate_time(
+        net: &qic_net::config::NetConfig,
+        layout: Layout,
+        program: &Program,
+        gate_time: Duration,
+    ) -> Result<Self, CapacityError> {
+        // Placement follows the fabric: the snake keeps consecutive
+        // qubits one mesh/torus hop apart; its hypercube analogue is the
+        // Gray-code walk (one address bit between consecutive qubits).
+        let place = if net.topology == qic_net::topology::TopologyKind::Hypercube {
+            Placement::gray
+        } else {
+            Placement::snake
+        };
+        let placement = place(net.mesh_width, net.mesh_height, program.n_qubits())?;
+        Ok(ProgramDriver {
+            scheduler: LayoutScheduler::new(program, layout, placement, gate_time),
+            expected: program.len() as u64,
+        })
+    }
+
+    /// Logical instructions completed so far.
+    pub fn completed(&self) -> u64 {
+        self.scheduler.completed
+    }
+
+    /// Whether every instruction of the program has completed.
+    pub fn is_finished(&self) -> bool {
+        self.scheduler.completed == self.expected
+    }
+
+    /// Panics with the scheduler's stuck-state dump unless the program
+    /// ran to completion — the invariant every simulation asserts after
+    /// [`qic_net::sim::NetworkSim::run`] returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instruction failed to complete.
+    pub fn assert_finished(&self) {
+        assert!(
+            self.is_finished(),
+            "scheduler wedged: {} of {} instructions completed\n{}",
+            self.scheduler.completed,
+            self.expected,
+            self.scheduler.debug_state()
+        );
+    }
+}
+
+impl Driver for ProgramDriver {
+    fn start(&mut self, api: &mut SimApi<'_>) {
+        self.scheduler.start(api);
+    }
+
+    fn on_complete(&mut self, done: CommDone, api: &mut SimApi<'_>) {
+        self.scheduler.on_complete(done, api);
+    }
+
+    fn on_notify(&mut self, tag: u64, api: &mut SimApi<'_>) {
+        self.scheduler.on_notify(tag, api);
     }
 }
 

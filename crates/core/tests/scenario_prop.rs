@@ -1,0 +1,201 @@
+//! Property tests for the Scenario API: every spec — arbitrary
+//! topology × routing × workload × scale — round-trips losslessly
+//! through JSON, and valid specs stay valid across the round trip.
+
+use proptest::prelude::*;
+
+use qic_analytic::figures::PairMetric;
+use qic_analytic::strategy::PurifyPlacement;
+use qic_core::scenario::{MachineSpec, NetPreset, ScenarioAxis, ScenarioSpec, WorkloadSpec};
+use qic_core::Layout;
+use qic_net::routing::RoutingPolicy;
+use qic_net::topology::TopologyKind;
+
+const PRESETS: [NetPreset; 3] = [NetPreset::Paper, NetPreset::Reduced, NetPreset::SmallTest];
+const PLACEMENTS: [PurifyPlacement; 5] = PurifyPlacement::FIGURE_SET;
+
+fn workload_from(kind: u8, a: u32, b: u32, seed: u64) -> WorkloadSpec {
+    // Parameters stay in range for validation-minded cases but are NOT
+    // clamped to "sensible" — round-trip must hold for any encodable
+    // value.
+    match kind % 6 {
+        0 => WorkloadSpec::Qft { qubits: 2 + a % 30 },
+        1 => WorkloadSpec::ModMul {
+            register: 1 + a % 15,
+        },
+        2 => WorkloadSpec::ModExp {
+            register: 2 + a % 14,
+            steps: 1 + b % 4,
+        },
+        3 => WorkloadSpec::Shor {
+            register: 2 + a % 14,
+            steps: 1 + b % 3,
+        },
+        4 => WorkloadSpec::Synthetic {
+            qubits: 2 + a % 30,
+            comms: 1 + b % 64,
+            seed,
+        },
+        _ => WorkloadSpec::Batch {
+            comms: vec![
+                (
+                    (a as u16 % 7, b as u16 % 7),
+                    (1 + a as u16 % 6, 1 + b as u16 % 6),
+                ),
+                ((0, b as u16 % 4), (a as u16 % 4, 7)),
+            ],
+        },
+    }
+}
+
+fn machine_axis_from(kind: u8, x: u32, y: u32, seed: u64) -> ScenarioAxis {
+    match kind % 11 {
+        0 => ScenarioAxis::ResourceRatio {
+            area: 10 + x % 100,
+            ratios: vec![0, 1 + i64::from(y % 7)],
+        },
+        1 => ScenarioAxis::Layouts {
+            layouts: Layout::ALL.to_vec(),
+        },
+        2 => ScenarioAxis::Topologies {
+            kinds: TopologyKind::ALL[..1 + (x as usize % 3)].to_vec(),
+        },
+        3 => ScenarioAxis::Routings {
+            policies: RoutingPolicy::ALL.to_vec(),
+        },
+        4 => ScenarioAxis::GridEdges {
+            edges: vec![4 + (x % 5) as u16, 4 + (y % 5) as u16],
+        },
+        5 => ScenarioAxis::PurifyDepths {
+            depths: vec![1 + x % 4, 1 + y % 4],
+        },
+        6 => ScenarioAxis::Units {
+            units: vec![2 + x % 16, 2 + y % 16],
+        },
+        7 => ScenarioAxis::Teleporters {
+            values: vec![2 + x % 16],
+        },
+        8 => ScenarioAxis::Generators {
+            values: vec![1 + x % 16],
+        },
+        9 => ScenarioAxis::Purifiers {
+            values: vec![1 + x % 16],
+        },
+        _ => ScenarioAxis::Workloads {
+            workloads: vec![
+                workload_from(x as u8, x, y, seed),
+                workload_from(x as u8 + 1, y, x, seed ^ 0xabcd),
+            ],
+        },
+    }
+}
+
+fn channel_axis_from(kind: u8, x: u32, y: u32) -> ScenarioAxis {
+    match kind % 3 {
+        0 => ScenarioAxis::Placements {
+            placements: PLACEMENTS[..1 + (x as usize % 5)].to_vec(),
+        },
+        1 => ScenarioAxis::Hops {
+            hops: vec![1 + x % 60, 1 + y % 60],
+        },
+        _ => ScenarioAxis::ErrorRateLog {
+            start_exp: -9 + (x % 3) as i32,
+            stop_exp: -4 + (y % 3) as i32,
+            per_decade: 1 + x % 4,
+        },
+    }
+}
+
+fn machine_spec_from(sel: u32) -> MachineSpec {
+    let preset = PRESETS[sel as usize % 3];
+    MachineSpec::preset(preset)
+        .with_grid(2 + (sel % 7) as u16, 2 + (sel / 7 % 7) as u16)
+        .with_topology(TopologyKind::ALL[sel as usize % 3])
+        .with_routing(RoutingPolicy::ALL[sel as usize % 2])
+        .with_layout(Layout::ALL[sel as usize / 2 % 2])
+        .with_resources(1 + sel % 9, 1 + sel / 3 % 9, 1 + sel / 5 % 9)
+        .with_purify_depth(1 + sel % 5)
+        .with_outputs_per_comm(1 + sel % 8)
+}
+
+fn spec_from(
+    family: u8,
+    sel: u32,
+    axis_kinds: (u8, u8),
+    axis_params: (u32, u32),
+    seed: u64,
+) -> ScenarioSpec {
+    let (k1, k2) = axis_kinds;
+    let (x, y) = axis_params;
+    if family % 2 == 0 {
+        let machine = machine_spec_from(sel);
+        let workload = workload_from(sel as u8, x, y, seed);
+        let mut spec = ScenarioSpec::machine(format!("prop_machine_{sel}"), machine, workload)
+            .with_seed(seed)
+            .with_replicates(1 + sel % 3)
+            .with_workers(sel as usize % 5)
+            .with_axis(machine_axis_from(k1, x, y, seed));
+        // A second axis of a different kind (duplicates are a
+        // validation concern, not a serialization one).
+        if k2 % 11 != k1 % 11 {
+            spec = spec.with_axis(machine_axis_from(k2, y, x, seed));
+        }
+        spec
+    } else {
+        let mut spec = ScenarioSpec::channel(
+            format!("prop_channel_{sel}"),
+            PLACEMENTS[sel as usize % 5],
+            1 + sel % 60,
+            if sel % 2 == 0 {
+                PairMetric::TotalPairs
+            } else {
+                PairMetric::TeleportedPairs
+            },
+        )
+        .with_seed(seed)
+        .with_axis(channel_axis_from(k1, x, y));
+        if k2 % 3 != k1 % 3 {
+            spec = spec.with_axis(channel_axis_from(k2, y, x));
+        }
+        spec
+    }
+}
+
+proptest! {
+    #[test]
+    fn any_spec_round_trips_losslessly(
+        family in 0u8..2,
+        sel in 0u32..10_000,
+        kinds in (0u8..32, 0u8..32),
+        params in (0u32..1_000, 0u32..1_000),
+        seed in 0u64..u64::MAX,
+    ) {
+        let spec = spec_from(family, sel, kinds, params, seed);
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json)
+            .unwrap_or_else(|e| panic!("{e}\n{json}"));
+        prop_assert_eq!(&spec, &back, "round trip changed the spec");
+        // Emission is deterministic: a second trip is byte-identical.
+        prop_assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn validation_survives_the_round_trip(
+        family in 0u8..2,
+        sel in 0u32..10_000,
+        kinds in (0u8..32, 0u8..32),
+        params in (0u32..1_000, 0u32..1_000),
+        seed in 0u64..1_000_000,
+    ) {
+        // Whatever validate() says about a spec, it must say the same
+        // about its JSON round trip (no information loss that flips
+        // validity either way).
+        let spec = spec_from(family, sel, kinds, params, seed);
+        let back = ScenarioSpec::from_json(&spec.to_json()).expect("round trip parses");
+        prop_assert_eq!(
+            spec.validate().is_ok(),
+            back.validate().is_ok(),
+            "round trip changed validity"
+        );
+    }
+}

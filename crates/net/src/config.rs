@@ -12,12 +12,78 @@ use crate::routing::RoutingPolicy;
 use crate::topology::{Fabric, TopologyKind};
 
 /// Errors raised by [`NetConfig::validate`].
+///
+/// Every variant names the offending knob, the value it held and what a
+/// valid value looks like, so callers (e.g. the Scenario layer in
+/// `qic-core`) can attach context without string matching.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ConfigError(String);
+pub enum ConfigError {
+    /// A configuration field holds a value outside its valid range.
+    Field {
+        /// The `NetConfig` field (or field combination) at fault.
+        field: &'static str,
+        /// The offending value, rendered.
+        got: String,
+        /// What a valid value looks like.
+        expected: String,
+    },
+    /// The addressing grid does not fit the configured fabric.
+    Fabric {
+        /// The fabric that rejected the grid.
+        topology: TopologyKind,
+        /// Grid width it was offered.
+        width: u16,
+        /// Grid height it was offered.
+        height: u16,
+        /// The fabric's explanation (see [`TopologyKind::build`]).
+        reason: String,
+    },
+}
+
+impl ConfigError {
+    fn field(field: &'static str, got: impl fmt::Display, expected: impl Into<String>) -> Self {
+        ConfigError::Field {
+            field,
+            got: got.to_string(),
+            expected: expected.into(),
+        }
+    }
+
+    /// The name of the offending configuration field.
+    pub fn field_name(&self) -> &'static str {
+        match self {
+            ConfigError::Field { field, .. } => field,
+            ConfigError::Fabric { .. } => "topology",
+        }
+    }
+}
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid network config: {}", self.0)
+        match self {
+            ConfigError::Field {
+                field,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "invalid network config: {field} = {got}, expected {expected}"
+                )
+            }
+            ConfigError::Fabric {
+                topology,
+                width,
+                height,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "invalid network config: {topology} does not fit a \
+                     {width}\u{d7}{height} grid: {reason}"
+                )
+            }
+        }
     }
 }
 
@@ -178,52 +244,97 @@ impl NetConfig {
     /// zero purifier depth/outputs, or a non-positive link cost factor.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.mesh_width == 0 || self.mesh_height == 0 {
-            return Err(ConfigError("mesh dimensions must be positive".into()));
+            return Err(ConfigError::field(
+                "mesh_width\u{d7}mesh_height",
+                format_args!("{}\u{d7}{}", self.mesh_width, self.mesh_height),
+                "positive grid dimensions",
+            ));
         }
-        if self.mesh_width * self.mesh_height < 2 {
-            return Err(ConfigError("mesh must have at least two sites".into()));
+        if u32::from(self.mesh_width) * u32::from(self.mesh_height) < 2 {
+            return Err(ConfigError::field(
+                "mesh_width\u{d7}mesh_height",
+                format_args!("{}\u{d7}{}", self.mesh_width, self.mesh_height),
+                "a grid of at least two sites",
+            ));
         }
         let fabric = match self.topology.build(self.mesh_width, self.mesh_height) {
             Ok(f) => f,
-            Err(msg) => return Err(ConfigError(msg)),
+            Err(reason) => {
+                return Err(ConfigError::Fabric {
+                    topology: self.topology,
+                    width: self.mesh_width,
+                    height: self.mesh_height,
+                    reason,
+                })
+            }
         };
         if self.teleporters_per_node == 0 {
-            return Err(ConfigError("need at least one teleporter per node".into()));
+            return Err(ConfigError::field(
+                "teleporters_per_node",
+                0,
+                "at least one teleporter per node",
+            ));
         }
         let classes = crate::topology::Topology::port_classes(&fabric);
         if (self.teleporters_per_node as usize) < classes {
-            return Err(ConfigError(format!(
-                "teleporters_per_node ({}) must cover the fabric's {classes} \
-                 port classes (one teleporter set per dimension)",
-                self.teleporters_per_node
-            )));
+            return Err(ConfigError::field(
+                "teleporters_per_node",
+                self.teleporters_per_node,
+                format!(
+                    "coverage of the fabric's {classes} port classes \
+                     (one teleporter set per dimension)"
+                ),
+            ));
         }
         if self.needs_bubble() && self.teleporters_per_node < 2 {
-            return Err(ConfigError(
-                "torus fabrics and adaptive routing use bubble flow control, \
-                 which needs at least two teleporters (storage cells) per node"
-                    .into(),
+            return Err(ConfigError::field(
+                "teleporters_per_node",
+                self.teleporters_per_node,
+                "at least two teleporters (storage cells) per node — torus \
+                 fabrics and adaptive routing use bubble flow control",
             ));
         }
         if self.generators_per_edge == 0 {
-            return Err(ConfigError("need at least one generator per edge".into()));
+            return Err(ConfigError::field(
+                "generators_per_edge",
+                0,
+                "at least one generator per edge",
+            ));
         }
         if self.purifiers_per_site == 0 {
-            return Err(ConfigError("need at least one purifier per site".into()));
+            return Err(ConfigError::field(
+                "purifiers_per_site",
+                0,
+                "at least one purifier per site",
+            ));
         }
         if self.purify_depth == 0 || self.purify_depth > 20 {
-            return Err(ConfigError("purifier depth must be in 1..=20".into()));
+            return Err(ConfigError::field(
+                "purify_depth",
+                self.purify_depth,
+                "a purifier depth in 1..=20",
+            ));
         }
         if self.outputs_per_comm == 0 {
-            return Err(ConfigError(
-                "communications must need at least one pair".into(),
+            return Err(ConfigError::field(
+                "outputs_per_comm",
+                0,
+                "at least one purified pair per communication",
             ));
         }
         if !(self.link_cost_factor.is_finite() && self.link_cost_factor >= 1.0) {
-            return Err(ConfigError("link cost factor must be ≥ 1".into()));
+            return Err(ConfigError::field(
+                "link_cost_factor",
+                self.link_cost_factor,
+                "a finite factor \u{2265} 1",
+            ));
         }
         if self.hop_cells == 0 {
-            return Err(ConfigError("hops must span at least one cell".into()));
+            return Err(ConfigError::field(
+                "hop_cells",
+                0,
+                "at least one cell per hop",
+            ));
         }
         Ok(())
     }
@@ -287,6 +398,44 @@ mod tests {
         c.hop_cells = 0;
         let err = c.validate().unwrap_err();
         assert!(err.to_string().contains("at least one cell"));
+    }
+
+    #[test]
+    fn errors_are_structured() {
+        let mut c = NetConfig::small_test();
+        c.purify_depth = 40;
+        match c.validate().unwrap_err() {
+            ConfigError::Field {
+                field,
+                got,
+                expected,
+            } => {
+                assert_eq!(field, "purify_depth");
+                assert_eq!(got, "40");
+                assert!(expected.contains("1..=20"));
+            }
+            other => panic!("expected a field error, got {other}"),
+        }
+        let mut c = NetConfig::small_test().with_topology(TopologyKind::Hypercube);
+        c.mesh_width = 5;
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field_name(), "topology");
+        match err {
+            ConfigError::Fabric {
+                topology,
+                width,
+                height,
+                reason,
+            } => {
+                assert_eq!(topology, TopologyKind::Hypercube);
+                assert_eq!((width, height), (5, 4));
+                assert!(reason.contains("power-of-two"));
+            }
+            other => panic!("expected a fabric error, got {other}"),
+        }
+        let mut c = NetConfig::small_test();
+        c.link_cost_factor = 0.25;
+        assert_eq!(c.validate().unwrap_err().field_name(), "link_cost_factor");
     }
 
     #[test]

@@ -129,13 +129,6 @@ pub enum Dir {
 }
 
 impl Dir {
-    /// All four directions.
-    #[deprecated(
-        since = "0.1.0",
-        note = "mesh-only surface; enumerate ports `0..Topology::ports_per_node()` instead"
-    )]
-    pub const ALL: [Dir; 4] = [Dir::East, Dir::West, Dir::North, Dir::South];
-
     /// Whether this direction moves along the X dimension.
     pub fn is_x(self) -> bool {
         matches!(self, Dir::East | Dir::West)
@@ -528,16 +521,20 @@ mod tests {
     use super::*;
 
     #[test]
-    #[allow(deprecated)]
     fn directions() {
-        for d in Dir::ALL {
+        // The Port-based surface is the only enumeration: the four
+        // compass directions are exactly the mesh's ports 0..4.
+        let dirs: Vec<Dir> = (0..Mesh::new(2, 2).ports_per_node())
+            .map(|p| Dir::from_port(Port(p as u8)).expect("mesh ports are compass directions"))
+            .collect();
+        assert_eq!(dirs, vec![Dir::East, Dir::West, Dir::North, Dir::South]);
+        for d in dirs {
             assert_eq!(d.opposite().opposite(), d);
             assert_eq!(d.is_x(), d.opposite().is_x());
             assert_eq!(Dir::from_port(d.port()), Some(d));
             assert_eq!(Port::from(d), d.port());
+            assert_eq!(d.port().index(), d.index());
         }
-        let idx: Vec<usize> = Dir::ALL.iter().map(|d| d.index()).collect();
-        assert_eq!(idx, vec![0, 1, 2, 3]);
         assert_eq!(Dir::from_port(Port(4)), None);
     }
 

@@ -111,6 +111,41 @@ impl Program {
         let lifted = Program::new(2 * n, qft.instructions().to_vec()).expect("A ⊂ A∪B");
         me.then(lifted)
     }
+
+    /// A **synthetic** workload: `len` uniform-random two-qubit
+    /// interactions over `n` qubits, derived deterministically from
+    /// `seed` (SplitMix64, so the same spec always generates the same
+    /// traffic on any platform or thread count).
+    ///
+    /// Unlike the structured kernels above, synthetic traffic has no
+    /// exploitable locality, which makes it the stress case for layout
+    /// and fabric comparisons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn synthetic(n: u32, len: usize, seed: u64) -> Program {
+        assert!(n >= 2, "synthetic traffic needs at least two qubits");
+        // SplitMix64: the same generator the campaign engine uses for
+        // per-point seed derivation (see qic-sweep's crate docs).
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let instructions = (0..len)
+            .map(|_| {
+                let a = (next() % u64::from(n)) as u32;
+                let b = (next() % u64::from(n - 1)) as u32;
+                let b = if b >= a { b + 1 } else { b };
+                Instruction::interact(a, b)
+            })
+            .collect();
+        Program::new(n, instructions).expect("generated synthetic traffic is valid")
+    }
 }
 
 #[cfg(test)]
@@ -261,5 +296,20 @@ mod tests {
     #[should_panic(expected = "at least two qubits")]
     fn qft_needs_two() {
         let _ = Program::qft(1);
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_and_valid() {
+        let a = Program::synthetic(8, 40, 2006);
+        let b = Program::synthetic(8, 40, 2006);
+        assert_eq!(a, b, "same seed, same traffic");
+        assert_eq!(a.len(), 40);
+        assert_eq!(a.n_qubits(), 8);
+        for ins in &a {
+            assert_ne!(ins.a, ins.b);
+            assert!(ins.a.index() < 8 && ins.b.index() < 8);
+        }
+        let c = Program::synthetic(8, 40, 2007);
+        assert_ne!(a, c, "different seeds should diverge");
     }
 }

@@ -1,39 +1,23 @@
-//! Design-space exploration: a 3-axis `qic-sweep` campaign.
+//! Design-space exploration: a 3-axis scenario from the registry.
 //!
 //! Sweeps mesh size × purifier depth × resource allocation (64 points)
 //! over the event-driven simulator, QFT-16 workload, on 4 worker
 //! threads — the kind of cost/fidelity design-space study that related
-//! interconnect-fabric work runs, as a one-liner campaign. The same
-//! campaign is re-run on 1 worker to demonstrate the engine's
+//! interconnect-fabric work runs, as one registry lookup. The same
+//! scenario is re-run on 1 worker to demonstrate the engine's
 //! scheduling-independence guarantee: both reports are byte-identical.
 //!
 //! Run with `cargo run --release --example design_space`.
 
-use qic::net::config::NetConfig;
 use qic::prelude::*;
 
-fn campaign() -> Campaign {
-    let space = ParamSpace::new()
-        .axis(Axis::ints("mesh", [4, 5, 6, 8]))
-        .axis(Axis::ints("depth", [1, 2, 3, 4]))
-        .axis(Axis::ints("units", [2, 4, 8, 16]));
-    Campaign::new("design_space", space).seed(2006)
-}
-
-fn evaluate(point: &SweepPoint<'_>, ctx: RunCtx) -> Metrics {
-    let mesh = point.i64("mesh") as u16;
-    let mut b = Machine::builder();
-    b.net_config(NetConfig::small_test())
-        .grid(mesh, mesh)
-        .purify_depth(point.u32("depth"))
-        .resources(point.u32("units"), point.u32("units"), point.u32("units"))
-        .seed(ctx.seed);
-    let machine = b.build().expect("sweep configs validate");
-    machine.run(&Program::qft(16)).net.metrics()
-}
-
 fn main() {
-    let parallel = campaign().workers(4).run(evaluate);
+    let spec = ScenarioRegistry::builtin()
+        .spec("design_space", ScenarioScale::Full)
+        .expect("registered");
+    let parallel = qic::run(&spec.clone().with_workers(4))
+        .expect("registry specs validate")
+        .report;
     eprintln!(
         "ran {} points × {} replicate(s) on 4 workers",
         parallel.points.len(),
@@ -41,7 +25,9 @@ fn main() {
     );
 
     // Determinism: the 1-worker run must produce byte-identical output.
-    let serial = campaign().workers(1).run(evaluate);
+    let serial = qic::run(&spec.with_workers(1))
+        .expect("registry specs validate")
+        .report;
     assert_eq!(
         parallel.to_json(),
         serial.to_json(),

@@ -1,12 +1,16 @@
-//! Resource-contention study: the Figure 16 experiment as an example.
+//! Resource-contention study: the Figure 16 experiment as a scenario.
 //!
 //! Sweeps the interconnect area split between teleporters/generators and
 //! queue purifiers, for both layouts, and prints normalized execution
-//! times of the QFT benchmark.
+//! times of the QFT benchmark. The whole experiment is one declarative
+//! [`ScenarioSpec`] run through `qic::run`; the paper's normalized
+//! dataset is unpacked from the campaign report with
+//! `figure16_from_campaign`.
 //!
 //! Run with `cargo run --release --example qft_contention [tiny|reduced|paper]`.
 
-use qic::core::experiment::{figure16, Fig16Scale};
+use qic::core::experiment::figure16_from_campaign;
+use qic::prelude::*;
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {
@@ -15,7 +19,9 @@ fn main() {
         _ => Fig16Scale::Reduced,
     };
     eprintln!("running Figure 16 sweep at {scale:?} scale...");
-    let result = figure16(scale);
+    let spec = fig16_spec(scale);
+    let report = qic::run(&spec).expect("figure presets validate");
+    let result = figure16_from_campaign(scale, &report.report);
     println!(
         "baselines (t=g=p=1024): Home Base {:.1} ms, Mobile {:.1} ms",
         result.baseline_us[0] / 1e3,
@@ -36,5 +42,9 @@ fn main() {
          from P to T'/G helps — until purifiers starve. Mobile channels are\n\
          mostly one hop, so endpoint purifier throughput dominates and the\n\
          t=g=8p point degrades hardest (the paper's closing observation)."
+    );
+    eprintln!(
+        "\nthe whole experiment is data — `ScenarioSpec::from_json` re-runs it:\n{}",
+        spec.to_json()
     );
 }

@@ -56,25 +56,31 @@ fn main() -> Result<(), ChannelError> {
     );
     assert!(plan.final_state.fidelity() >= constants::threshold_fidelity());
 
-    // 3. Run an actual program on a machine.
+    // 3. Run an actual program on a machine — as a declarative
+    //    scenario through the single `qic::run` entry point. The spec
+    //    is data: `spec.to_json()` serializes the whole experiment.
     println!("== QFT-16 on a 4x4 machine (event-driven simulation) ==");
-    let mut builder = Machine::builder();
-    builder
-        .grid(4, 4)
-        .resources(8, 8, 4)
-        .outputs_per_comm(7) // level-1 Steane code
-        .purify_depth(2);
-    for layout in Layout::ALL {
-        builder.layout(layout);
-        let machine = builder.build().expect("valid machine");
-        let report = machine.run(&Program::qft(16));
+    let spec = ScenarioSpec::machine(
+        "quickstart",
+        MachineSpec::preset(NetPreset::SmallTest)
+            .with_resources(8, 8, 4)
+            .with_outputs_per_comm(7) // level-1 Steane code
+            .with_purify_depth(2),
+        WorkloadSpec::Qft { qubits: 16 },
+    )
+    .with_axis(ScenarioAxis::Layouts {
+        layouts: Layout::ALL.to_vec(),
+    });
+    let report = qic::run(&spec).expect("spec validates");
+    for point in &report.report.points {
         println!(
-            "  {layout:<12}: makespan {}, {} teleports, {} purify ops, util T'={:.0}% P={:.0}%",
-            report.makespan,
-            report.net.teleport_ops,
-            report.net.purify_ops,
-            report.net.teleporter_utilization * 100.0,
-            report.net.purifier_utilization * 100.0,
+            "  {:<12}: makespan {:.2} ms, {} teleports, {} purify ops, util T'={:.0}% P={:.0}%",
+            point.param("layout"),
+            point.mean("makespan_us").unwrap() / 1e3,
+            point.mean("teleport_ops").unwrap(),
+            point.mean("purify_ops").unwrap(),
+            point.mean("teleporter_utilization").unwrap() * 100.0,
+            point.mean("purifier_utilization").unwrap() * 100.0,
         );
     }
     Ok(())

@@ -1,62 +1,54 @@
 //! Shor-kernel pipeline: the paper's three communication-intensive
-//! components (QFT, modular exponentiation, modular multiplication) run
-//! back-to-back on one machine.
+//! components (QFT, modular exponentiation, modular multiplication)
+//! plus the composed kernel, as one registry scenario — a layout ×
+//! workload sweep through the single `qic::run` entry point.
 //!
-//! Run with `cargo run --release --example shor_pipeline [n]`.
+//! Run with `cargo run --release --example shor_pipeline`.
 
 use qic::prelude::*;
-use qic_workload::Program;
 
 fn main() {
-    let n: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
-    let grid = 6u16; // 36 sites hold the 2n-qubit register pair for n ≤ 18
-    assert!(
-        2 * n <= u32::from(grid) * u32::from(grid),
-        "registers must fit the grid"
-    );
+    let spec = ScenarioRegistry::builtin()
+        .spec("shor_kernel", ScenarioScale::Full)
+        .expect("registered");
+    let report = qic::run(&spec).expect("registry specs validate");
 
-    let mut builder = Machine::builder();
-    builder
-        .grid(grid, grid)
-        .resources(12, 12, 6)
-        .outputs_per_comm(7)
-        .purify_depth(2);
-
-    let phases: [(&str, Program); 4] = [
-        ("QFT (all-to-all)", Program::qft(n)),
-        ("MM (bipartite)", Program::modular_multiplication(n)),
-        (
-            "ME (square+multiply)",
-            Program::modular_exponentiation(n, 2),
-        ),
-        ("Shor kernel (ME, then QFT)", Program::shor_kernel(n, 1)),
-    ];
+    // The workload axis carries the four phases; recover each point's
+    // program for static metadata (instruction count, dependency depth).
+    let workloads: Vec<WorkloadSpec> = spec
+        .axes
+        .iter()
+        .find_map(|axis| match axis {
+            ScenarioAxis::Workloads { workloads } => Some(workloads.clone()),
+            _ => None,
+        })
+        .expect("shor_kernel sweeps workloads");
 
     for layout in Layout::ALL {
-        builder.layout(layout);
-        let machine = builder.build().expect("valid machine");
         println!("== {layout} layout ==");
         println!(
-            "{:<28} {:>7} {:>9} {:>12} {:>10} {:>9}",
-            "phase", "instrs", "depth", "makespan", "teleports", "mean lat"
+            "{:<16} {:>7} {:>9} {:>14} {:>10} {:>12}",
+            "phase", "instrs", "depth", "makespan (ms)", "teleports", "mean lat (µs)"
         );
-        for (name, program) in &phases {
-            let report = machine.run(program);
+        for (w, workload) in workloads.iter().enumerate() {
+            let point = report
+                .report
+                .points
+                .iter()
+                .find(|p| {
+                    p.param("layout").as_text() == Some(&layout.to_string())
+                        && p.param("workload").as_text() == Some(&workload.label())
+                })
+                .unwrap_or_else(|| panic!("point layout={layout} workload#{w} exists"));
+            let program = workload.program().expect("pipeline phases are programs");
             println!(
-                "{:<28} {:>7} {:>9} {:>12} {:>10} {:>9}",
-                name,
-                report.instructions,
+                "{:<16} {:>7} {:>9} {:>14.2} {:>10.0} {:>12.1}",
+                workload.label(),
+                program.len(),
                 program.critical_path(),
-                report.makespan.to_string(),
-                report.net.teleport_ops,
-                report
-                    .net
-                    .mean_latency()
-                    .map(|d| d.to_string())
-                    .unwrap_or_else(|| "-".into()),
+                point.mean("makespan_us").unwrap() / 1e3,
+                point.mean("teleport_ops").unwrap(),
+                point.mean("latency_mean_us").unwrap_or(f64::NAN),
             );
         }
         println!();

@@ -2,17 +2,17 @@
 //! scale, under both routing policies.
 //!
 //! The paper computes everything on a 2D mesh with dimension-order
-//! routing; this campaign asks the question it could not: what does the
+//! routing; this scenario asks the question it could not: what does the
 //! same workload cost on a wrap-around torus or a binary hypercube? It
 //! prints the static fabric metadata (the README comparison table), runs
-//! the `topology × routing` campaign on 4 workers, re-runs it on 1
+//! the `topology × routing` scenario (`faceoff_spec`, registered as
+//! `topology_faceoff`) through `qic::run` on 4 workers, re-runs it on 1
 //! worker to prove the report is byte-identical, and closes with the
 //! analytic chained-teleport latency at each fabric's diameter.
 //!
 //! Run with `cargo run --release --example topology_faceoff`.
 
 use qic::analytic::crossover::fabric_crossover;
-use qic::core::experiment::{topology_faceoff_campaign_on, FaceoffScale};
 use qic::prelude::*;
 
 fn main() {
@@ -39,13 +39,18 @@ fn main() {
         );
     }
 
-    // --- the campaign: topology × routing, QFT-64, Home-Base ----------
-    let parallel = topology_faceoff_campaign_on(FaceoffScale::Full, 4);
+    // --- the scenario: topology × routing, QFT-64, Home-Base ----------
+    let spec = faceoff_spec(FaceoffScale::Full);
+    let parallel = qic::run(&spec.clone().with_workers(4))
+        .expect("faceoff presets validate")
+        .report;
     eprintln!(
         "\nran {} faceoff points on 4 workers",
         parallel.points.len()
     );
-    let serial = topology_faceoff_campaign_on(FaceoffScale::Full, 1);
+    let serial = qic::run(&spec.with_workers(1))
+        .expect("faceoff presets validate")
+        .report;
     assert_eq!(
         parallel.to_json(),
         serial.to_json(),

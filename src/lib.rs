@@ -21,10 +21,32 @@
 //! | [`des`] | `qic-des` | deterministic discrete-event engine |
 //! | [`net`] | `qic-net` | interconnect fabrics (mesh/torus/hypercube), routing policies, virtual wires, the communication simulator (Figs 4–6, 13, 16) |
 //! | [`workload`] | `qic-workload` | QFT / modular-arithmetic instruction streams |
-//! | [`core`] | `qic-core` | machine builder, layouts, logical scheduler, experiment presets |
+//! | [`core`] | `qic-core` | machine builder, layouts, logical scheduler, the Scenario API (spec/registry/[`run`]) |
 //! | [`sweep`] | `qic-sweep` | parallel campaign engine: declarative parameter sweeps, deterministic seeding, CSV/JSON reports |
 //!
 //! # Quickstart
+//!
+//! Every experiment is a declarative [`ScenarioSpec`] — *machine ×
+//! fabric × routing × workload × purification strategy, swept* — run
+//! through the single [`run`] entry point. Named presets for the
+//! paper's figures (and beyond) live in the scenario registry:
+//!
+//! ```
+//! use qic::prelude::*;
+//!
+//! // A registered preset: the topology faceoff at test scale …
+//! let spec = ScenarioRegistry::builtin()
+//!     .spec("topology_faceoff", ScenarioScale::SmallTest)
+//!     .expect("registered");
+//! // … is pure data: it round-trips through JSON.
+//! let spec = ScenarioSpec::from_json(&spec.to_json())?;
+//! let report = qic::run(&spec)?;
+//! assert_eq!(report.report.points.len(), 6); // 3 fabrics × 2 policies
+//! println!("{}", report.to_csv());
+//! # Ok::<(), qic::core::scenario::ScenarioError>(())
+//! ```
+//!
+//! The layers underneath stay available for direct use:
 //!
 //! ```
 //! use qic::prelude::*;
@@ -46,6 +68,23 @@ pub use qic_purify as purify;
 pub use qic_sweep as sweep;
 pub use qic_workload as workload;
 
+pub use qic_core::scenario::{ScenarioReport, ScenarioSpec};
+
+/// Runs a scenario: the single entry point for every experiment.
+///
+/// Validates the spec (structured errors with scenario context), builds
+/// the campaign its axes describe, evaluates every point on the worker
+/// pool, and returns the deterministic report. See
+/// [`qic_core::scenario`] for the spec format, the JSON round-trip and
+/// the preset registry.
+///
+/// # Errors
+///
+/// [`qic_core::scenario::ScenarioError`] if the spec fails validation.
+pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, qic_core::scenario::ScenarioError> {
+    qic_core::scenario::run(spec)
+}
+
 /// One-stop imports for examples and downstream users.
 ///
 /// The purification placement strategy is [`prelude::PurifyPlacement`]
@@ -53,6 +92,7 @@ pub use qic_workload as workload;
 /// `Placement` name (`qic-core`).
 pub mod prelude {
     pub use qic_analytic::figures;
+    pub use qic_analytic::figures::PairMetric;
     pub use qic_analytic::link::{link_cost, link_state, raw_link_state, LinkSpec};
     pub use qic_analytic::plan::{ChannelError, ChannelModel, ChannelPlan};
     pub use qic_analytic::strategy::PurifyPlacement;

@@ -91,12 +91,13 @@ fn waveform_dump_path() {
     assert_eq!(fp.diameter_cells(), route.total_cells);
 }
 
-/// `examples/qft_contention.rs`: the Figure 16 sweep at Tiny scale, with
-/// the paper's qualitative ordering intact.
+/// `examples/qft_contention.rs`: the Figure 16 sweep at Tiny scale via
+/// the Scenario API, with the paper's qualitative ordering intact.
 #[test]
 fn qft_contention_path() {
-    use qic::core::experiment::{figure16, Fig16Scale};
-    let result = figure16(Fig16Scale::Tiny);
+    use qic::core::experiment::{figure16_from_campaign, Fig16Scale};
+    let report = qic::run(&fig16_spec(Fig16Scale::Tiny)).expect("figure presets validate");
+    let result = figure16_from_campaign(Fig16Scale::Tiny, &report.report);
     assert!(!result.points.is_empty());
     for p in &result.points {
         assert!(
@@ -113,12 +114,10 @@ fn qft_contention_path() {
 }
 
 /// `examples/topology_faceoff.rs`: the fabric metadata table, the
-/// topology × routing campaign at Tiny scale, and its worker-count
+/// topology × routing scenario at Tiny scale, and its worker-count
 /// independence.
 #[test]
 fn topology_faceoff_path() {
-    use qic::core::experiment::{topology_faceoff_campaign_on, FaceoffScale};
-
     // The README comparison table's static metadata at 64 nodes.
     let mesh = Fabric::Mesh(Mesh::new(8, 8));
     let torus = Fabric::Torus(Torus::new(8, 8));
@@ -138,9 +137,12 @@ fn topology_faceoff_path() {
     assert!(mesh.avg_distance() > torus.avg_distance());
     assert!(torus.avg_distance() > cube.avg_distance());
 
-    // The campaign itself, byte-identical across worker counts.
-    let parallel = topology_faceoff_campaign_on(FaceoffScale::Tiny, 4);
-    let serial = topology_faceoff_campaign_on(FaceoffScale::Tiny, 1);
+    // The scenario itself, byte-identical across worker counts.
+    let spec = faceoff_spec(FaceoffScale::Tiny);
+    let parallel = qic::run(&spec.clone().with_workers(4))
+        .expect("validates")
+        .report;
+    let serial = qic::run(&spec.with_workers(1)).expect("validates").report;
     assert_eq!(parallel.to_json(), serial.to_json());
     assert_eq!(parallel.to_csv(), serial.to_csv());
     assert_eq!(parallel.points.len(), 6, "3 fabrics × 2 routing policies");

@@ -87,8 +87,10 @@ fn starving_any_resource_slows_the_machine() {
 
 #[test]
 fn figure16_reproduces_paper_shape_at_tiny_scale() {
-    use qic::core::experiment::{figure16, Fig16Scale};
-    let result = figure16(Fig16Scale::Tiny);
+    use qic::core::experiment::{figure16_from_campaign, Fig16Scale};
+    use qic::core::scenario::fig16_spec;
+    let report = qic::run(&fig16_spec(Fig16Scale::Tiny)).expect("figure presets validate");
+    let result = figure16_from_campaign(Fig16Scale::Tiny, &report.report);
     // All constrained configs are slower than the unlimited baseline.
     for p in &result.points {
         assert!(p.home_base >= 1.0);
