@@ -1,0 +1,147 @@
+//! Degraded-bisection throughput bounds — the closed-form side of the
+//! fault layer.
+//!
+//! The paper sizes its interconnect for a healthy machine; when links
+//! die, the first-order effect on all-to-all traffic is the shrinking
+//! **bisection**: every communication crossing the cut consumes its raw
+//! chained pairs on some surviving cut link, and those links generate
+//! pairs at a finite rate. That gives a simple upper bound on
+//! sustainable cross-cut throughput which the event-driven simulator
+//! (over a `qic-fault` `DegradedFabric`) can never beat — a cheap
+//! cross-check that measured throughput collapse under faults is
+//! physical, not a simulator artefact.
+//!
+//! The inputs are plain numbers (link counts from any
+//! `Topology::bisection_width`, rates from `NetConfig`), so this module
+//! stays independent of the network crate.
+
+use qic_physics::time::Duration;
+
+/// Raw link-pair production rate (pairs per second) across `links`
+/// parallel links, each carrying `generators_per_edge` generators that
+/// finish one pair every `generate` interval, derated by the
+/// virtual-wire `link_cost_factor` (raw pairs consumed per delivered
+/// pair; `1.0` unless link purification is modelled).
+///
+/// # Examples
+///
+/// ```
+/// use qic_analytic::degraded::cut_pair_rate;
+/// use qic_physics::time::Duration;
+///
+/// // 8 cut links × 4 generators, one pair per 10 µs each.
+/// let rate = cut_pair_rate(8, 4, Duration::from_micros(10), 1.0);
+/// assert!((rate - 3_200_000.0).abs() < 1e-6);
+/// // Halving the surviving links halves the rate.
+/// assert_eq!(cut_pair_rate(4, 4, Duration::from_micros(10), 1.0), rate / 2.0);
+/// ```
+pub fn cut_pair_rate(
+    links: usize,
+    generators_per_edge: u32,
+    generate: Duration,
+    link_cost_factor: f64,
+) -> f64 {
+    let interval_s = generate.as_us_f64() * 1e-6;
+    if interval_s <= 0.0 || link_cost_factor <= 0.0 {
+        return 0.0;
+    }
+    links as f64 * f64::from(generators_per_edge) / (interval_s * link_cost_factor)
+}
+
+/// Upper bound on sustainable cross-bisection communication throughput
+/// (communications per second): every cross-cut communication streams
+/// `raw_pairs_per_comm` chained pairs over at least one surviving cut
+/// link, so the cut's aggregate pair rate caps it.
+///
+/// # Examples
+///
+/// ```
+/// use qic_analytic::degraded::bisection_comm_throughput;
+/// use qic_physics::time::Duration;
+///
+/// let healthy = bisection_comm_throughput(16, 4, Duration::from_micros(10), 1.0, 392);
+/// let degraded = bisection_comm_throughput(10, 4, Duration::from_micros(10), 1.0, 392);
+/// // Losing cut links caps throughput proportionally.
+/// assert!((degraded / healthy - 10.0 / 16.0).abs() < 1e-12);
+/// ```
+pub fn bisection_comm_throughput(
+    bisection_links: usize,
+    generators_per_edge: u32,
+    generate: Duration,
+    link_cost_factor: f64,
+    raw_pairs_per_comm: u64,
+) -> f64 {
+    if raw_pairs_per_comm == 0 {
+        return f64::INFINITY;
+    }
+    cut_pair_rate(
+        bisection_links,
+        generators_per_edge,
+        generate,
+        link_cost_factor,
+    ) / raw_pairs_per_comm as f64
+}
+
+/// The fraction of healthy cross-bisection throughput a degraded fabric
+/// can still sustain: `surviving / healthy` (both in cut links).
+/// Returns `1.0` for a healthy (or zero-width) baseline and `0.0` when
+/// the cut is fully severed.
+///
+/// # Examples
+///
+/// ```
+/// use qic_analytic::degraded::degradation_factor;
+///
+/// assert_eq!(degradation_factor(16, 16), 1.0);
+/// assert_eq!(degradation_factor(16, 8), 0.5);
+/// assert_eq!(degradation_factor(16, 0), 0.0);
+/// ```
+pub fn degradation_factor(healthy_bisection: usize, surviving_bisection: usize) -> f64 {
+    if healthy_bisection == 0 {
+        return 1.0;
+    }
+    (surviving_bisection.min(healthy_bisection)) as f64 / healthy_bisection as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_rate_scales_linearly_in_every_input() {
+        let base = cut_pair_rate(8, 4, Duration::from_micros(10), 1.0);
+        assert!(base > 0.0);
+        assert_eq!(
+            cut_pair_rate(16, 4, Duration::from_micros(10), 1.0),
+            base * 2.0
+        );
+        assert_eq!(
+            cut_pair_rate(8, 8, Duration::from_micros(10), 1.0),
+            base * 2.0
+        );
+        assert!((cut_pair_rate(8, 4, Duration::from_micros(20), 1.0) - base / 2.0).abs() < 1e-9);
+        assert!((cut_pair_rate(8, 4, Duration::from_micros(10), 2.0) - base / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert_eq!(cut_pair_rate(0, 4, Duration::from_micros(10), 1.0), 0.0);
+        assert_eq!(cut_pair_rate(8, 4, Duration::ZERO, 1.0), 0.0);
+        assert_eq!(cut_pair_rate(8, 4, Duration::from_micros(10), 0.0), 0.0);
+        assert_eq!(
+            bisection_comm_throughput(8, 4, Duration::from_micros(10), 1.0, 0),
+            f64::INFINITY
+        );
+        assert_eq!(degradation_factor(0, 0), 1.0);
+        // Surviving can never exceed healthy in the factor.
+        assert_eq!(degradation_factor(8, 100), 1.0);
+    }
+
+    #[test]
+    fn throughput_bound_matches_hand_arithmetic() {
+        // 10 links × 2 gens, one pair per 100 µs: 200k pairs/s; at 50
+        // raw pairs per comm that is 4k comms/s.
+        let bound = bisection_comm_throughput(10, 2, Duration::from_micros(100), 1.0, 50);
+        assert!((bound - 4_000.0).abs() < 1e-9);
+    }
+}

@@ -16,6 +16,8 @@
 //!   when does the whole scheme break down (Figure 12)?
 //! * [`crossover`] — where does teleportation beat ballistic transport
 //!   (the ~600-cell rule)?
+//! * [`degraded`] — how much cross-bisection throughput survives when
+//!   links die (the closed-form cross-check for `qic-fault` runs)?
 //! * [`figures`] — ready-made series generators for each figure.
 //!
 //! # Example
@@ -37,6 +39,7 @@
 
 pub mod chain;
 pub mod crossover;
+pub mod degraded;
 pub mod figures;
 pub mod link;
 pub mod plan;
@@ -46,6 +49,7 @@ pub mod strategy;
 pub mod prelude {
     pub use crate::chain::chained_error_series;
     pub use crate::crossover::{ballistic_vs_teleport, CrossoverPoint};
+    pub use crate::degraded::{bisection_comm_throughput, degradation_factor};
     pub use crate::figures;
     pub use crate::link::{link_cost, link_state, LinkSpec};
     pub use crate::plan::{ChannelError, ChannelModel, ChannelPlan};

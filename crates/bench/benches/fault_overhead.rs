@@ -1,0 +1,95 @@
+//! Fault-layer overhead: the zero-fault hot path must cost nothing.
+//!
+//! `fault_overhead_healthy_baseline` repeats the PR 4 `ops_micro`
+//! baseline (`net_sim_one_comm_4x4`) inside this bench so the
+//! comparison is side-by-side: `fault_overhead_zero_fault_wrapper`
+//! runs the identical simulation through a `DegradedFabric` compiled
+//! from a zero-fault plan and must match it; the degraded variants show
+//! what actual damage costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qic_fault::FaultPlan;
+use qic_net::config::NetConfig;
+use qic_net::sim::{BatchDriver, NetworkSim, OneShotDriver};
+use qic_net::topology::{Coord, Mesh, Topology};
+
+fn one_comm_driver() -> OneShotDriver {
+    OneShotDriver::new(Coord::new(0, 0), Coord::new(3, 3))
+}
+
+fn bench_zero_fault_path(c: &mut Criterion) {
+    // The PR 4 baseline, verbatim.
+    c.bench_function("fault_overhead_healthy_baseline", |b| {
+        b.iter(|| NetworkSim::new(NetConfig::small_test()).run(&mut one_comm_driver()))
+    });
+    // The same simulation through a pre-compiled zero-fault
+    // DegradedFabric: the wrapper's only per-event cost should be the
+    // (empty) masking checks.
+    let cfg = NetConfig::small_test();
+    let degraded = FaultPlan::healthy().compile(cfg.fabric());
+    c.bench_function("fault_overhead_zero_fault_wrapper", |b| {
+        b.iter(|| {
+            NetworkSim::with_topology(cfg.clone(), degraded.clone()).run(&mut one_comm_driver())
+        })
+    });
+}
+
+fn bench_degraded_path(c: &mut Criterion) {
+    // A genuinely detoured route: kill the (1,1)—(2,1) link and send
+    // traffic straight through it, (0,1) → (3,1) — 3 healthy hops
+    // inflate to 5 around the hole (the same pattern
+    // tests/resilience.rs pins).
+    let cfg = NetConfig::small_test();
+    let fabric = cfg.fabric();
+    let mid = fabric.link_index(
+        fabric.node_index(Coord::new(1, 1)),
+        qic_net::topology::Port(0),
+    ) as u32;
+    let detour = FaultPlan::healthy().with_dead_link(mid).compile(fabric);
+    c.bench_function("fault_overhead_degraded_detour", |b| {
+        b.iter(|| {
+            let mut driver = OneShotDriver::new(Coord::new(0, 1), Coord::new(3, 1));
+            NetworkSim::with_topology(cfg.clone(), detour.clone()).run(&mut driver)
+        })
+    });
+    // Bernoulli damage under crossing traffic.
+    let damaged = FaultPlan::healthy()
+        .with_seed(42)
+        .with_link_kill(0.15)
+        .compile(cfg.fabric());
+    c.bench_function("fault_overhead_degraded_batch", |b| {
+        b.iter(|| {
+            let mut driver = BatchDriver::new(vec![
+                (Coord::new(0, 0), Coord::new(3, 3)),
+                (Coord::new(3, 0), Coord::new(0, 3)),
+            ]);
+            NetworkSim::with_topology(cfg.clone(), damaged.clone()).run(&mut driver)
+        })
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    // Plan compilation (schedule resolution + all-pairs BFS) at the
+    // paper's 16×16 scale — the per-sweep-point setup cost.
+    c.bench_function("fault_compile_16x16_mesh", |b| {
+        b.iter(|| {
+            black_box(
+                FaultPlan::healthy()
+                    .with_seed(7)
+                    .with_link_kill(0.1)
+                    .compile(Mesh::new(16, 16)),
+            )
+            .surviving_links()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_zero_fault_path,
+    bench_degraded_path,
+    bench_compile
+);
+criterion_main!(benches);

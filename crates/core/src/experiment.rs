@@ -18,19 +18,19 @@
 //! specs** — [`crate::scenario::fig16_spec`] and
 //! [`crate::scenario::faceoff_spec`], registered as `fig16` and
 //! `topology_faceoff` in the [`crate::scenario::ScenarioRegistry`] —
-//! and run through the single `qic::run` entry point. The functions
-//! here are thin deprecated shims kept for downstream code; their
-//! outputs are byte-identical to the pre-redesign campaigns (golden
-//! tests hold the line). [`figure16_from_campaign`] remains the
-//! supported way to unpack a Figure 16 campaign report into the
-//! paper's normalized dataset.
+//! and run through the single `qic::run` entry point (the deprecated
+//! `figure16*`/`topology_faceoff*` shims are gone; the registry specs
+//! are the only entry points, byte-identical to the pre-redesign
+//! campaigns — golden tests hold the line).
+//! [`figure16_from_campaign`] remains the supported way to unpack a
+//! Figure 16 campaign report into the paper's normalized dataset.
 
 use serde::{Deserialize, Serialize};
 
 use qic_sweep::CampaignReport;
 
 use crate::layout::Layout;
-use crate::scenario::{self, ratio_resources};
+use crate::scenario::ratio_resources;
 
 /// Scale of the Figure 16 reproduction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,34 +100,6 @@ pub struct Fig16Result {
 /// `t = g = p = 1024` baseline point.
 pub(crate) const RATIOS: [i64; 5] = [0, 1, 2, 4, 8];
 
-/// The Figure 16 sweep as a campaign.
-///
-/// Deprecated shim over the Scenario API; output is byte-identical.
-#[deprecated(
-    since = "0.2.0",
-    note = "run `qic_core::scenario::fig16_spec(scale)` through `qic::run` instead"
-)]
-pub fn figure16_campaign(scale: Fig16Scale) -> CampaignReport {
-    scenario::run(&scenario::fig16_spec(scale))
-        .expect("figure presets validate")
-        .report
-}
-
-/// Runs the Figure 16 sweep at a given scale.
-///
-/// Deprecated shim over the Scenario API; output is byte-identical.
-#[deprecated(
-    since = "0.2.0",
-    note = "run `qic_core::scenario::fig16_spec(scale)` through `qic::run`, \
-            then unpack with `figure16_from_campaign`"
-)]
-pub fn figure16(scale: Fig16Scale) -> Fig16Result {
-    let report = scenario::run(&scenario::fig16_spec(scale))
-        .expect("figure presets validate")
-        .report;
-    figure16_from_campaign(scale, &report)
-}
-
 /// Extracts the paper's normalized Figure 16 dataset from an
 /// already-run campaign (the report of
 /// [`crate::scenario::fig16_spec`] through `qic::run`).
@@ -195,33 +167,6 @@ impl FaceoffScale {
             FaceoffScale::Tiny => 16,
         }
     }
-}
-
-/// The topology faceoff as a campaign.
-///
-/// Deprecated shim over the Scenario API; output is byte-identical.
-#[deprecated(
-    since = "0.2.0",
-    note = "run `qic_core::scenario::faceoff_spec(scale)` through `qic::run` instead"
-)]
-pub fn topology_faceoff_campaign(scale: FaceoffScale) -> CampaignReport {
-    scenario::run(&scenario::faceoff_spec(scale))
-        .expect("faceoff presets validate")
-        .report
-}
-
-/// [`topology_faceoff_campaign`] with a pinned worker-thread count.
-///
-/// Deprecated shim over the Scenario API; output is byte-identical.
-#[deprecated(
-    since = "0.2.0",
-    note = "run `qic_core::scenario::faceoff_spec(scale).with_workers(n)` \
-            through `qic::run` instead"
-)]
-pub fn topology_faceoff_campaign_on(scale: FaceoffScale, workers: usize) -> CampaignReport {
-    scenario::run(&scenario::faceoff_spec(scale).with_workers(workers))
-        .expect("faceoff presets validate")
-        .report
 }
 
 #[cfg(test)]

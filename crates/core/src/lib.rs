@@ -20,7 +20,7 @@
 //! through [`scenario::run`] (re-exported as `qic::run` by the facade),
 //! and the named figure presets live in the
 //! [`scenario::ScenarioRegistry`]. [`experiment`] keeps the figure
-//! datatypes plus deprecated shims over the registry.
+//! datatypes (`Fig16Result` & friends) that unpack registry reports.
 //!
 //! # Example
 //!
@@ -61,6 +61,7 @@ pub mod prelude {
         ScenarioError, ScenarioRegistry, ScenarioReport, ScenarioScale, ScenarioSpec, WorkloadSpec,
     };
     pub use crate::scheduler::ProgramDriver;
+    pub use qic_fault::{DegradedFabric, FaultPlan, Hotspot};
 }
 
 pub use layout::{Layout, Placement};

@@ -124,6 +124,17 @@ impl Json {
         }
     }
 
+    pub(crate) fn f64_of(&self, ctx: &str) -> Result<f64, JsonError> {
+        match self {
+            Json::Float(v) => Ok(*v),
+            // Integer literals widen (a hand-written rate of `0` is fine).
+            Json::Int(v) => Ok(*v as f64),
+            other => Err(Json::schema_err(format!(
+                "{ctx}: expected a number, got {other:?}"
+            ))),
+        }
+    }
+
     pub(crate) fn usize_of(&self, ctx: &str) -> Result<usize, JsonError> {
         match self {
             Json::Int(v) => usize::try_from(*v)
@@ -266,6 +277,13 @@ pub(crate) fn get<'a>(
         .find(|(k, _)| k == name)
         .map(|(_, v)| v)
         .ok_or_else(|| Json::schema_err(format!("{ctx}: missing field {name:?}")))
+}
+
+/// Looks an optional field up in an object (`None` when absent — used
+/// for fields later schema versions added, so older documents keep
+/// parsing).
+pub(crate) fn get_opt<'a>(fields: &'a [(String, Json)], name: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
 }
 
 /// Rejects unknown or duplicate fields, so typos fail loudly instead of

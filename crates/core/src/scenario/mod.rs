@@ -324,6 +324,116 @@ mod tests {
     }
 
     #[test]
+    fn fault_scenarios_report_resilience_metrics() {
+        let spec = ScenarioRegistry::builtin()
+            .spec("resilience_sweep", ScenarioScale::SmallTest)
+            .unwrap();
+        let report = run(&spec).unwrap();
+        assert_eq!(report.report.points.len(), 9, "3 rates × 3 fabrics");
+        for p in &report.report.points {
+            // Every point (including rate 0) reports the fault columns,
+            // and the accounting always closes.
+            let delivered = p.mean("comms_delivered").unwrap();
+            let dropped = p.mean("comms_dropped").unwrap();
+            assert_eq!(delivered + dropped, p.mean("comms_completed").unwrap());
+            assert!(p.mean("route_inflation").unwrap() >= 0.0);
+        }
+        // The rate-0 column is the healthy machine: nothing drops,
+        // nothing detours.
+        let p0 = &report.report.points[0];
+        assert_eq!(p0.param("fault_rate").as_f64(), Some(0.0));
+        assert_eq!(p0.mean("comms_dropped"), Some(0.0));
+        assert_eq!(p0.mean("comms_rerouted"), Some(0.0));
+        assert_eq!(p0.mean("route_inflation"), Some(1.0));
+    }
+
+    #[test]
+    fn degraded_faceoff_covers_every_fabric_and_policy() {
+        let spec = ScenarioRegistry::builtin()
+            .spec("degraded_faceoff", ScenarioScale::SmallTest)
+            .unwrap();
+        let report = run(&spec).unwrap();
+        assert_eq!(report.report.points.len(), 6);
+        // The damage is real: at least one point loses communications
+        // or detours (the plan kills 10% of links and 5% of nodes).
+        let damaged = report.report.points.iter().any(|p| {
+            p.mean("comms_dropped").unwrap_or(0.0) > 0.0
+                || p.mean("comms_rerouted").unwrap_or(0.0) > 0.0
+        });
+        assert!(damaged, "the degraded faceoff must show damage");
+    }
+
+    #[test]
+    fn fault_specs_round_trip_json_with_plans() {
+        use qic_fault::{FaultPlan, Hotspot};
+        let spec = ScenarioSpec::machine(
+            "fault_round_trip",
+            MachineSpec::preset(NetPreset::SmallTest).with_fault(
+                FaultPlan::healthy()
+                    .with_seed(99)
+                    .with_link_kill(0.125)
+                    .with_teleporter_loss(0.25)
+                    .with_dead_node(3)
+                    .with_hotspot(Hotspot {
+                        link: 1,
+                        start_ns: 100,
+                        end_ns: 200_000,
+                        penalty_ns: 1_500,
+                    }),
+            ),
+            WorkloadSpec::Qft { qubits: 8 },
+        )
+        .with_axis(ScenarioAxis::FaultRate {
+            rates: vec![0.0, 0.125, 0.5],
+        });
+        spec.validate().unwrap();
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back, "fault plans survive the JSON codec");
+    }
+
+    #[test]
+    fn fault_validation_rejects_bad_plans() {
+        use qic_fault::FaultPlan;
+        // Rates above 1 are not probabilities (axis and plan alike).
+        let spec = ScenarioSpec::machine(
+            "bad_rate",
+            MachineSpec::preset(NetPreset::SmallTest),
+            WorkloadSpec::Qft { qubits: 8 },
+        )
+        .with_axis(ScenarioAxis::FaultRate { rates: vec![1.5] });
+        assert!(spec.validate().unwrap_err().to_string().contains("[0, 1]"));
+
+        // Explicit components must exist on the point's fabric.
+        let spec = ScenarioSpec::machine(
+            "off_fabric",
+            MachineSpec::preset(NetPreset::SmallTest)
+                .with_fault(FaultPlan::healthy().with_dead_link(10_000)),
+            WorkloadSpec::Qft { qubits: 8 },
+        );
+        let err = spec.validate().unwrap_err().to_string();
+        assert!(err.contains("dead link 10000"), "{err}");
+
+        // Masking plans need ≥ 2 teleporters (bubble flow control); a
+        // single-teleporter machine is already rejected by the
+        // port-class coverage rule, which subsumes it.
+        let mut machine = MachineSpec::preset(NetPreset::SmallTest)
+            .with_fault(FaultPlan::healthy().with_link_kill(0.1));
+        machine.teleporters = 1;
+        let spec = ScenarioSpec::machine("starved", machine, WorkloadSpec::Qft { qubits: 8 });
+        assert!(spec.validate().is_err());
+
+        // A FaultRate axis on a channel experiment is rejected.
+        let spec = ScenarioSpec::channel(
+            "channel_faults",
+            PurifyPlacement::EndpointsOnly,
+            16,
+            PairMetric::TotalPairs,
+        )
+        .with_axis(ScenarioAxis::FaultRate { rates: vec![0.1] });
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
     fn layout_labels_round_trip() {
         for layout in Layout::ALL {
             assert_eq!(Layout::parse(&layout.to_string()), Some(layout));

@@ -5,6 +5,7 @@ use std::sync::OnceLock;
 
 use qic_analytic::figures::PairMetric;
 use qic_analytic::strategy::PurifyPlacement;
+use qic_fault::{FaultPlan, Hotspot};
 use qic_net::routing::RoutingPolicy;
 use qic_net::topology::TopologyKind;
 
@@ -315,6 +316,92 @@ fn builtin_entries() -> Vec<ScenarioEntry> {
                 )
                 .with_axis(ScenarioAxis::Topologies {
                     kinds: TopologyKind::ALL.to_vec(),
+                })
+            },
+        },
+        ScenarioEntry {
+            name: "resilience_sweep",
+            figure: "—",
+            summary: "Graceful-degradation curves: fault rate × fabric under adaptive routing",
+            build: |scale| {
+                // The synthetic traffic spans every site of the grid, so
+                // any dead link or node is in somebody's path.
+                let (machine, qubits, comms, rates) = match scale {
+                    ScenarioScale::Full => (
+                        MachineSpec::preset(NetPreset::Reduced).with_purify_depth(2),
+                        64,
+                        96,
+                        vec![0.0, 0.05, 0.1, 0.15, 0.2],
+                    ),
+                    ScenarioScale::SmallTest => (small_machine(), 16, 24, vec![0.0, 0.08, 0.15]),
+                };
+                ScenarioSpec::machine(
+                    "resilience_sweep",
+                    machine
+                        .with_routing(RoutingPolicy::MinimalAdaptive)
+                        // Seed 42 damages all three fabrics even at the
+                        // tiny 4×4 scale (seed 2006 happens to spare the
+                        // 24-link mesh entirely).
+                        .with_fault(FaultPlan::healthy().with_seed(42)),
+                    WorkloadSpec::Synthetic {
+                        qubits,
+                        comms,
+                        seed: 2006,
+                    },
+                )
+                .with_axis(ScenarioAxis::FaultRate { rates })
+                .with_axis(ScenarioAxis::Topologies {
+                    kinds: TopologyKind::ALL.to_vec(),
+                })
+            },
+        },
+        ScenarioEntry {
+            name: "degraded_faceoff",
+            figure: "—",
+            summary: "The topology faceoff on a damaged machine: dead links/nodes, degraded pools, a hot spot",
+            build: |scale| {
+                let (machine, qft, fault) = match scale {
+                    ScenarioScale::Full => (
+                        MachineSpec::preset(NetPreset::Reduced).with_purify_depth(2),
+                        64,
+                        FaultPlan::healthy()
+                            .with_seed(2006)
+                            .with_link_kill(0.08)
+                            .with_node_loss(0.03)
+                            .with_teleporter_loss(0.1)
+                            .with_hotspot(Hotspot {
+                                link: 0,
+                                start_ns: 0,
+                                end_ns: 2_000_000,
+                                penalty_ns: 50_000,
+                            }),
+                    ),
+                    ScenarioScale::SmallTest => (
+                        small_machine(),
+                        16,
+                        FaultPlan::healthy()
+                            .with_seed(2006)
+                            .with_link_kill(0.1)
+                            .with_node_loss(0.05)
+                            .with_teleporter_loss(0.25)
+                            .with_hotspot(Hotspot {
+                                link: 0,
+                                start_ns: 0,
+                                end_ns: 1_000_000,
+                                penalty_ns: 25_000,
+                            }),
+                    ),
+                };
+                ScenarioSpec::machine(
+                    "degraded_faceoff",
+                    machine.with_fault(fault),
+                    WorkloadSpec::Qft { qubits: qft },
+                )
+                .with_axis(ScenarioAxis::Topologies {
+                    kinds: TopologyKind::ALL.to_vec(),
+                })
+                .with_axis(ScenarioAxis::Routings {
+                    policies: RoutingPolicy::ALL.to_vec(),
                 })
             },
         },

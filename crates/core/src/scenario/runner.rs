@@ -11,6 +11,7 @@ use crate::machine::Machine;
 use crate::scenario::spec::{
     ExperimentSpec, MachineSpec, ScenarioError, ScenarioSpec, WorkloadSpec,
 };
+use crate::scheduler::ProgramDriver;
 
 /// The result of running a scenario: the spec that produced it plus the
 /// full campaign report.
@@ -92,14 +93,22 @@ fn run_machine(
         let mut net = machine.net_config();
         let mut layout = machine.layout;
         let mut wl = workload.clone();
+        let mut fault = machine.fault.clone();
         for (a, axis) in spec.axes.iter().enumerate() {
-            axis.apply_machine(point.coord(a), &mut net, &mut layout, &mut wl);
+            axis.apply_machine(point.coord(a), &mut net, &mut layout, &mut wl, &mut fault);
         }
         // Per-point derived seeds follow the engine's replication
         // contract; the net RNG only draws classical correction bits,
         // which never move simulated time, so they cannot shift a
-        // figure's numbers.
+        // figure's numbers. The fault plan keeps its *own* declared
+        // seed: which components die is part of the scenario, not of
+        // the replication noise.
         net.seed = ctx.seed;
+        // Scenarios with a fault plan run over the compiled degraded
+        // fabric (even at rate zero, so a fault sweep reports the same
+        // metric columns at every point); plain scenarios take the
+        // untouched healthy path.
+        let degraded = fault.map(|plan| plan.compile(net.fabric()));
         match &wl {
             WorkloadSpec::Batch { comms } => {
                 let batch = comms
@@ -107,7 +116,11 @@ fn run_machine(
                     .map(|&((sx, sy), (dx, dy))| (Coord::new(sx, sy), Coord::new(dx, dy)))
                     .collect();
                 let mut driver = BatchDriver::new(batch);
-                NetworkSim::new(net).run(&mut driver).metrics()
+                match degraded {
+                    Some(topo) => NetworkSim::with_topology(net, topo).run(&mut driver),
+                    None => NetworkSim::new(net).run(&mut driver),
+                }
+                .metrics()
             }
             program_workload => {
                 let per_point;
@@ -120,10 +133,26 @@ fn run_machine(
                         &per_point
                     }
                 };
-                let mut b = Machine::builder();
-                b.net_config(net).layout(layout);
-                let machine = b.build().expect("validated scenario points build");
-                machine.run(program).net.metrics()
+                match degraded {
+                    Some(topo) => {
+                        // The scheduler drives the degraded fabric
+                        // directly; dropped communications still retire
+                        // their instructions, so degraded programs
+                        // always drain (delivered/dropped counts tell
+                        // the resilience story).
+                        let mut driver = ProgramDriver::new(&net, layout, program)
+                            .expect("validated scenario points fit the grid");
+                        let report = NetworkSim::with_topology(net, topo).run(&mut driver);
+                        driver.assert_finished();
+                        report.metrics()
+                    }
+                    None => {
+                        let mut b = Machine::builder();
+                        b.net_config(net).layout(layout);
+                        let machine = b.build().expect("validated scenario points build");
+                        machine.run(program).net.metrics()
+                    }
+                }
             }
         }
     })

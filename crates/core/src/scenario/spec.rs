@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use qic_analytic::figures::PairMetric;
 use qic_analytic::strategy::PurifyPlacement;
+use qic_fault::{FaultPlan, Hotspot};
 use qic_net::config::{ConfigError, NetConfig};
 use qic_net::routing::RoutingPolicy;
 use qic_net::topology::TopologyKind;
@@ -14,7 +15,7 @@ use qic_sweep::{Axis, ParamSpace};
 use qic_workload::Program;
 
 use crate::layout::Layout;
-use crate::scenario::json::{check_fields, get, ints, obj, Json, JsonError};
+use crate::scenario::json::{check_fields, get, get_opt, ints, obj, Json, JsonError};
 
 /// A named base network configuration a [`MachineSpec`] starts from.
 ///
@@ -87,6 +88,12 @@ pub struct MachineSpec {
     pub purify_depth: u32,
     /// Purified pairs per logical communication.
     pub outputs_per_comm: u32,
+    /// Optional fault model (`qic-fault`): when set, every point runs
+    /// over the compiled `DegradedFabric` and reports resilience
+    /// metrics. `None` (the default, and the only value the figure
+    /// presets use) is the healthy machine — byte-identical to the
+    /// pre-fault-layer simulator.
+    pub fault: Option<FaultPlan>,
 }
 
 impl MachineSpec {
@@ -106,6 +113,7 @@ impl MachineSpec {
             purifiers: net.purifiers_per_site,
             purify_depth: net.purify_depth,
             outputs_per_comm: net.outputs_per_comm,
+            fault: None,
         }
     }
 
@@ -151,6 +159,14 @@ impl MachineSpec {
     /// Sets purified pairs per communication.
     pub fn with_outputs_per_comm(mut self, outputs: u32) -> MachineSpec {
         self.outputs_per_comm = outputs;
+        self
+    }
+
+    /// Attaches a fault model: the machine runs degraded by `plan`
+    /// (a [`ScenarioAxis::FaultRate`] axis overrides its link-kill rate
+    /// per point).
+    pub fn with_fault(mut self, plan: FaultPlan) -> MachineSpec {
+        self.fault = Some(plan);
         self
     }
 
@@ -370,6 +386,15 @@ pub enum ScenarioAxis {
         /// Workloads in sweep order.
         workloads: Vec<WorkloadSpec>,
     },
+    /// Sweeps the fault model's Bernoulli **link-kill rate** (the
+    /// degradation curve axis). Overrides the machine's base
+    /// [`FaultPlan`] per point, creating a healthy-default plan when
+    /// the machine carries none, so a rate of `0.0` is the healthy
+    /// fabric. Campaign axis `fault_rate`.
+    FaultRate {
+        /// Link-kill rates in sweep order (probabilities).
+        rates: Vec<f64>,
+    },
     /// Sweeps the purification placement of a channel scenario
     /// (Figures 10–12's legend set). Campaign axis `placement`.
     Placements {
@@ -431,6 +456,7 @@ impl ScenarioAxis {
             ScenarioAxis::Workloads { workloads } => {
                 Axis::labels("workload", workloads.iter().map(WorkloadSpec::label))
             }
+            ScenarioAxis::FaultRate { rates } => Axis::f64s("fault_rate", rates.iter().copied()),
             ScenarioAxis::Placements { placements } => {
                 Axis::labels("placement", placements.iter().map(PurifyPlacement::legend))
             }
@@ -457,6 +483,7 @@ impl ScenarioAxis {
             | ScenarioAxis::Generators { values }
             | ScenarioAxis::Purifiers { values } => values.len(),
             ScenarioAxis::Workloads { workloads } => workloads.len(),
+            ScenarioAxis::FaultRate { rates } => rates.len(),
             ScenarioAxis::Placements { placements } => placements.len(),
             ScenarioAxis::Hops { hops } => hops.len(),
             ScenarioAxis::ErrorRateLog {
@@ -496,6 +523,7 @@ impl ScenarioAxis {
         net: &mut NetConfig,
         layout: &mut Layout,
         workload: &mut WorkloadSpec,
+        fault: &mut Option<FaultPlan>,
     ) {
         match self {
             ScenarioAxis::ResourceRatio { area, ratios } => {
@@ -521,6 +549,9 @@ impl ScenarioAxis {
             ScenarioAxis::Generators { values } => net.generators_per_edge = values[coord],
             ScenarioAxis::Purifiers { values } => net.purifiers_per_site = values[coord],
             ScenarioAxis::Workloads { workloads } => *workload = workloads[coord].clone(),
+            ScenarioAxis::FaultRate { rates } => {
+                fault.get_or_insert_with(FaultPlan::healthy).link_kill_rate = rates[coord];
+            }
             _ => unreachable!("validated: channel axes never reach machine points"),
         }
     }
@@ -753,6 +784,14 @@ impl ScenarioSpec {
                     w.check(&self.name)?;
                 }
             }
+            if let ScenarioAxis::FaultRate { rates } = axis {
+                if rates
+                    .iter()
+                    .any(|r| !(r.is_finite() && (0.0..=1.0).contains(r)))
+                {
+                    return Err(self.spec_err("fault rates must be probabilities in [0, 1]"));
+                }
+            }
         }
         let names: Vec<&str> = self.axes.iter().map(axis_name).collect();
         for (i, n) in names.iter().enumerate() {
@@ -769,14 +808,64 @@ impl ScenarioSpec {
                     let mut net = machine.net_config();
                     let mut layout = machine.layout;
                     let mut wl = workload.clone();
+                    let mut fault = machine.fault.clone();
                     for (a, axis) in self.axes.iter().enumerate() {
-                        axis.apply_machine(point.coord(a), &mut net, &mut layout, &mut wl);
+                        axis.apply_machine(
+                            point.coord(a),
+                            &mut net,
+                            &mut layout,
+                            &mut wl,
+                            &mut fault,
+                        );
                     }
                     net.validate().map_err(|source| ScenarioError::Config {
                         scenario: self.name.clone(),
                         point: Some(point.to_string()),
                         source,
                     })?;
+                    if let Some(plan) = &fault {
+                        plan.validate()
+                            .map_err(|problem| self.spec_err(format!("{point}: {problem}")))?;
+                        // Component indices must exist on this point's
+                        // fabric (the grid and topology are point-local).
+                        let fabric = net.fabric();
+                        let links = qic_net::topology::Topology::links(&fabric);
+                        let nodes = qic_net::topology::Topology::nodes(&fabric);
+                        for &l in &plan.dead_links {
+                            if l as usize >= links {
+                                return Err(self.spec_err(format!(
+                                    "{point}: dead link {l} is off the {} fabric \
+                                     ({links} links)",
+                                    net.topology
+                                )));
+                            }
+                        }
+                        for &n in &plan.dead_nodes {
+                            if n as usize >= nodes {
+                                return Err(self.spec_err(format!(
+                                    "{point}: dead node {n} is off the {} fabric \
+                                     ({nodes} nodes)",
+                                    net.topology
+                                )));
+                            }
+                        }
+                        for h in &plan.hotspots {
+                            if h.link as usize >= links {
+                                return Err(self.spec_err(format!(
+                                    "{point}: hotspot link {} is off the {} fabric \
+                                     ({links} links)",
+                                    h.link, net.topology
+                                )));
+                            }
+                        }
+                        if plan.masks_topology() && net.teleporters_per_node < 2 {
+                            return Err(self.spec_err(format!(
+                                "{point}: fault plans that can mask links need \
+                                 teleporters ≥ 2 (degraded fabrics run with bubble \
+                                 flow control)"
+                            )));
+                        }
+                    }
                     let sites = u32::from(net.mesh_width) * u32::from(net.mesh_height);
                     match &wl {
                         WorkloadSpec::Batch { comms } => {
@@ -901,6 +990,7 @@ fn axis_name(axis: &ScenarioAxis) -> &'static str {
         ScenarioAxis::Generators { .. } => "g",
         ScenarioAxis::Purifiers { .. } => "p",
         ScenarioAxis::Workloads { .. } => "workload",
+        ScenarioAxis::FaultRate { .. } => "fault_rate",
         ScenarioAxis::Placements { .. } => "placement",
         ScenarioAxis::Hops { .. } => "hops",
         ScenarioAxis::ErrorRateLog { .. } => "error_rate",
@@ -910,7 +1000,7 @@ fn axis_name(axis: &ScenarioAxis) -> &'static str {
 // --- JSON encoding ---------------------------------------------------------
 
 fn encode_machine(m: &MachineSpec) -> Json {
-    obj(vec![
+    let mut fields = vec![
         ("preset", Json::Str(m.preset.label().into())),
         ("width", Json::Int(i128::from(m.width))),
         ("height", Json::Int(i128::from(m.height))),
@@ -925,7 +1015,90 @@ fn encode_machine(m: &MachineSpec) -> Json {
             "outputs_per_comm",
             Json::Int(i128::from(m.outputs_per_comm)),
         ),
+    ];
+    if let Some(plan) = &m.fault {
+        // Emitted only when set, so healthy specs (and their documents)
+        // are byte-identical to the pre-fault-layer schema.
+        fields.push(("fault", encode_fault_plan(plan)));
+    }
+    obj(fields)
+}
+
+fn encode_fault_plan(plan: &FaultPlan) -> Json {
+    obj(vec![
+        ("seed", Json::Int(i128::from(plan.seed))),
+        ("link_kill_rate", Json::Float(plan.link_kill_rate)),
+        ("node_loss_rate", Json::Float(plan.node_loss_rate)),
+        (
+            "teleporter_loss_rate",
+            Json::Float(plan.teleporter_loss_rate),
+        ),
+        ("dead_links", ints(plan.dead_links.iter().copied())),
+        ("dead_nodes", ints(plan.dead_nodes.iter().copied())),
+        (
+            "hotspots",
+            Json::Arr(
+                plan.hotspots
+                    .iter()
+                    .map(|h| {
+                        obj(vec![
+                            ("link", Json::Int(i128::from(h.link))),
+                            ("start_ns", Json::Int(i128::from(h.start_ns))),
+                            ("end_ns", Json::Int(i128::from(h.end_ns))),
+                            ("penalty_ns", Json::Int(i128::from(h.penalty_ns))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
+}
+
+fn decode_fault_plan(value: &Json) -> Result<FaultPlan, JsonError> {
+    let f = value.obj_of("fault")?;
+    check_fields(
+        f,
+        &[
+            "seed",
+            "link_kill_rate",
+            "node_loss_rate",
+            "teleporter_loss_rate",
+            "dead_links",
+            "dead_nodes",
+            "hotspots",
+        ],
+        "fault",
+    )?;
+    let u32_list = |field: &str| -> Result<Vec<u32>, JsonError> {
+        get(f, field, "fault")?
+            .arr_of(field)?
+            .iter()
+            .map(|v| v.u32_of(field))
+            .collect()
+    };
+    Ok(FaultPlan {
+        seed: get(f, "seed", "fault")?.u64_of("seed")?,
+        link_kill_rate: get(f, "link_kill_rate", "fault")?.f64_of("link_kill_rate")?,
+        node_loss_rate: get(f, "node_loss_rate", "fault")?.f64_of("node_loss_rate")?,
+        teleporter_loss_rate: get(f, "teleporter_loss_rate", "fault")?
+            .f64_of("teleporter_loss_rate")?,
+        dead_links: u32_list("dead_links")?,
+        dead_nodes: u32_list("dead_nodes")?,
+        hotspots: get(f, "hotspots", "fault")?
+            .arr_of("hotspots")?
+            .iter()
+            .map(|v| {
+                let h = v.obj_of("hotspot")?;
+                check_fields(h, &["link", "start_ns", "end_ns", "penalty_ns"], "hotspot")?;
+                Ok(Hotspot {
+                    link: get(h, "link", "hotspot")?.u32_of("link")?,
+                    start_ns: get(h, "start_ns", "hotspot")?.u64_of("start_ns")?,
+                    end_ns: get(h, "end_ns", "hotspot")?.u64_of("end_ns")?,
+                    penalty_ns: get(h, "penalty_ns", "hotspot")?.u64_of("penalty_ns")?,
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    })
 }
 
 fn decode_machine(value: &Json) -> Result<MachineSpec, JsonError> {
@@ -944,6 +1117,7 @@ fn decode_machine(value: &Json) -> Result<MachineSpec, JsonError> {
             "purifiers",
             "purify_depth",
             "outputs_per_comm",
+            "fault",
         ],
         "machine",
     )?;
@@ -967,6 +1141,7 @@ fn decode_machine(value: &Json) -> Result<MachineSpec, JsonError> {
         purifiers: get(f, "purifiers", "machine")?.u32_of("purifiers")?,
         purify_depth: get(f, "purify_depth", "machine")?.u32_of("purify_depth")?,
         outputs_per_comm: get(f, "outputs_per_comm", "machine")?.u32_of("outputs_per_comm")?,
+        fault: get_opt(f, "fault").map(decode_fault_plan).transpose()?,
     })
 }
 
@@ -1186,6 +1361,13 @@ fn encode_axis(axis: &ScenarioAxis) -> Json {
                 Json::Arr(workloads.iter().map(encode_workload).collect()),
             ),
         ]),
+        ScenarioAxis::FaultRate { rates } => obj(vec![
+            ("axis", Json::Str("fault_rate".into())),
+            (
+                "rates",
+                Json::Arr(rates.iter().map(|&r| Json::Float(r)).collect()),
+            ),
+        ]),
         ScenarioAxis::Placements { placements } => obj(vec![
             ("axis", Json::Str("placement".into())),
             (
@@ -1321,6 +1503,16 @@ fn decode_axis(value: &Json) -> Result<ScenarioAxis, JsonError> {
                     .arr_of("workloads")?
                     .iter()
                     .map(decode_workload)
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "fault_rate" => {
+            check_fields(f, &["axis", "rates"], "axis")?;
+            Ok(ScenarioAxis::FaultRate {
+                rates: get(f, "rates", "axis")?
+                    .arr_of("rates")?
+                    .iter()
+                    .map(|v| v.f64_of("rates"))
                     .collect::<Result<_, _>>()?,
             })
         }

@@ -1,0 +1,71 @@
+//! # qic-fault — deterministic fault injection for interconnect fabrics
+//!
+//! The source paper (Isailovic et al., ISCA 2006) sizes its
+//! interconnect assuming every teleporter pool, virtual wire and
+//! junction is alive. Real ion-trap and multi-core fabrics degrade, and
+//! related interconnect work (Escofet et al., arXiv:2309.07313) judges
+//! an interconnect precisely by how its cost, fidelity and latency hold
+//! up when links fail. This crate opens that axis for every fabric in
+//! the workspace:
+//!
+//! 1. a declarative, serializable [`FaultPlan`] — Bernoulli rates for
+//!    permanent link kills, node/site loss and teleporter-pool
+//!    degradation, plus explicit schedules (dead component lists,
+//!    transient [`Hotspot`] windows);
+//! 2. fully deterministic compilation: every stochastic draw comes from
+//!    a SplitMix64-derived per-component seed ([`component_seed`]), so
+//!    a plan resolves to a byte-identical [`FaultSchedule`] on every
+//!    run, worker thread and machine;
+//! 3. the [`DegradedFabric`] wrapper, which masks dead links and nodes
+//!    behind the `qic-net` [`qic_net::topology::Topology`] trait —
+//!    recomputing reachability, diameter and bisection of the surviving
+//!    graph — so the existing minimal routers detour automatically and
+//!    the simulator surfaces structured
+//!    [`qic_net::sim::CommOutcome::Unreachable`] drops instead of
+//!    hanging.
+//!
+//! A zero-fault plan is exactly the healthy fabric: wrapping costs
+//! nothing when unused, which is what keeps the paper-figure golden
+//! outputs byte-identical.
+//!
+//! # Example
+//!
+//! ```
+//! use qic_fault::FaultPlan;
+//! use qic_net::config::NetConfig;
+//! use qic_net::sim::{BatchDriver, NetworkSim};
+//! use qic_net::topology::{Coord, Topology};
+//!
+//! // Degrade a 4×4 torus: 15% of links die, deterministically.
+//! let cfg = NetConfig::small_test().with_topology(qic_net::topology::TopologyKind::Torus);
+//! let degraded = FaultPlan::healthy()
+//!     .with_seed(2006)
+//!     .with_link_kill(0.15)
+//!     .compile(cfg.fabric());
+//! assert!(degraded.surviving_links() < 32);
+//!
+//! // The simulator routes around the damage and reports what it cost.
+//! let mut driver = BatchDriver::new(vec![
+//!     (Coord::new(0, 0), Coord::new(3, 3)),
+//!     (Coord::new(3, 0), Coord::new(0, 3)),
+//! ]);
+//! let report = NetworkSim::with_topology(cfg, degraded).run(&mut driver);
+//! let fault = report.fault.expect("fault-aware runs report resilience stats");
+//! assert_eq!(fault.delivered + fault.dropped, report.comms_completed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod degraded;
+mod plan;
+
+pub use degraded::{DegradationSummary, DegradedFabric, UNREACHABLE};
+pub use plan::{
+    bernoulli, component_seed, splitmix64, FaultDomain, FaultPlan, FaultSchedule, Hotspot,
+};
+
+/// Convenient glob-import surface: `use qic_fault::prelude::*;`.
+pub mod prelude {
+    pub use crate::{DegradationSummary, DegradedFabric, FaultPlan, FaultSchedule, Hotspot};
+}

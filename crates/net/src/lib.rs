@@ -58,16 +58,16 @@ pub mod topology;
 /// Convenient glob-import surface: `use qic_net::prelude::*;`.
 pub mod prelude {
     pub use crate::config::NetConfig;
-    pub use crate::report::NetReport;
+    pub use crate::report::{FaultStats, NetReport};
     pub use crate::routing::{DimensionOrder, MinimalAdaptive, Router, RoutingPolicy};
-    pub use crate::sim::{CommId, Driver, NetworkSim, OneShotDriver, SimApi};
+    pub use crate::sim::{CommId, CommOutcome, Driver, NetworkSim, OneShotDriver, SimApi};
     pub use crate::topology::{
         Coord, Dir, Fabric, Hypercube, Mesh, Port, Topology, TopologyKind, Torus,
     };
 }
 
 pub use config::NetConfig;
-pub use report::NetReport;
+pub use report::{FaultStats, NetReport};
 pub use routing::{Router, RoutingPolicy};
-pub use sim::{CommId, Driver, NetworkSim, SimApi};
+pub use sim::{CommId, CommOutcome, Driver, NetworkSim, SimApi};
 pub use topology::{Coord, Dir, Fabric, Hypercube, Mesh, Port, Topology, TopologyKind, Torus};

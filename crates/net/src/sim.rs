@@ -32,7 +32,7 @@ use qic_physics::time::Duration;
 
 use crate::config::NetConfig;
 use crate::message::PauliFrame;
-use crate::report::NetReport;
+use crate::report::{FaultStats, NetReport};
 use crate::resources::{LinkWire, ServerPool, Storage};
 use crate::routing::Router;
 use crate::topology::{Coord, Fabric, Port, Topology};
@@ -40,6 +40,21 @@ use crate::topology::{Coord, Fabric, Port, Topology};
 /// Identifier of a logical communication within one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CommId(pub u32);
+
+/// How a communication finished.
+///
+/// On healthy fabrics every communication is [`CommOutcome::Delivered`].
+/// Over a fault-aware topology (`qic-fault`'s `DegradedFabric`) a
+/// communication whose endpoints are dead or disconnected finishes
+/// immediately as [`CommOutcome::Unreachable`] — a structured outcome
+/// the driver can react to, instead of a simulator hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommOutcome {
+    /// The logical qubit teleported to its destination.
+    Delivered,
+    /// No surviving path (or a dead endpoint); nothing moved.
+    Unreachable,
+}
 
 /// Completion record handed to the driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +69,10 @@ pub struct CommDone {
     pub dst: Coord,
     /// Submission time.
     pub issued_at: SimTime,
-    /// Completion time (data teleport finished).
+    /// Completion time (data teleport finished, or the drop decision).
     pub completed_at: SimTime,
+    /// Whether the data arrived or the communication was dropped.
+    pub outcome: CommOutcome,
 }
 
 /// The workload side of a simulation: submits communications and reacts
@@ -156,6 +173,9 @@ enum Event {
     },
     /// The final data teleport of a communication finished.
     DataTeleportDone { comm: u32 },
+    /// A communication with no surviving path is dropped (fault-aware
+    /// topologies only).
+    Dropped { comm: u32 },
     /// A deferred driver submission.
     Submit { src: Coord, dst: Coord, tag: u64 },
     /// A driver timer.
@@ -228,6 +248,9 @@ struct World<T: Topology> {
     /// Whether bubble flow control is active (cyclic fabric or adaptive
     /// routing; see [`NetConfig::needs_bubble`]).
     bubble: bool,
+    /// Cached `topo.fault_aware()`: gates drop/reroute accounting and
+    /// the report's fault block, so healthy runs cost (and emit) nothing.
+    fault_aware: bool,
     queue: EventQueue<Event>,
     rng: SimRng,
     comms: Vec<Comm>,
@@ -253,6 +276,10 @@ struct World<T: Topology> {
     wire_stalls: u64,
     storage_stalls: u64,
     comms_completed: u64,
+    comms_dropped: u64,
+    comms_rerouted: u64,
+    /// Sum over delivered comms of `routed hops / healthy hops`.
+    route_inflation_sum: f64,
     comm_latency_us: Tally,
     /// Raw per-communication latencies (µs), kept for exact
     /// end-of-run percentiles.
@@ -353,9 +380,12 @@ impl<T: Topology> World<T> {
         let mut telesets = Vec::with_capacity(nodes * classes);
         let mut storage = Vec::with_capacity(nodes * ports_per_node);
         let mut sites = Vec::with_capacity(nodes);
-        for _ in 0..nodes {
+        for node in 0..nodes {
+            // Fault-aware topologies may degrade a node's teleporter
+            // pool; healthy fabrics keep the configured budget.
+            let t_node = topo.teleporter_capacity(node, t);
             for class in 0..classes {
-                telesets.push(ServerPool::new(teleset_share(t, classes, class)));
+                telesets.push(ServerPool::new(teleset_share(t_node, classes, class)));
             }
             for _ in 0..ports_per_node {
                 storage.push(Storage::new(t.max(1)));
@@ -384,6 +414,7 @@ impl<T: Topology> World<T> {
             .collect();
         let channel_load = vec![0; topo.links()];
         let seed = cfg.seed;
+        let fault_aware = topo.fault_aware();
         World {
             cfg,
             topo,
@@ -391,6 +422,7 @@ impl<T: Topology> World<T> {
             ports_per_node,
             classes,
             bubble,
+            fault_aware,
             queue: EventQueue::new(),
             rng: SimRng::seed_from(seed),
             comms: Vec::new(),
@@ -409,6 +441,9 @@ impl<T: Topology> World<T> {
             wire_stalls: 0,
             storage_stalls: 0,
             comms_completed: 0,
+            comms_dropped: 0,
+            comms_rerouted: 0,
+            route_inflation_sum: 0.0,
             comm_latency_us: Tally::new(),
             latency_samples: Vec::new(),
         }
@@ -422,6 +457,33 @@ impl<T: Topology> World<T> {
         let id = self.comms.len() as u32;
         let s = self.topo.node_index(src);
         let d = self.topo.node_index(dst);
+        if self.fault_aware && !self.topo.is_reachable(s, d) {
+            // No surviving path (or a dead endpoint): surface a
+            // structured Unreachable outcome instead of hanging. The
+            // drop completes through the normal event flow so drivers
+            // still see every submission finish.
+            let comm = Comm {
+                src,
+                dst,
+                tag,
+                ports: Vec::new(),
+                nodes: Vec::new(),
+                links: Vec::new(),
+                raw_to_spawn: 0,
+                arrivals: 0,
+                outputs: 0,
+                needed_outputs: 0,
+                issued_at: self.queue.now(),
+                purify_op_time: Duration::ZERO,
+                data_teleport_time: Duration::ZERO,
+                source_waiting: false,
+                done: false,
+            };
+            self.comms.push(comm);
+            self.live_comms += 1;
+            self.queue.schedule_now(Event::Dropped { comm: id });
+            return CommId(id);
+        }
         let ports = {
             let topo = &self.topo;
             let load = &self.channel_load;
@@ -447,6 +509,19 @@ impl<T: Topology> World<T> {
         debug_assert_eq!(at, d, "routes must end at the destination");
         for &link in &links {
             self.channel_load[link as usize] += 1;
+        }
+        if self.fault_aware {
+            // Detour accounting: routed hops vs the healthy fabric's
+            // minimal distance.
+            let healthy = self.topo.healthy_distance(s, d);
+            if ports.len() as u32 > healthy {
+                self.comms_rerouted += 1;
+            }
+            self.route_inflation_sum += if healthy == 0 {
+                1.0
+            } else {
+                ports.len() as f64 / f64::from(healthy)
+            };
         }
         let hops = ports.len() as u64;
         let span_cells = hops * self.cfg.hop_cells;
@@ -576,11 +651,12 @@ impl<T: Topology> World<T> {
             self.telesets[teleset].enqueue_waiter(waiter);
             return false;
         }
-        // Commit.
+        // Commit. Fault-aware topologies may charge a transient hot-spot
+        // penalty on this link; healthy fabrics add zero.
         let service = {
             let comm = &self.comms[comm_id as usize];
             self.hop_service(comm, pos)
-        };
+        } + Duration::from_nanos(self.topo.hop_penalty_ns(edge, now.as_nanos()));
         assert!(self.wires[edge].try_take(now), "stock checked above");
         self.telesets[teleset].acquire(service);
         self.storage[storage].reserve();
@@ -758,6 +834,7 @@ impl<T: Topology> World<T> {
                         dst: c.dst,
                         issued_at: c.issued_at,
                         completed_at: self.queue.now(),
+                        outcome: CommOutcome::Delivered,
                     }
                 };
                 // The channel closes: release its link load so adaptive
@@ -771,6 +848,28 @@ impl<T: Topology> World<T> {
                 let latency = done.completed_at.since(done.issued_at);
                 self.comm_latency_us.record_duration(latency);
                 self.latency_samples.push(latency.as_us_f64());
+                driver.on_complete(done, &mut SimApi { world: self });
+            }
+            Event::Dropped { comm } => {
+                let done = {
+                    let c = &mut self.comms[comm as usize];
+                    c.done = true;
+                    CommDone {
+                        id: CommId(comm),
+                        tag: c.tag,
+                        src: c.src,
+                        dst: c.dst,
+                        issued_at: c.issued_at,
+                        completed_at: self.queue.now(),
+                        outcome: CommOutcome::Unreachable,
+                    }
+                };
+                // A drop finishes the communication (live-comm accounting
+                // and driver chaining both proceed) but records no
+                // latency sample: latency statistics cover deliveries.
+                self.live_comms -= 1;
+                self.comms_completed += 1;
+                self.comms_dropped += 1;
                 driver.on_complete(done, &mut SimApi { world: self });
             }
             Event::Submit { src, dst, tag } => {
@@ -888,6 +987,19 @@ impl<T: Topology> World<T> {
             teleporter_utilization: tele_util,
             purifier_utilization: puri_util,
             events: self.queue.events_processed(),
+            fault: self.fault_aware.then(|| {
+                let delivered = self.comms_completed - self.comms_dropped;
+                FaultStats {
+                    delivered,
+                    dropped: self.comms_dropped,
+                    rerouted: self.comms_rerouted,
+                    mean_route_inflation: if delivered == 0 {
+                        0.0
+                    } else {
+                        self.route_inflation_sum / delivered as f64
+                    },
+                }
+            }),
         }
     }
 }

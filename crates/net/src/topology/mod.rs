@@ -313,6 +313,48 @@ pub trait Topology {
         Coord::new((node % w) as u16, (node / w) as u16)
     }
 
+    // --- fault-awareness hooks (healthy defaults) -----------------------
+
+    /// Whether this topology is a fault layer (a degraded wrapper such
+    /// as `qic-fault`'s `DegradedFabric`). Healthy fabrics return
+    /// `false`; the simulator attaches fault statistics to its report
+    /// only when this returns `true`, so healthy runs stay byte-identical.
+    fn fault_aware(&self) -> bool {
+        false
+    }
+
+    /// Whether a route from `a` to `b` exists. Healthy fabrics are
+    /// connected, so the default is `true`; a degraded wrapper returns
+    /// `false` for dead endpoints or severed components, and the
+    /// simulator then *drops* the communication (a structured
+    /// `Unreachable` outcome) instead of hanging.
+    fn is_reachable(&self, a: usize, b: usize) -> bool {
+        let _ = (a, b);
+        true
+    }
+
+    /// The hop distance the *healthy* fabric would report. Degraded
+    /// wrappers delegate to their base fabric; the simulator uses the
+    /// ratio of routed hops to this value as the route-inflation signal.
+    fn healthy_distance(&self, a: usize, b: usize) -> u32 {
+        self.distance(a, b)
+    }
+
+    /// Surviving teleporter capacity at `node` given the configured
+    /// per-node budget. Healthy fabrics keep the full budget; degraded
+    /// wrappers model teleporter-pool capacity degradation here.
+    fn teleporter_capacity(&self, node: usize, base: u32) -> u32 {
+        let _ = node;
+        base
+    }
+
+    /// Extra service nanoseconds a hop over `link` pays at `now_ns`
+    /// (transient hot-spot windows). Zero on healthy fabrics.
+    fn hop_penalty_ns(&self, link: usize, now_ns: u64) -> u64 {
+        let _ = (link, now_ns);
+        0
+    }
+
     /// Mean hop distance over all ordered distinct node pairs
     /// (`O(nodes²)`; metadata, not a hot path).
     fn avg_distance(&self) -> f64 {

@@ -1,0 +1,87 @@
+//! Graceful degradation across fabrics: the `resilience_sweep` preset
+//! (fault rate × mesh/torus/hypercube under adaptive routing) plus the
+//! structural damage report and analytic bisection bound per fabric.
+//!
+//! Run with `cargo run --release --example resilience`.
+
+use qic::analytic::degraded::degradation_factor;
+use qic::fault::FaultPlan;
+use qic::net::config::NetConfig;
+use qic::net::topology::Topology;
+use qic::prelude::*;
+
+fn main() {
+    let spec = ScenarioRegistry::builtin()
+        .spec("resilience_sweep", ScenarioScale::SmallTest)
+        .expect("registered");
+    eprintln!(
+        "scenario: {} ({} points)",
+        spec.name,
+        spec.param_space().len()
+    );
+    let report = qic::run(&spec).expect("preset validates");
+
+    // Degradation table: per fabric, each fault rate's makespan
+    // inflation against that fabric's own healthy (rate 0) row.
+    println!(
+        "{:>10} {:>11} {:>10} {:>9} {:>9} {:>10} {:>10}",
+        "fabric", "fault_rate", "delivered", "dropped", "rerouted", "infl(hops)", "slowdown"
+    );
+    let points = &report.report.points;
+    let baseline = |fabric: &str| {
+        points
+            .iter()
+            .find(|p| {
+                p.param("topology").as_text() == Some(fabric)
+                    && p.param("fault_rate").as_f64() == Some(0.0)
+            })
+            .and_then(|p| p.mean("makespan_us"))
+            .expect("every fabric has a healthy row")
+    };
+    for p in points {
+        let fabric = p.param("topology").as_text().unwrap();
+        let rate = p.param("fault_rate").as_f64().unwrap();
+        let delivered = p.mean("comms_delivered").unwrap_or(0.0);
+        let dropped = p.mean("comms_dropped").unwrap_or(0.0);
+        let total = delivered + dropped;
+        println!(
+            "{fabric:>10} {rate:>11.2} {:>9.0}% {dropped:>9.0} {:>9.0} {:>10.3} {:>9.2}×",
+            100.0 * delivered / total.max(1.0),
+            p.mean("comms_rerouted").unwrap_or(0.0),
+            p.mean("route_inflation").unwrap_or(1.0),
+            p.mean("makespan_us").unwrap_or(f64::NAN) / baseline(fabric),
+        );
+    }
+
+    // Structural view: what the heaviest sweep rate does to each fabric,
+    // and the analytic throughput ceiling that damage implies.
+    let rate = 0.15;
+    let plan = FaultPlan::healthy().with_seed(42).with_link_kill(rate);
+    println!("\nstructure at link-kill rate {rate} (plan seed 42):");
+    println!(
+        "{:>10} {:>7} {:>9} {:>10} {:>11} {:>10}",
+        "fabric", "links", "survive", "bisection", "reachable", "analytic⌈"
+    );
+    for kind in TopologyKind::ALL {
+        let net = NetConfig::small_test().with_topology(kind);
+        let healthy = net.fabric();
+        let degraded = plan.clone().compile(healthy);
+        let s = degraded.summary();
+        println!(
+            "{:>10} {:>7} {:>9} {:>4} → {:<3} {:>10.0}% {:>9.0}%",
+            kind,
+            healthy.links(),
+            s.surviving_links,
+            healthy.bisection_width(),
+            s.bisection_width,
+            100.0 * s.reachable_fraction,
+            100.0 * degradation_factor(healthy.bisection_width(), s.bisection_width),
+        );
+    }
+
+    // The whole study is data: the JSON spec re-runs byte-identically.
+    let reloaded = ScenarioSpec::from_json(&spec.to_json()).expect("round trip");
+    let rerun = qic::run(&reloaded).expect("round-tripped spec validates");
+    assert_eq!(report.to_json(), rerun.to_json());
+    eprintln!("\nJSON round trip re-ran to byte-identical output");
+}

@@ -20,6 +20,7 @@
 //! | [`analytic`] | `qic-analytic` | chained-channel error & resource models (Figs 9–12) |
 //! | [`des`] | `qic-des` | deterministic discrete-event engine |
 //! | [`net`] | `qic-net` | interconnect fabrics (mesh/torus/hypercube), routing policies, virtual wires, the communication simulator (Figs 4–6, 13, 16) |
+//! | [`fault`] | `qic-fault` | deterministic fault injection: declarative `FaultPlan`s compiled into `DegradedFabric` wrappers (dead links/nodes, degraded pools, hot spots) |
 //! | [`workload`] | `qic-workload` | QFT / modular-arithmetic instruction streams |
 //! | [`core`] | `qic-core` | machine builder, layouts, logical scheduler, the Scenario API (spec/registry/[`run`]) |
 //! | [`sweep`] | `qic-sweep` | parallel campaign engine: declarative parameter sweeps, deterministic seeding, CSV/JSON reports |
@@ -61,6 +62,7 @@
 pub use qic_analytic as analytic;
 pub use qic_core as core;
 pub use qic_des as des;
+pub use qic_fault as fault;
 pub use qic_iontrap as iontrap;
 pub use qic_net as net;
 pub use qic_physics as physics;
@@ -97,6 +99,7 @@ pub mod prelude {
     pub use qic_analytic::plan::{ChannelError, ChannelModel, ChannelPlan};
     pub use qic_analytic::strategy::PurifyPlacement;
     pub use qic_core::prelude::*;
+    pub use qic_fault::prelude::*;
     pub use qic_net::routing::{Router, RoutingPolicy};
     pub use qic_net::topology::{
         Coord, Fabric, Hypercube, Mesh, Port, Topology, TopologyKind, Torus,

@@ -1,4 +1,4 @@
-//! Smoke tests mirroring the five `examples/*.rs` code paths, so the
+//! Smoke tests mirroring the `examples/*.rs` code paths, so the
 //! examples' API surface is exercised by `cargo test` and cannot rot
 //! silently between releases.
 
@@ -150,6 +150,41 @@ fn topology_faceoff_path() {
         assert!(p.mean("comms_completed").unwrap() > 0.0);
         assert!(p.mean("latency_p95_us").unwrap() >= p.mean("latency_p50_us").unwrap());
     }
+}
+
+/// `examples/resilience.rs`: the degradation sweep's healthy rows are
+/// loss-free, the structure report is coherent, and the JSON round
+/// trip reproduces the report.
+#[test]
+fn resilience_path() {
+    use qic::fault::FaultPlan;
+
+    let spec = ScenarioRegistry::builtin()
+        .spec("resilience_sweep", ScenarioScale::SmallTest)
+        .expect("registered");
+    let report = qic::run(&spec).expect("preset validates");
+    for point in &report.report.points {
+        let rate = point.param("fault_rate").as_f64().unwrap();
+        if rate == 0.0 {
+            assert_eq!(point.mean("comms_dropped"), Some(0.0));
+            assert_eq!(point.mean("route_inflation"), Some(1.0));
+        }
+        assert!(point.mean("makespan_us").unwrap() > 0.0);
+    }
+    // The structural half: the compiled fabric's summary is coherent.
+    let degraded = FaultPlan::healthy()
+        .with_seed(42)
+        .with_link_kill(0.15)
+        .compile(NetConfig::small_test().fabric());
+    let s = degraded.summary();
+    assert_eq!(s.surviving_links + s.dead_links, 24);
+    assert!(s.bisection_width <= 4);
+    let reloaded = ScenarioSpec::from_json(&spec.to_json()).expect("round trip");
+    assert_eq!(
+        qic::run(&reloaded).unwrap().to_json(),
+        report.to_json(),
+        "a spec fully determines its report"
+    );
 }
 
 /// `examples/shor_pipeline.rs`: all four Shor phases complete on a 6×6

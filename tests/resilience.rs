@@ -1,0 +1,186 @@
+//! Cross-crate resilience guarantees:
+//!
+//! * a zero-fault `FaultPlan` wrapped around any fabric reproduces the
+//!   healthy simulator's report exactly (minus the fault block);
+//! * fault scenarios are deterministic across sweep worker counts
+//!   (byte-identical `ScenarioReport` CSV/JSON for 1 vs 4 workers);
+//! * severed fabrics surface structured `Unreachable` drops instead of
+//!   hanging;
+//! * the simulator's measured cross-bisection throughput collapse never
+//!   beats the `qic-analytic` degraded-bisection bound.
+
+use qic::fault::{FaultPlan, UNREACHABLE};
+use qic::net::config::NetConfig;
+use qic::net::sim::{BatchDriver, CommOutcome, NetworkSim};
+use qic::net::topology::{Coord, Topology, TopologyKind};
+use qic::prelude::*;
+
+fn crossing_batch() -> Vec<(Coord, Coord)> {
+    vec![
+        (Coord::new(0, 0), Coord::new(3, 3)),
+        (Coord::new(3, 3), Coord::new(0, 0)),
+        (Coord::new(0, 3), Coord::new(3, 0)),
+        (Coord::new(3, 0), Coord::new(0, 3)),
+        (Coord::new(1, 1), Coord::new(2, 2)),
+    ]
+}
+
+#[test]
+fn zero_fault_wrapper_reproduces_the_healthy_report_on_every_fabric() {
+    for kind in TopologyKind::ALL {
+        for routing in RoutingPolicy::ALL {
+            let cfg = NetConfig::small_test()
+                .with_topology(kind)
+                .with_routing(routing);
+            let healthy = NetworkSim::new(cfg.clone()).run(&mut BatchDriver::new(crossing_batch()));
+            let wrapped =
+                NetworkSim::with_topology(cfg.clone(), FaultPlan::healthy().compile(cfg.fabric()))
+                    .run(&mut BatchDriver::new(crossing_batch()));
+            // The fault layer costs nothing when unused: everything but
+            // the (all-zero) fault block is identical.
+            let mut stripped = wrapped.clone();
+            stripped.fault = None;
+            assert_eq!(stripped, healthy, "{kind}/{routing}");
+            let fault = wrapped.fault.expect("fault-aware topology reports stats");
+            assert_eq!(fault.dropped, 0);
+            assert_eq!(fault.rerouted, 0);
+            assert_eq!(fault.delivered, healthy.comms_completed);
+            assert_eq!(fault.mean_route_inflation, 1.0);
+        }
+    }
+}
+
+#[test]
+fn fault_scenarios_are_worker_count_independent() {
+    for name in ["resilience_sweep", "degraded_faceoff"] {
+        let spec = ScenarioRegistry::builtin()
+            .spec(name, ScenarioScale::SmallTest)
+            .expect("registered");
+        let serial = qic::run(&spec.clone().with_workers(1)).unwrap();
+        let parallel = qic::run(&spec.with_workers(4)).unwrap();
+        assert_eq!(serial.to_csv(), parallel.to_csv(), "{name}: CSV drifted");
+        assert_eq!(serial.to_json(), parallel.to_json(), "{name}: JSON drifted");
+    }
+}
+
+#[test]
+fn severed_endpoints_drop_with_structured_outcomes() {
+    // Cut node 0 off a 4×4 mesh entirely (its two incident links die).
+    let cfg = NetConfig::small_test();
+    let fabric = cfg.fabric();
+    let east = fabric.link_index(0, Port(0)) as u32;
+    let north = fabric.link_index(0, Port(2)) as u32;
+    let degraded = FaultPlan::healthy()
+        .with_dead_link(east)
+        .with_dead_link(north)
+        .compile(fabric);
+    assert_eq!(Topology::distance(&degraded, 0, 15), UNREACHABLE);
+
+    let mut driver = BatchDriver::new(vec![
+        (Coord::new(0, 0), Coord::new(3, 3)), // severed → dropped
+        (Coord::new(1, 0), Coord::new(3, 3)), // fine
+    ]);
+    let report = NetworkSim::with_topology(cfg, degraded).run(&mut driver);
+    assert_eq!(report.comms_completed, 2, "drops still finish");
+    let fault = report.fault.expect("degraded run reports fault stats");
+    assert_eq!((fault.delivered, fault.dropped), (1, 1));
+    let outcomes: Vec<CommOutcome> = driver.completions.iter().map(|d| d.outcome).collect();
+    assert!(outcomes.contains(&CommOutcome::Unreachable));
+    assert!(outcomes.contains(&CommOutcome::Delivered));
+    // The dropped comm contributes no latency sample.
+    assert_eq!(report.comm_latency_us.count(), 1);
+}
+
+#[test]
+fn detours_inflate_routes_but_deliver() {
+    // Kill one central link on the mesh: dimension-order traffic through
+    // it must detour, stay minimal in the surviving metric, and deliver.
+    let cfg = NetConfig::small_test();
+    let fabric = cfg.fabric();
+    // Link between (1,1) and (2,1): on the straight route 0,1 → 3,1.
+    let mid = fabric.link_index(fabric.node_index(Coord::new(1, 1)), Port(0)) as u32;
+    let degraded = FaultPlan::healthy().with_dead_link(mid).compile(fabric);
+    let mut driver = BatchDriver::new(vec![(Coord::new(0, 1), Coord::new(3, 1))]);
+    let report = NetworkSim::with_topology(cfg, degraded).run(&mut driver);
+    let fault = report.fault.unwrap();
+    assert_eq!(fault.delivered, 1);
+    assert_eq!(fault.dropped, 0);
+    assert_eq!(fault.rerouted, 1, "the straight path is gone");
+    // 3 healthy hops → 5 surviving hops (around the dead link).
+    assert!((fault.mean_route_inflation - 5.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn measured_throughput_never_beats_the_degraded_bisection_bound() {
+    use qic::analytic::degraded::{bisection_comm_throughput, degradation_factor};
+
+    // Saturate the mesh bisection with cross-cut traffic, healthy vs
+    // degraded (half the cut links dead), and compare against the
+    // closed-form bound.
+    let mut cfg = NetConfig::small_test();
+    cfg.generators_per_edge = 1; // wire-limited: the bound is tight-ish
+    let healthy_fabric = cfg.fabric();
+    let healthy_bisection = healthy_fabric.bisection_width();
+
+    // Kill 2 of the 4 links crossing the row-median cut (rows 0–1 vs 2–3).
+    let cut_a = healthy_fabric.link_index(healthy_fabric.node_index(Coord::new(0, 1)), Port(2));
+    let cut_b = healthy_fabric.link_index(healthy_fabric.node_index(Coord::new(1, 1)), Port(2));
+    let degraded = FaultPlan::healthy()
+        .with_dead_link(cut_a as u32)
+        .with_dead_link(cut_b as u32)
+        .compile(healthy_fabric);
+    let surviving_bisection = degraded.bisection_width();
+    assert_eq!(surviving_bisection, healthy_bisection - 2);
+
+    // Cross-cut batch: every comm crosses the row-median cut.
+    let batch: Vec<(Coord, Coord)> = (0..4)
+        .map(|x| (Coord::new(x, 0), Coord::new(x, 3)))
+        .collect();
+    let report =
+        NetworkSim::with_topology(cfg.clone(), degraded).run(&mut BatchDriver::new(batch.clone()));
+    let delivered = report.fault.unwrap().delivered;
+    assert_eq!(delivered, 4, "the surviving cut still carries everything");
+
+    // Measured cross-cut throughput vs the analytic ceiling.
+    let measured = delivered as f64 / (report.makespan.as_us_f64() * 1e-6);
+    let bound = bisection_comm_throughput(
+        surviving_bisection,
+        cfg.generators_per_edge,
+        cfg.times.generate(),
+        cfg.link_cost_factor,
+        cfg.raw_pairs_per_comm(),
+    );
+    assert!(
+        measured <= bound,
+        "simulator ({measured:.1} comms/s) beats the physical bound ({bound:.1})"
+    );
+    // And the factor matches the link arithmetic.
+    let factor = degradation_factor(healthy_bisection, surviving_bisection);
+    assert!((factor - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn degraded_programs_always_drain() {
+    // A QFT over a heavily damaged machine: dropped communications
+    // retire their instructions, so the program finishes and the run
+    // reports how much was lost.
+    let spec = ScenarioSpec::machine(
+        "qft_on_damage",
+        MachineSpec::preset(NetPreset::SmallTest)
+            .with_purify_depth(1)
+            .with_outputs_per_comm(2)
+            .with_fault(
+                FaultPlan::healthy()
+                    .with_seed(7)
+                    .with_link_kill(0.25)
+                    .with_node_loss(0.1),
+            ),
+        WorkloadSpec::Qft { qubits: 16 },
+    );
+    let report = qic::run(&spec).expect("validates");
+    let p = &report.report.points[0];
+    let delivered = p.mean("comms_delivered").unwrap();
+    let dropped = p.mean("comms_dropped").unwrap();
+    assert_eq!(delivered + dropped, p.mean("comms_completed").unwrap());
+    assert!(delivered > 0.0, "some traffic survives 25% link loss");
+}
