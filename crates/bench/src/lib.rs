@@ -4,6 +4,8 @@
 //! keep the formatting uniform and decide the run scale (set `QIC_FULL=1`
 //! for paper-scale runs where a reduced default exists).
 
+pub mod hotpath;
+
 /// Whether the full paper-scale configuration was requested.
 pub fn full_scale() -> bool {
     std::env::var("QIC_FULL").map(|v| v == "1").unwrap_or(false)

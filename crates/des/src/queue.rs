@@ -1,39 +1,39 @@
 //! The event queue: a time-ordered heap with FIFO tie-breaking.
+//!
+//! Internally this is an index-addressed 4-ary min-heap over a slab
+//! arena: the heap orders packed `(at, seq)` keys (one `u128` compare)
+//! in an array kept separate from the arena slot indices, so a sift's
+//! child scan reads a single cache line of four keys; the events
+//! themselves sit still in an arena `Vec` and are moved exactly twice
+//! (in on schedule, out on pop). Events scheduled for the instant the
+//! clock already shows bypass the heap and the arena entirely through a
+//! FIFO "now-lane", which makes the self-scheduling cascades a
+//! simulation step produces O(1) instead of O(log n).
+//!
+//! The FIFO tie-break rests on a strictly monotone `u64` sequence
+//! counter. It is incremented once per scheduled event and never
+//! reused, so it cannot collide, and at one event per nanosecond it
+//! would take ~585 years of wall-clock scheduling to wrap — the
+//! property test in `tests/queue_prop.rs` pins the ordering, including
+//! from seeds above `u32::MAX`.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use qic_physics::time::Duration;
 
 use crate::time::SimTime;
 
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
+/// Heap order key: `(at << 64) | seq`, so strict `(at, seq)` order is
+/// one native 128-bit comparison.
+type Ord128 = u128;
 
-// Order entries so the *earliest* (and, within a time, the first-scheduled)
-// pops first from a max-heap.
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
+/// The tail of the intrusive free list (and the "no entry" sentinel).
+const FREE_END: u32 = u32::MAX;
 
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: smaller (at, seq) = greater priority.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+/// An arena slot: a live event, or a link in the free list.
+enum Slot<E> {
+    Full(E),
+    Free(u32),
 }
 
 /// A deterministic future-event list.
@@ -41,19 +41,49 @@ impl<E> Ord for Entry<E> {
 /// Events scheduled for the same instant pop in the order they were
 /// scheduled, which makes simulations reproducible regardless of heap
 /// internals.
-#[derive(Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// 4-ary min-heap order keys; kept apart from the slots so a sift's
+    /// child scan reads one 64-byte line of four keys and touches the
+    /// slot array only on an actual move.
+    heap_ord: Vec<Ord128>,
+    /// Arena slot of each heap entry, parallel to `heap_ord`.
+    heap_slot: Vec<u32>,
+    /// Event arena: heap/lane entries hold indices into this slab; free
+    /// slots chain through [`Slot::Free`] starting at `free_head`.
+    slots: Vec<Slot<E>>,
+    free_head: u32,
+    /// Events scheduled for exactly `now`, in FIFO order. Every entry
+    /// here was scheduled *after* the clock reached `now`, so it comes
+    /// after any heap entry at `now` in `(at, seq)` order — the heap
+    /// drains first at each instant, then the lane, preserving global
+    /// FIFO order without heap (or arena) traffic.
+    lane: VecDeque<E>,
     seq: u64,
     now: SimTime,
     popped: u64,
 }
 
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
 impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
+        EventQueue::with_capacity(0)
+    }
+
+    /// An empty queue at time zero with room for `capacity` pending
+    /// events before the heap or arena reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap_ord: Vec::with_capacity(capacity),
+            heap_slot: Vec::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free_head: FREE_END,
+            lane: VecDeque::new(),
             seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -68,17 +98,50 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap_ord.len() + self.lane.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap_ord.is_empty() && self.lane.is_empty()
     }
 
     /// Total events popped so far (a progress measure for run loops).
     pub fn events_processed(&self) -> u64 {
         self.popped
+    }
+
+    /// Stores an event in the arena and returns its slot.
+    #[inline]
+    fn alloc(&mut self, event: E) -> u32 {
+        let slot = self.free_head;
+        if slot == FREE_END {
+            let slot =
+                u32::try_from(self.slots.len()).expect("event arena exceeds u32::MAX live events");
+            assert!(slot != FREE_END, "event arena exceeds u32::MAX live events");
+            self.slots.push(Slot::Full(event));
+            slot
+        } else {
+            let cell = &mut self.slots[slot as usize];
+            match std::mem::replace(cell, Slot::Full(event)) {
+                Slot::Free(next) => self.free_head = next,
+                Slot::Full(_) => unreachable!("free list points at a live slot"),
+            }
+            slot
+        }
+    }
+
+    /// Removes an event from the arena, recycling its slot.
+    #[inline]
+    fn take(&mut self, slot: u32) -> E {
+        let cell = &mut self.slots[slot as usize];
+        match std::mem::replace(cell, Slot::Free(self.free_head)) {
+            Slot::Full(event) => {
+                self.free_head = slot;
+                event
+            }
+            Slot::Free(_) => unreachable!("popped slot holds an event"),
+        }
     }
 
     /// Schedules `event` at the absolute instant `at`.
@@ -94,9 +157,19 @@ impl<E> EventQueue<E> {
             "cannot schedule into the past ({at} < {})",
             self.now
         );
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        if at == self.now {
+            // Same-instant fast lane: FIFO by construction, and every
+            // earlier-scheduled event at this instant lives in the heap
+            // with a smaller sequence number, so draining heap-then-lane
+            // preserves exact schedule order with no heap or arena
+            // traffic at all.
+            self.lane.push_back(event);
+        } else {
+            let seq = self.seq;
+            self.seq = seq.checked_add(1).expect("event sequence counter wrapped");
+            let slot = self.alloc(event);
+            self.heap_push((u128::from(at.as_nanos()) << 64) | u128::from(seq), slot);
+        }
     }
 
     /// Schedules `event` at `now + delay`.
@@ -113,20 +186,153 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        self.now = entry.at;
+        // Heap entries at `now` predate everything in the lane; lane
+        // entries precede any strictly later heap entry.
+        let event = match self.heap_ord.first() {
+            Some(&top) if self.lane.is_empty() || (top >> 64) as u64 == self.now.as_nanos() => {
+                self.now = SimTime::from_nanos((top >> 64) as u64);
+                let slot = self.heap_pop_top();
+                self.take(slot)
+            }
+            _ => self.lane.pop_front()?,
+        };
         self.popped += 1;
-        Some((entry.at, entry.event))
+        Some((self.now, event))
+    }
+
+    /// Pops **every** event scheduled for the earliest pending instant
+    /// into `out` (cleared first), in exact [`EventQueue::pop`] order,
+    /// advancing the clock; returns that instant.
+    ///
+    /// Batching amortizes heap traffic across a whole simulation step;
+    /// events the caller schedules *while handling* the batch land at or
+    /// after the returned instant and are picked up by later calls, so
+    /// the interleaving matches a pop-one-at-a-time loop exactly.
+    pub fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        out.clear();
+        let (at, first) = self.pop()?;
+        out.push(first);
+        let at_ns = at.as_nanos();
+        loop {
+            // Same-instant peers: heap first (smaller seqs), then lane.
+            let event = match self.heap_ord.first() {
+                Some(&top) if (top >> 64) as u64 == at_ns => {
+                    let slot = self.heap_pop_top();
+                    self.take(slot)
+                }
+                _ => match self.lane.pop_front() {
+                    Some(event) => event,
+                    None => break,
+                },
+            };
+            self.popped += 1;
+            out.push(event);
+        }
+        Some(at)
     }
 
     /// The timestamp of the next event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        if self.lane.is_empty() {
+            self.heap_ord
+                .first()
+                .map(|&ord| SimTime::from_nanos((ord >> 64) as u64))
+        } else {
+            Some(self.now)
+        }
     }
 
     /// Discards all pending events (the clock is left where it is).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.heap_ord.clear();
+        self.heap_slot.clear();
+        self.lane.clear();
+        self.slots.clear();
+        self.free_head = FREE_END;
+    }
+
+    /// Starts the sequence counter at `seq` — a test hook for exercising
+    /// FIFO ordering near and beyond `u32::MAX` without scheduling four
+    /// billion events first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events were already scheduled (the counter must stay
+    /// strictly monotone).
+    #[doc(hidden)]
+    pub fn start_seq_at(&mut self, seq: u64) {
+        assert!(
+            self.seq == 0 && self.is_empty(),
+            "start_seq_at is only valid on a fresh queue"
+        );
+        self.seq = seq;
+    }
+
+    /// Pushes an order key + slot onto the 4-ary heap. Hole-based sift:
+    /// parents slide down into the hole and the entry is written exactly
+    /// once, halving the memory traffic of a swap-per-level sift.
+    #[inline]
+    fn heap_push(&mut self, ord: Ord128, slot: u32) {
+        let mut i = self.heap_ord.len();
+        self.heap_ord.push(ord);
+        self.heap_slot.push(slot);
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            let p = self.heap_ord[parent];
+            if ord < p {
+                self.heap_ord[i] = p;
+                self.heap_slot[i] = self.heap_slot[parent];
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap_ord[i] = ord;
+        self.heap_slot[i] = slot;
+    }
+
+    /// Removes and returns the slot of the minimum heap key.
+    #[inline]
+    fn heap_pop_top(&mut self) -> u32 {
+        let top = self.heap_slot[0];
+        let last_ord = self.heap_ord.pop().expect("heap is non-empty");
+        let last_slot = self.heap_slot.pop().expect("heap is non-empty");
+        if !self.heap_ord.is_empty() {
+            self.sift_down(0, last_ord, last_slot);
+        }
+        top
+    }
+
+    /// Sifts an entry down from the hole at `i`, writing it exactly
+    /// once. The child scan touches only the contiguous order keys (all
+    /// four fit in one 64-byte line); the slot array is read on moves.
+    fn sift_down(&mut self, mut i: usize, ord: Ord128, slot: u32) {
+        let len = self.heap_ord.len();
+        loop {
+            let first_child = 4 * i + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut min = first_child;
+            let mut min_ord = self.heap_ord[first_child];
+            let end = (first_child + 4).min(len);
+            for c in first_child + 1..end {
+                let k = self.heap_ord[c];
+                if k < min_ord {
+                    min = c;
+                    min_ord = k;
+                }
+            }
+            if min_ord < ord {
+                self.heap_ord[i] = min_ord;
+                self.heap_slot[i] = self.heap_slot[min];
+                i = min;
+            } else {
+                break;
+            }
+        }
+        self.heap_ord[i] = ord;
+        self.heap_slot[i] = slot;
     }
 }
 
@@ -134,7 +340,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.len())
             .field("processed", &self.popped)
             .finish()
     }
@@ -213,5 +419,63 @@ mod tests {
         let q: EventQueue<()> = EventQueue::new();
         let s = format!("{q:?}");
         assert!(s.contains("pending"));
+    }
+
+    #[test]
+    fn pop_batch_collects_one_instant_in_pop_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(10), 2);
+        q.schedule_at(SimTime::from_nanos(20), 4);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime::from_nanos(10)));
+        assert_eq!(batch, [1, 2]);
+        assert_eq!(q.events_processed(), 2);
+        // Same-instant events scheduled mid-handling arrive in the next
+        // batch — at the same timestamp, after their already-queued peers.
+        q.schedule_now(3);
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime::from_nanos(10)));
+        assert_eq!(batch, [3]);
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime::from_nanos(20)));
+        assert_eq!(batch, [4]);
+        assert_eq!(q.pop_batch(&mut batch), None);
+        assert!(batch.is_empty());
+        assert_eq!(q.events_processed(), 4);
+    }
+
+    #[test]
+    fn lane_and_heap_interleave_in_seq_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(5), 1);
+        let _ = q.pop(); // now = 5
+        q.schedule_now(10); // lane
+        q.schedule_at(SimTime::from_nanos(9), 20); // heap, later time
+        q.schedule_now(11); // lane again
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, [10, 11, 20], "lane (t=5) drains before t=9");
+    }
+
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10 {
+            for i in 0..50u64 {
+                q.schedule_after(Duration::from_nanos(i + 1), (round, i));
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(q.slots.len() <= 50, "arena grew to {}", q.slots.len());
+        assert_eq!(q.events_processed(), 500);
+    }
+
+    #[test]
+    fn start_seq_at_preserves_fifo_across_u32_boundary() {
+        let mut q = EventQueue::new();
+        q.start_seq_at(u64::from(u32::MAX) - 1);
+        for i in 0..10 {
+            q.schedule_at(SimTime::from_nanos(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 }

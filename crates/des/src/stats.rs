@@ -160,17 +160,42 @@ pub struct Percentiles {
 impl Percentiles {
     /// Computes p50/p95/p99 of `samples` (order irrelevant); `None`
     /// when empty.
+    ///
+    /// Nearest-rank (see the type docs): with one sample all three
+    /// percentiles are that sample; with two, `p50` is the smaller
+    /// (rank `⌈0.5·2⌉ = 1`) and `p95`/`p99` the larger. Those two cases
+    /// take an allocation-free fast path — single-communication runs
+    /// hit this on the simulator's report path.
     pub fn from_samples(samples: &[f64]) -> Option<Percentiles> {
-        if samples.is_empty() {
-            return None;
+        match samples {
+            [] => None,
+            [x] => Some(Percentiles {
+                p50: *x,
+                p95: *x,
+                p99: *x,
+            }),
+            [a, b] => {
+                let (lo, hi) = if a.total_cmp(b).is_le() {
+                    (*a, *b)
+                } else {
+                    (*b, *a)
+                };
+                Some(Percentiles {
+                    p50: lo,
+                    p95: hi,
+                    p99: hi,
+                })
+            }
+            _ => {
+                let mut sorted = samples.to_vec();
+                sorted.sort_by(f64::total_cmp);
+                Some(Percentiles {
+                    p50: percentile_of_sorted(&sorted, 0.50).expect("non-empty"),
+                    p95: percentile_of_sorted(&sorted, 0.95).expect("non-empty"),
+                    p99: percentile_of_sorted(&sorted, 0.99).expect("non-empty"),
+                })
+            }
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(f64::total_cmp);
-        Some(Percentiles {
-            p50: percentile_of_sorted(&sorted, 0.50).expect("non-empty"),
-            p95: percentile_of_sorted(&sorted, 0.95).expect("non-empty"),
-            p99: percentile_of_sorted(&sorted, 0.99).expect("non-empty"),
-        })
     }
 }
 
@@ -433,6 +458,28 @@ mod tests {
         let two = Percentiles::from_samples(&[10.0, 20.0]).unwrap();
         assert_eq!(two.p50, 10.0, "nearest rank: ceil(0.5*2)=1st sample");
         assert_eq!(two.p99, 20.0);
+        // The two-sample fast path must order its inputs itself.
+        assert_eq!(Percentiles::from_samples(&[20.0, 10.0]), Some(two));
+    }
+
+    #[test]
+    fn percentiles_duplicate_heavy_sets() {
+        // All-identical samples: every percentile is that value.
+        let flat = Percentiles::from_samples(&[3.0; 64]).unwrap();
+        assert_eq!((flat.p50, flat.p95, flat.p99), (3.0, 3.0, 3.0));
+        // 99 copies of 1.0 and a single outlier: nearest rank keeps
+        // p50/p95 on the duplicates and p99 lands exactly on rank 99 —
+        // still a duplicate, never an interpolated value.
+        let mut samples = vec![1.0; 99];
+        samples.push(1000.0);
+        let p = Percentiles::from_samples(&samples).unwrap();
+        assert_eq!((p.p50, p.p95, p.p99), (1.0, 1.0, 1.0));
+        // Two duplicate blocks: the p95/p99 ranks (ceil(.95·10)=10,
+        // ceil(.99·10)=10) fall in the upper block, p50 (rank 5) in the
+        // lower.
+        let blocks = [2.0, 2.0, 2.0, 2.0, 2.0, 9.0, 9.0, 9.0, 9.0, 9.0];
+        let p = Percentiles::from_samples(&blocks).unwrap();
+        assert_eq!((p.p50, p.p95, p.p99), (2.0, 9.0, 9.0));
     }
 
     #[test]

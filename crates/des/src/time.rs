@@ -40,6 +40,7 @@ impl SimTime {
     }
 
     /// Saturating advance by a duration.
+    #[inline]
     pub fn saturating_add(self, d: Duration) -> SimTime {
         SimTime(self.0.saturating_add(d.as_nanos()))
     }
@@ -49,6 +50,7 @@ impl SimTime {
     /// # Panics
     ///
     /// Panics if `earlier` is later than `self`.
+    #[inline]
     pub fn since(self, earlier: SimTime) -> Duration {
         Duration::from_nanos(self.0 - earlier.0)
     }
@@ -57,12 +59,14 @@ impl SimTime {
 impl Add<Duration> for SimTime {
     type Output = SimTime;
 
+    #[inline]
     fn add(self, d: Duration) -> SimTime {
         SimTime(self.0 + d.as_nanos())
     }
 }
 
 impl AddAssign<Duration> for SimTime {
+    #[inline]
     fn add_assign(&mut self, d: Duration) {
         self.0 += d.as_nanos();
     }
@@ -71,6 +75,7 @@ impl AddAssign<Duration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = Duration;
 
+    #[inline]
     fn sub(self, rhs: SimTime) -> Duration {
         Duration::from_nanos(self.0 - rhs.0)
     }

@@ -130,7 +130,10 @@ pub struct NetConfig {
     pub times: OpTimes,
     /// Operation error rates.
     pub rates: ErrorRates,
-    /// RNG seed (classical correction bits).
+    /// Workload seed, carried into reports for provenance. The classical
+    /// correction bits it once seeded are pure coin flips with no timing
+    /// effect, so the simulator no longer draws them: the seed does not
+    /// change simulation behaviour.
     pub seed: u64,
     /// Safety valve: abort after this many events.
     pub max_events: u64,

@@ -41,6 +41,19 @@ pub trait Router {
         dst: usize,
         load: &dyn Fn(usize) -> u32,
     ) -> Vec<Port>;
+
+    /// Whether routes are a pure function of `(topology, src, dst)` —
+    /// i.e. independent of the `load` signal — so the simulator may
+    /// compute each pair's route once and reuse it for every later
+    /// communication between the same endpoints (the precomputed-route
+    /// fast path, applied on healthy fabrics only).
+    ///
+    /// Defaults to `false`: contention-aware policies must keep the
+    /// dynamic path. Only override to `true` when `route` ignores
+    /// `load` entirely.
+    fn cacheable(&self) -> bool {
+        false
+    }
 }
 
 /// Deterministic dimension-order (lowest-minimal-port) routing.
@@ -71,6 +84,11 @@ impl Router for DimensionOrder {
         "dor"
     }
 
+    fn cacheable(&self) -> bool {
+        // Oblivious: the route never reads the load signal.
+        true
+    }
+
     fn route(
         &self,
         topo: &dyn Topology,
@@ -81,7 +99,9 @@ impl Router for DimensionOrder {
         let mut path = Vec::with_capacity(topo.distance(src, dst) as usize);
         let mut at = src;
         while at != dst {
-            let port = topo.min_ports(at, dst)[0];
+            let port = topo
+                .min_port(at, dst)
+                .expect("at != dst has a minimal port");
             path.push(port);
             at = topo.neighbor(at, port).expect("minimal ports are wired");
         }

@@ -19,21 +19,20 @@
 //! applies **bubble flow control**: a hop that enters a new dimension
 //! ring — injection or a class change — must leave one downstream
 //! storage cell free, so a ring can never fill completely and deadlock.
-//! Determinism: FIFO tie-breaking plus a seeded RNG for the classical
-//! correction bits.
+//! Determinism: strict FIFO tie-breaking throughout — every run with
+//! the same configuration replays the identical event sequence.
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
 
 use qic_des::queue::EventQueue;
-use qic_des::rng::SimRng;
 use qic_des::stats::{Percentiles, Tally};
 use qic_des::time::SimTime;
 use qic_physics::time::Duration;
 
 use crate::config::NetConfig;
-use crate::message::PauliFrame;
 use crate::report::{FaultStats, NetReport};
-use crate::resources::{LinkWire, ServerPool, Storage};
 use crate::routing::Router;
 use crate::topology::{Coord, Fabric, Port, Topology};
 
@@ -191,9 +190,39 @@ struct Token {
     comm: u32,
     /// Index into the comm's route nodes where the pair currently sits.
     pos: u16,
-    /// Accumulated classical correction frame.
-    frame: PauliFrame,
     alive: bool,
+}
+
+/// Everything one hop of a channel needs, precomputed at route-build
+/// time so the per-event hot path is pure array lookups — no topology
+/// virtual calls, no port arithmetic.
+#[derive(Debug, Clone, Copy)]
+struct Hop {
+    /// Link crossed by this hop.
+    link: u32,
+    /// Teleporter pool serving this hop (`node * classes + class`).
+    teleset: u32,
+    /// Storage bank at the landing node (`next * ports + incoming`).
+    storage: u32,
+    /// Service time: turn penalty (dimension change) + local teleport.
+    service: Duration,
+    /// Whether this hop enters a new dimension ring (injection or a
+    /// port-class change) — the bubble-flow-control reserve point.
+    ring_entry: bool,
+}
+
+/// A fully precomputed channel route, shared via `Rc` between the
+/// owning [`Comm`] and the per-pair route cache (dimension-order
+/// routes are pure functions of the endpoints, so healthy fabrics
+/// build each pair's path once).
+#[derive(Debug)]
+struct RoutePath {
+    /// Per-hop resource indices and service times.
+    hops: Vec<Hop>,
+    /// Purifier site at the destination (dense node index).
+    dst_site: u32,
+    purify_op_time: Duration,
+    data_teleport_time: Duration,
 }
 
 #[derive(Debug)]
@@ -201,29 +230,294 @@ struct Comm {
     src: Coord,
     dst: Coord,
     tag: u64,
-    /// The channel's port path, one entry per hop.
-    ports: Vec<Port>,
-    /// Dense node indices along the path (`ports.len() + 1` entries).
-    nodes: Vec<u32>,
-    /// Link index crossed by each hop.
-    links: Vec<u32>,
+    /// The channel's precomputed route.
+    path: Rc<RoutePath>,
     raw_to_spawn: u64,
     arrivals: u64,
     outputs: u64,
     needed_outputs: u64,
     issued_at: SimTime,
-    purify_op_time: Duration,
-    data_teleport_time: Duration,
     source_waiting: bool,
     done: bool,
 }
 
+// --- struct-of-arrays resource state ----------------------------------
+//
+// The per-instance resource structs in `crate::resources` remain the
+// documented reference models; the simulator keeps the same state as
+// parallel flat vectors over the dense indices `Topology` provides, so
+// the hot path touches one primitive array per field instead of
+// pointer-chasing whole structs. Shared scalars (wire interval/cap,
+// storage capacity, purifier units — uniform across instances by
+// construction) are stored once.
+
+/// Marks an empty intrusive list slot / the end of a chain.
+const NO_WAITER: u32 = u32::MAX;
+
+/// Intrusive FIFO waiter lists for every stallable resource, in one
+/// arena. The previous layout kept a `VecDeque` per resource instance —
+/// cloning ~160 of them dominated simulator construction. Here every
+/// resource owns only a `(head, tail)` slot pair in `lists`; the queued
+/// entries live in a shared node pool (`next`/`payload`) recycled
+/// through `free`, so constructing the arena is one allocation no
+/// matter how many resources the fabric has.
+///
+/// Resource ids share one dense space, offsets fixed at construction:
+/// telesets first, then storages, then wires, then purifier sites.
 #[derive(Debug)]
-struct PurifySite {
+struct Waiters {
+    /// Interleaved `head, tail` per resource id; `NO_WAITER` = empty.
+    lists: Vec<u32>,
+    next: Vec<u32>,
+    payload: Vec<u64>,
+    free: Vec<u32>,
+}
+
+impl Waiters {
+    fn new(resources: usize) -> Waiters {
+        Waiters {
+            lists: vec![NO_WAITER; resources * 2],
+            next: Vec::new(),
+            payload: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self, id: usize) -> bool {
+        self.lists[id * 2] == NO_WAITER
+    }
+
+    #[inline]
+    fn push_back(&mut self, id: usize, value: u64) {
+        let node = match self.free.pop() {
+            Some(n) => {
+                self.next[n as usize] = NO_WAITER;
+                self.payload[n as usize] = value;
+                n
+            }
+            None => {
+                let n = u32::try_from(self.next.len()).expect("waiter nodes fit u32");
+                self.next.push(NO_WAITER);
+                self.payload.push(value);
+                n
+            }
+        };
+        let tail = self.lists[id * 2 + 1];
+        if tail == NO_WAITER {
+            self.lists[id * 2] = node;
+        } else {
+            self.next[tail as usize] = node;
+        }
+        self.lists[id * 2 + 1] = node;
+    }
+
+    #[inline]
+    fn pop_front(&mut self, id: usize) -> Option<u64> {
+        let head = self.lists[id * 2];
+        if head == NO_WAITER {
+            return None;
+        }
+        let h = head as usize;
+        let next = self.next[h];
+        self.lists[id * 2] = next;
+        if next == NO_WAITER {
+            self.lists[id * 2 + 1] = NO_WAITER;
+        }
+        self.free.push(head);
+        Some(self.payload[h])
+    }
+
+    /// Queued waiters on `id` — walks the chain; used only to budget
+    /// drains, where chains are short by construction.
+    fn len(&self, id: usize) -> usize {
+        let mut n = 0;
+        let mut at = self.lists[id * 2];
+        while at != NO_WAITER {
+            n += 1;
+            at = self.next[at as usize];
+        }
+        n
+    }
+}
+
+/// Teleporter pools, `node * port_classes + port_class` (Figure 6's
+/// per-dimension sets). Capacity varies per node on degraded fabrics.
+#[derive(Debug)]
+struct Telesets {
+    capacity: Vec<u32>,
+    busy: Vec<u32>,
+    /// Busy-time integrals for utilization reporting (widened to `u128`
+    /// at report time; `u64` nanoseconds hold ~584 years of busy time).
+    busy_ns: Vec<u64>,
+}
+
+impl Telesets {
+    #[inline]
+    fn available(&self, i: usize) -> bool {
+        self.busy[i] < self.capacity[i]
+    }
+
+    #[inline]
+    fn acquire(&mut self, i: usize, hold: Duration) {
+        debug_assert!(self.available(i), "acquire on a full pool");
+        self.busy[i] += 1;
+        self.busy_ns[i] += hold.as_nanos();
+    }
+
+    #[inline]
+    fn release(&mut self, i: usize) {
+        debug_assert!(self.busy[i] > 0, "release without acquire");
+        self.busy[i] -= 1;
+    }
+}
+
+/// Link-pair wires by link index (Figure 5's G nodes). Every wire
+/// shares the config-derived production interval and buffer cap.
+#[derive(Debug)]
+struct Wires {
+    interval: Duration,
+    cap: u64,
+    stock: Vec<u64>,
+    /// Completion time of the pair in production (meaningful only
+    /// while `stock < cap`).
+    next_ready: Vec<SimTime>,
+    produced: Vec<u64>,
+    consumed: Vec<u64>,
+    /// Whether a wake event is already scheduled for the wire.
+    wake_pending: Vec<bool>,
+}
+
+impl Wires {
+    /// Brings wire `i`'s lazy production up to date with the clock —
+    /// integer-exact, so behaviour is independent of observation times.
+    ///
+    /// Closed form of the produce-one-per-interval loop: with the next
+    /// completion at `next ≤ now`, `(now − next) / interval + 1` pairs
+    /// have finished; production pauses when the buffer fills, keeping
+    /// the *last* completion time (the filling step does not advance
+    /// `next_ready` — it resumes from consumption instead).
+    #[inline]
+    fn refresh(&mut self, i: usize, now: SimTime) {
+        let stock = self.stock[i];
+        if stock >= self.cap || self.next_ready[i] > now {
+            return;
+        }
+        let interval = self.interval.as_nanos();
+        let next = self.next_ready[i].as_nanos();
+        let avail = (now.as_nanos() - next) / interval + 1;
+        let k = avail.min(self.cap - stock);
+        self.stock[i] = stock + k;
+        self.produced[i] += k;
+        let steps = if stock + k == self.cap { k - 1 } else { k };
+        self.next_ready[i] = SimTime::from_nanos(next + steps * interval);
+    }
+
+    /// Consumes one pair from a **refreshed** wire with stock.
+    #[inline]
+    fn take_refreshed(&mut self, i: usize, now: SimTime) {
+        debug_assert!(self.stock[i] > 0, "take on an empty wire");
+        if self.stock[i] == self.cap {
+            // Production was paused at full buffer; it resumes now.
+            self.next_ready[i] = now + self.interval;
+        }
+        self.stock[i] -= 1;
+        self.consumed[i] += 1;
+    }
+}
+
+/// Per-(node, incoming-link) storage cells (§5.3: not multiplexed).
+/// Capacity is uniform: `teleporters_per_node` cells per link.
+#[derive(Debug)]
+struct Storages {
+    capacity: u32,
+    used: Vec<u32>,
+}
+
+impl Storages {
+    #[inline]
+    fn free_cells(&self, i: usize) -> u32 {
+        self.capacity - self.used[i]
+    }
+
+    #[inline]
+    fn reserve(&mut self, i: usize) {
+        debug_assert!(self.used[i] < self.capacity, "storage overflow");
+        self.used[i] += 1;
+    }
+
+    #[inline]
+    fn free(&mut self, i: usize) {
+        assert!(self.used[i] > 0, "free on empty storage");
+        self.used[i] -= 1;
+    }
+}
+
+/// Endpoint purifier sites by node index; every site has the same
+/// configured unit count. Jobs waiting for a unit queue in the shared
+/// [`Waiters`] arena as packed words (see [`pack_purify_job`]).
+#[derive(Debug)]
+struct Purifiers {
     units: u32,
-    units_busy: u32,
-    queue: VecDeque<(u32, u32, bool, Duration)>, // (comm, ops, produces, dur)
-    busy_ns: u128,
+    busy: Vec<u32>,
+    busy_ns: Vec<u64>,
+}
+
+/// Packs a queued purifier job into a [`Waiters`] payload word:
+/// `comm` in the low 32 bits, `ops` above it, `produces` in the top
+/// bit. The job duration is not stored — it is recomputed on dequeue
+/// from the comm's route (`purify_op_time × ops`, the same
+/// multiplication that produced it, hence the identical value).
+#[inline]
+fn pack_purify_job(comm: u32, ops: u32, produces: bool) -> u64 {
+    debug_assert!(ops < 1 << 31, "purify cascade depth fits 31 bits");
+    u64::from(comm) | u64::from(ops) << 32 | u64::from(produces) << 63
+}
+
+#[inline]
+fn unpack_purify_job(word: u64) -> (u32, u32, bool) {
+    (
+        word as u32,
+        (word >> 32) as u32 & 0x7fff_ffff,
+        word >> 63 != 0,
+    )
+}
+
+/// Hasher for the route cache: keys are already well-mixed
+/// `(src << 32) | dst` pairs, so one multiply-rotate round suffices
+/// (no external hash crates in this workspace).
+#[derive(Default)]
+struct PairHasher(u64);
+
+impl Hasher for PairHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("route-cache keys hash as u64");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(29);
+    }
+}
+
+/// Fabrics at or below this node count use the direct-indexed dense
+/// route table (`nodes²` slots of `Option<Rc<_>>` — null-niche, so the
+/// empty table is one zeroed allocation).
+const DENSE_CACHE_MAX_NODES: usize = 64;
+
+/// The per-pair route cache, armed only when the router declares its
+/// routes load-independent ([`Router::cacheable`]) and the fabric is
+/// healthy; adaptive and degraded cases keep the dynamic path.
+enum RouteCache {
+    /// Every communication routes dynamically.
+    Off,
+    /// Direct-indexed `src * nodes + dst` table for small fabrics.
+    Dense(Vec<Option<Rc<RoutePath>>>),
+    /// Hash table for fabrics where `nodes²` slots would be wasteful.
+    Sparse(HashMap<u64, Rc<RoutePath>, BuildHasherDefault<PairHasher>>),
 }
 
 /// The teleporters of one dimension set: `t` split as evenly as possible
@@ -252,18 +546,28 @@ struct World<T: Topology> {
     /// the report's fault block, so healthy runs cost (and emit) nothing.
     fault_aware: bool,
     queue: EventQueue<Event>,
-    rng: SimRng,
     comms: Vec<Comm>,
     tokens: Vec<Token>,
     free_tokens: Vec<u32>,
     /// Teleporter pools: `node_index * port_classes + port_class`.
-    telesets: Vec<ServerPool>,
+    telesets: Telesets,
     /// Link wires by link index.
-    wires: Vec<LinkWire>,
+    wires: Wires,
     /// Storage: `node_index * ports_per_node + incoming port index`.
-    storage: Vec<Storage>,
-    /// Purifier nodes by node index.
-    sites: Vec<PurifySite>,
+    storage: Storages,
+    /// Purifier sites by node index.
+    sites: Purifiers,
+    /// One waiter arena for all stallable resources. Telesets use their
+    /// own index; the other kinds add these offsets.
+    waiters: Waiters,
+    wait_storage0: usize,
+    wait_wire0: usize,
+    wait_site0: usize,
+    /// Precomputed per-hop service constants (`cfg.times` is fixed for
+    /// the run, so the turn penalty and local teleport time are too).
+    hop_time: Duration,
+    turn_time: Duration,
+    route_cache: RouteCache,
     /// Open channels per link — the contention signal adaptive routing
     /// consults.
     channel_load: Vec<u32>,
@@ -377,26 +681,29 @@ impl<T: Topology> World<T> {
             "bubble flow control (cyclic fabric or adaptive routing) needs \
              at least two storage cells per link, i.e. teleporters_per_node ≥ 2"
         );
-        let mut telesets = Vec::with_capacity(nodes * classes);
-        let mut storage = Vec::with_capacity(nodes * ports_per_node);
-        let mut sites = Vec::with_capacity(nodes);
+        let mut teleset_capacity = Vec::with_capacity(nodes * classes);
         for node in 0..nodes {
             // Fault-aware topologies may degrade a node's teleporter
             // pool; healthy fabrics keep the configured budget.
             let t_node = topo.teleporter_capacity(node, t);
             for class in 0..classes {
-                telesets.push(ServerPool::new(teleset_share(t_node, classes, class)));
+                teleset_capacity.push(teleset_share(t_node, classes, class));
             }
-            for _ in 0..ports_per_node {
-                storage.push(Storage::new(t.max(1)));
-            }
-            sites.push(PurifySite {
-                units: cfg.purifiers_per_site,
-                units_busy: 0,
-                queue: VecDeque::new(),
-                busy_ns: 0,
-            });
         }
+        let telesets = Telesets {
+            capacity: teleset_capacity,
+            busy: vec![0; nodes * classes],
+            busy_ns: vec![0; nodes * classes],
+        };
+        let storage = Storages {
+            capacity: t.max(1),
+            used: vec![0; nodes * ports_per_node],
+        };
+        let sites = Purifiers {
+            units: cfg.purifiers_per_site,
+            busy: vec![0; nodes],
+            busy_ns: vec![0; nodes],
+        };
         // One pair per tgen per generator; `link_cost_factor` models extra
         // raw-pair consumption (virtual-wire purification).
         let tgen = cfg.times.generate();
@@ -404,17 +711,34 @@ impl<T: Topology> World<T> {
             / f64::from(cfg.generators_per_edge))
         .round()
         .max(1.0) as u64;
-        let wires = (0..topo.links())
-            .map(|_| {
-                LinkWire::new(
-                    Duration::from_nanos(interval_ns),
-                    u64::from(cfg.teleporters_per_node.max(1)),
-                )
-            })
-            .collect();
-        let channel_load = vec![0; topo.links()];
-        let seed = cfg.seed;
+        let links = topo.links();
+        let interval = Duration::from_nanos(interval_ns);
+        let wires = Wires {
+            interval,
+            cap: u64::from(cfg.teleporters_per_node.max(1)),
+            stock: vec![0; links],
+            next_ready: vec![SimTime::ZERO + interval; links],
+            produced: vec![0; links],
+            consumed: vec![0; links],
+            wake_pending: vec![false; links],
+        };
+        let wait_storage0 = nodes * classes;
+        let wait_wire0 = wait_storage0 + nodes * ports_per_node;
+        let wait_site0 = wait_wire0 + links;
+        let waiters = Waiters::new(wait_site0 + nodes);
+        let channel_load = vec![0; links];
         let fault_aware = topo.fault_aware();
+        let route_cache = if router.cacheable() && !fault_aware {
+            if nodes <= DENSE_CACHE_MAX_NODES {
+                RouteCache::Dense(vec![None; nodes * nodes])
+            } else {
+                RouteCache::Sparse(HashMap::default())
+            }
+        } else {
+            RouteCache::Off
+        };
+        let hop_time = cfg.times.teleport(cfg.hop_cells);
+        let turn_time = cfg.times.ballistic(cfg.turn_cells);
         World {
             cfg,
             topo,
@@ -423,8 +747,9 @@ impl<T: Topology> World<T> {
             classes,
             bubble,
             fault_aware,
-            queue: EventQueue::new(),
-            rng: SimRng::seed_from(seed),
+            // Steady state keeps a handful of events in flight per live
+            // comm; 32 slots absorb the common case without a regrow.
+            queue: EventQueue::with_capacity(32),
             comms: Vec::new(),
             tokens: Vec::new(),
             free_tokens: Vec::new(),
@@ -432,6 +757,13 @@ impl<T: Topology> World<T> {
             wires,
             storage,
             sites,
+            waiters,
+            wait_storage0,
+            wait_wire0,
+            wait_site0,
+            hop_time,
+            turn_time,
+            route_cache,
             channel_load,
             live_comms: 0,
             teleport_ops: 0,
@@ -454,7 +786,7 @@ impl<T: Topology> World<T> {
             self.topo.contains(src) && self.topo.contains(dst),
             "endpoints must be on the fabric grid"
         );
-        let id = self.comms.len() as u32;
+        let id = u32::try_from(self.comms.len()).expect("communication ids fit u32");
         let s = self.topo.node_index(src);
         let d = self.topo.node_index(dst);
         if self.fault_aware && !self.topo.is_reachable(s, d) {
@@ -466,16 +798,17 @@ impl<T: Topology> World<T> {
                 src,
                 dst,
                 tag,
-                ports: Vec::new(),
-                nodes: Vec::new(),
-                links: Vec::new(),
+                path: Rc::new(RoutePath {
+                    hops: Vec::new(),
+                    dst_site: 0,
+                    purify_op_time: Duration::ZERO,
+                    data_teleport_time: Duration::ZERO,
+                }),
                 raw_to_spawn: 0,
                 arrivals: 0,
                 outputs: 0,
                 needed_outputs: 0,
                 issued_at: self.queue.now(),
-                purify_op_time: Duration::ZERO,
-                data_teleport_time: Duration::ZERO,
                 source_waiting: false,
                 done: false,
             };
@@ -483,6 +816,71 @@ impl<T: Topology> World<T> {
             self.live_comms += 1;
             self.queue.schedule_now(Event::Dropped { comm: id });
             return CommId(id);
+        }
+        let path = self.route_path(s, d);
+        for hop in &path.hops {
+            self.channel_load[hop.link as usize] += 1;
+        }
+        if self.fault_aware {
+            // Detour accounting: routed hops vs the healthy fabric's
+            // minimal distance.
+            let healthy = self.topo.healthy_distance(s, d);
+            if path.hops.len() as u32 > healthy {
+                self.comms_rerouted += 1;
+            }
+            self.route_inflation_sum += if healthy == 0 {
+                1.0
+            } else {
+                path.hops.len() as f64 / f64::from(healthy)
+            };
+        }
+        let hops = path.hops.len();
+        let dt = path.data_teleport_time;
+        let comm = Comm {
+            src,
+            dst,
+            tag,
+            path,
+            raw_to_spawn: self.cfg.raw_pairs_per_comm(),
+            arrivals: 0,
+            outputs: 0,
+            needed_outputs: u64::from(self.cfg.outputs_per_comm),
+            issued_at: self.queue.now(),
+            source_waiting: false,
+            done: false,
+        };
+        self.live_comms += 1;
+        self.comms.push(comm);
+        if hops == 0 {
+            // Co-located endpoints: only the local data handoff remains.
+            self.queue
+                .schedule_after(dt, Event::DataTeleportDone { comm: id });
+        } else {
+            self.queue.schedule_now(Event::SourceTry { comm: id });
+        }
+        CommId(id)
+    }
+
+    // --- route precomputation -----------------------------------------
+
+    /// The route for `(s, d)`: served from the per-pair cache when the
+    /// router's routes are load-independent and the fabric is healthy,
+    /// otherwise freshly routed (adaptive policies read the live
+    /// channel load; degraded fabrics stay on the dynamic path).
+    fn route_path(&mut self, s: usize, d: usize) -> Rc<RoutePath> {
+        let nodes = self.topo.nodes();
+        match &self.route_cache {
+            RouteCache::Dense(table) => {
+                if let Some(path) = &table[s * nodes + d] {
+                    return Rc::clone(path);
+                }
+            }
+            RouteCache::Sparse(map) => {
+                if let Some(path) = map.get(&(((s as u64) << 32) | d as u64)) {
+                    return Rc::clone(path);
+                }
+            }
+            RouteCache::Off => {}
         }
         let ports = {
             let topo = &self.topo;
@@ -494,97 +892,62 @@ impl<T: Topology> World<T> {
             self.topo.distance(s, d),
             "routers must return minimal routes"
         );
-        let mut nodes = Vec::with_capacity(ports.len() + 1);
-        let mut links = Vec::with_capacity(ports.len());
+        let path = Rc::new(self.build_path(s, d, ports));
+        match &mut self.route_cache {
+            RouteCache::Dense(table) => table[s * nodes + d] = Some(Rc::clone(&path)),
+            RouteCache::Sparse(map) => {
+                map.insert(((s as u64) << 32) | d as u64, Rc::clone(&path));
+            }
+            RouteCache::Off => {}
+        }
+        path
+    }
+
+    /// Precomputes every per-hop quantity the event loop needs: resource
+    /// indices (the same arithmetic the per-hop helpers used to redo per
+    /// event), ring-entry flags, and service times.
+    fn build_path(&self, s: usize, d: usize, ports: Vec<Port>) -> RoutePath {
+        let mut hops = Vec::with_capacity(ports.len());
         let mut at = s;
-        nodes.push(at as u32);
-        for &port in &ports {
-            links.push(self.topo.link_index(at, port) as u32);
-            at = self
+        // `usize::MAX` never equals a real class, so hop 0 enters a ring.
+        let mut prev_class = usize::MAX;
+        for (pos, &port) in ports.iter().enumerate() {
+            let class = self.topo.port_class(port);
+            let link = self.topo.link_index(at, port);
+            let next = self
                 .topo
                 .neighbor(at, port)
                 .expect("routes follow wired ports");
-            nodes.push(at as u32);
+            let incoming = self.topo.reverse_port(at, port);
+            let ring_entry = class != prev_class;
+            // Turn penalty (dimension change) plus the local teleport
+            // operations plus the classical notification.
+            let service = if pos > 0 && ring_entry {
+                self.turn_time + self.hop_time
+            } else {
+                self.hop_time
+            };
+            hops.push(Hop {
+                link: u32::try_from(link).expect("link indices fit u32"),
+                teleset: u32::try_from(at * self.classes + class).expect("teleset indices fit u32"),
+                storage: u32::try_from(next * self.ports_per_node + incoming.index())
+                    .expect("storage indices fit u32"),
+                service,
+                ring_entry,
+            });
+            prev_class = class;
+            at = next;
         }
         debug_assert_eq!(at, d, "routes must end at the destination");
-        for &link in &links {
-            self.channel_load[link as usize] += 1;
-        }
-        if self.fault_aware {
-            // Detour accounting: routed hops vs the healthy fabric's
-            // minimal distance.
-            let healthy = self.topo.healthy_distance(s, d);
-            if ports.len() as u32 > healthy {
-                self.comms_rerouted += 1;
-            }
-            self.route_inflation_sum += if healthy == 0 {
-                1.0
-            } else {
-                ports.len() as f64 / f64::from(healthy)
-            };
-        }
-        let hops = ports.len() as u64;
-        let span_cells = hops * self.cfg.hop_cells;
-        let comm = Comm {
-            src,
-            dst,
-            tag,
-            ports,
-            nodes,
-            links,
-            raw_to_spawn: self.cfg.raw_pairs_per_comm(),
-            arrivals: 0,
-            outputs: 0,
-            needed_outputs: u64::from(self.cfg.outputs_per_comm),
-            issued_at: self.queue.now(),
+        let span_cells = (hops.len() as u64)
+            .checked_mul(self.cfg.hop_cells)
+            .expect("route span in cells overflows u64");
+        RoutePath {
+            hops,
+            dst_site: u32::try_from(d).expect("node indices fit u32"),
             purify_op_time: self.cfg.times.purify_round(span_cells),
             data_teleport_time: self.cfg.times.teleport(span_cells),
-            source_waiting: false,
-            done: false,
-        };
-        self.live_comms += 1;
-        if hops == 0 {
-            // Co-located endpoints: only the local data handoff remains.
-            let dt = comm.data_teleport_time;
-            self.comms.push(comm);
-            self.queue
-                .schedule_after(dt, Event::DataTeleportDone { comm: id });
-        } else {
-            self.comms.push(comm);
-            self.queue.schedule_now(Event::SourceTry { comm: id });
         }
-        CommId(id)
-    }
-
-    // --- resource indexing helpers -----------------------------------
-
-    /// The resources hop `pos` of `comm` needs: (link, teleset, storage).
-    fn hop_resources(&self, comm: &Comm, pos: usize) -> (usize, usize, usize) {
-        let here = comm.nodes[pos] as usize;
-        let port = comm.ports[pos];
-        let next = comm.nodes[pos + 1] as usize;
-        let link = comm.links[pos] as usize;
-        let teleset = here * self.classes + self.topo.port_class(port);
-        let storage = next * self.ports_per_node + self.topo.reverse_port(here, port).index();
-        (link, teleset, storage)
-    }
-
-    /// Whether hop `pos` enters a new dimension ring: injection, or a
-    /// port-class change (the turn between teleporter sets in Figure 6).
-    fn enters_ring(&self, comm: &Comm, pos: usize) -> bool {
-        pos == 0
-            || self.topo.port_class(comm.ports[pos - 1]) != self.topo.port_class(comm.ports[pos])
-    }
-
-    /// Service time of hop `pos`: turn penalty (dimension change) plus the
-    /// local teleport operations plus the classical notification.
-    fn hop_service(&self, comm: &Comm, pos: usize) -> Duration {
-        let turn = if pos > 0 && self.enters_ring(comm, pos) {
-            self.cfg.times.ballistic(self.cfg.turn_cells)
-        } else {
-            Duration::ZERO
-        };
-        turn + self.cfg.times.teleport(self.cfg.hop_cells)
     }
 
     // --- token machinery ----------------------------------------------
@@ -593,7 +956,6 @@ impl<T: Topology> World<T> {
         let token = Token {
             comm,
             pos: 0,
-            frame: PauliFrame::IDENTITY,
             alive: true,
         };
         if let Some(idx) = self.free_tokens.pop() {
@@ -601,7 +963,7 @@ impl<T: Topology> World<T> {
             idx
         } else {
             self.tokens.push(token);
-            (self.tokens.len() - 1) as u32
+            u32::try_from(self.tokens.len() - 1).expect("token ids fit u32")
         }
     }
 
@@ -616,61 +978,61 @@ impl<T: Topology> World<T> {
     /// `waiter` is the id to enqueue on the blocking resource: the token
     /// id for in-flight pairs, or `SOURCE_FLAG | comm` for injection.
     fn try_fire_hop(&mut self, comm_id: u32, pos: usize, waiter: u64) -> bool {
-        let (edge, teleset, storage, reserve) = {
-            let comm = &self.comms[comm_id as usize];
-            let (edge, teleset, storage) = self.hop_resources(comm, pos);
-            // Bubble flow control: ring-entry hops must leave one free
-            // downstream cell so cyclic fabrics cannot deadlock.
-            let reserve = u32::from(self.bubble && self.enters_ring(comm, pos));
-            (edge, teleset, storage, reserve)
-        };
+        let hop = self.comms[comm_id as usize].path.hops[pos];
+        // Bubble flow control: ring-entry hops must leave one free
+        // downstream cell so cyclic fabrics cannot deadlock.
+        let reserve = u32::from(self.bubble && hop.ring_entry);
+        let (edge, teleset, storage) = (
+            hop.link as usize,
+            hop.teleset as usize,
+            hop.storage as usize,
+        );
         let now = self.queue.now();
         // Check all three, commit only if all are available.
-        if self.storage[storage].free_cells() <= reserve {
+        if self.storage.free_cells(storage) <= reserve {
             self.storage_stalls += 1;
-            self.storage[storage].enqueue_waiter(waiter);
+            self.waiters.push_back(self.wait_storage0 + storage, waiter);
             return false;
         }
-        {
-            let wire = &mut self.wires[edge];
-            wire.refresh(now);
-            if wire.stock(now) == 0 {
-                self.wire_stalls += 1;
-                wire.enqueue_waiter(waiter);
-                let at = wire.next_available(now);
-                if !wire.wake_pending() {
-                    wire.set_wake_pending(true);
-                    self.queue
-                        .schedule_at(at, Event::WireWake { edge: edge as u32 });
-                }
-                return false;
+        self.wires.refresh(edge, now);
+        if self.wires.stock[edge] == 0 {
+            self.wire_stalls += 1;
+            self.waiters.push_back(self.wait_wire0 + edge, waiter);
+            if !self.wires.wake_pending[edge] {
+                self.wires.wake_pending[edge] = true;
+                // Stock is zero after a refresh, so the next pair lands
+                // strictly in the future at `next_ready`.
+                self.queue.schedule_at(
+                    self.wires.next_ready[edge],
+                    Event::WireWake { edge: hop.link },
+                );
             }
+            return false;
         }
-        if !self.telesets[teleset].available() {
+        if !self.telesets.available(teleset) {
             self.teleporter_stalls += 1;
-            self.telesets[teleset].enqueue_waiter(waiter);
+            self.waiters.push_back(teleset, waiter);
             return false;
         }
         // Commit. Fault-aware topologies may charge a transient hot-spot
-        // penalty on this link; healthy fabrics add zero.
-        let service = {
-            let comm = &self.comms[comm_id as usize];
-            self.hop_service(comm, pos)
-        } + Duration::from_nanos(self.topo.hop_penalty_ns(edge, now.as_nanos()));
-        assert!(self.wires[edge].try_take(now), "stock checked above");
-        self.telesets[teleset].acquire(service);
-        self.storage[storage].reserve();
+        // penalty on this link; healthy fabrics add zero (the trait
+        // default), so the lookup is skipped entirely for them.
+        let service = if self.fault_aware {
+            hop.service + Duration::from_nanos(self.topo.hop_penalty_ns(edge, now.as_nanos()))
+        } else {
+            hop.service
+        };
+        self.wires.take_refreshed(edge, now);
+        self.telesets.acquire(teleset, service);
+        self.storage.reserve(storage);
         self.teleport_ops += 1;
         let token_idx = if waiter & SOURCE_FLAG != 0 {
             self.alloc_token(comm_id)
         } else {
             waiter as u32
         };
-        // Record the classical correction bits of this teleport.
-        let (x, z) = (self.rng.chance(0.5), self.rng.chance(0.5));
-        let t = &mut self.tokens[token_idx as usize];
-        t.frame = t.frame.accumulate(x, z);
-        t.pos = pos as u16; // position it fired FROM; lands at pos+1
+        // Position it fired FROM; lands at pos+1.
+        self.tokens[token_idx as usize].pos = u16::try_from(pos).expect("route length fits u16");
         self.queue
             .schedule_after(service, Event::TeleportDone { token: token_idx });
         true
@@ -694,8 +1056,8 @@ impl<T: Topology> World<T> {
     }
 
     fn drain_teleset_waiters(&mut self, teleset: usize) {
-        while self.telesets[teleset].available() {
-            match self.telesets[teleset].pop_waiter() {
+        while self.telesets.available(teleset) {
+            match self.waiters.pop_front(teleset) {
                 Some(w) => self.wake(w),
                 None => break,
             }
@@ -706,9 +1068,10 @@ impl<T: Topology> World<T> {
         // Budgeted drain: a bubble-reserved waiter can re-enqueue itself
         // on this same storage while cells remain free, so give each
         // queued waiter at most one chance per drain.
-        let mut budget = self.storage[storage].queue_len();
-        while budget > 0 && self.storage[storage].available() {
-            match self.storage[storage].pop_waiter() {
+        let id = self.wait_storage0 + storage;
+        let mut budget = self.waiters.len(id);
+        while budget > 0 && self.storage.free_cells(storage) > 0 {
+            match self.waiters.pop_front(id) {
                 Some(w) => self.wake(w),
                 None => break,
             }
@@ -746,17 +1109,21 @@ impl<T: Topology> World<T> {
             let k = (c.arrivals - 1) % period;
             let ops = k.trailing_ones().min(depth);
             let produces = c.arrivals % period == 0;
-            (self.topo.node_index(c.dst), ops, produces, c.purify_op_time)
+            (
+                c.path.dst_site as usize,
+                ops,
+                produces,
+                c.path.purify_op_time,
+            )
         };
         if ops == 0 {
             // Parked at L0; no purifier time consumed.
             return;
         }
         let job_dur = dur * u64::from(ops);
-        let site = &mut self.sites[site_idx];
-        if site.units_busy < site.units {
-            site.units_busy += 1;
-            site.busy_ns += u128::from(job_dur.as_nanos());
+        if self.sites.busy[site_idx] < self.sites.units {
+            self.sites.busy[site_idx] += 1;
+            self.sites.busy_ns[site_idx] += job_dur.as_nanos();
             self.queue.schedule_after(
                 job_dur,
                 Event::PurifyDone {
@@ -767,7 +1134,10 @@ impl<T: Topology> World<T> {
                 },
             );
         } else {
-            site.queue.push_back((comm_id, ops, produces, job_dur));
+            self.waiters.push_back(
+                self.wait_site0 + site_idx,
+                pack_purify_job(comm_id, ops, produces),
+            );
         }
     }
 
@@ -779,17 +1149,19 @@ impl<T: Topology> World<T> {
             c.outputs += 1;
             if c.outputs == c.needed_outputs && !c.done {
                 c.done = true;
-                let dt = c.data_teleport_time;
+                let dt = c.path.data_teleport_time;
                 self.queue
                     .schedule_after(dt, Event::DataTeleportDone { comm: comm_id });
             }
         }
         // Free the unit; start the next queued job.
-        let site = &mut self.sites[site_idx as usize];
-        site.units_busy -= 1;
-        if let Some((c, ops, produces, dur)) = site.queue.pop_front() {
-            site.units_busy += 1;
-            site.busy_ns += u128::from(dur.as_nanos());
+        let s = site_idx as usize;
+        self.sites.busy[s] -= 1;
+        if let Some(job) = self.waiters.pop_front(self.wait_site0 + s) {
+            let (c, ops, produces) = unpack_purify_job(job);
+            let dur = self.comms[c as usize].path.purify_op_time * u64::from(ops);
+            self.sites.busy[s] += 1;
+            self.sites.busy_ns[s] += dur.as_nanos();
             self.queue.schedule_after(
                 dur,
                 Event::PurifyDone {
@@ -839,9 +1211,9 @@ impl<T: Topology> World<T> {
                 };
                 // The channel closes: release its link load so adaptive
                 // routing sees fresh contention.
-                for i in 0..self.comms[comm as usize].links.len() {
-                    let link = self.comms[comm as usize].links[i] as usize;
-                    self.channel_load[link] -= 1;
+                let path = Rc::clone(&self.comms[comm as usize].path);
+                for hop in &path.hops {
+                    self.channel_load[hop.link as usize] -= 1;
                 }
                 self.live_comms -= 1;
                 self.comms_completed += 1;
@@ -887,40 +1259,31 @@ impl<T: Topology> World<T> {
             (t.comm, usize::from(t.pos))
         };
         let landed = fired_pos + 1;
-        let teleset = {
-            let comm = &self.comms[comm_id as usize];
-            let (_, teleset, _) = self.hop_resources(comm, fired_pos);
-            teleset
+        let (teleset, held_storage, hops) = {
+            let path = &self.comms[comm_id as usize].path;
+            (
+                path.hops[fired_pos].teleset as usize,
+                // Storage this token held at the node it fired from: the
+                // landing bank of the previous hop (injection hops fire
+                // from the source and hold none).
+                (fired_pos > 0).then(|| path.hops[fired_pos - 1].storage as usize),
+                path.hops.len(),
+            )
         };
         // Free the teleporter that served this hop.
-        self.telesets[teleset].release();
-        // Free the storage this token held at the node it fired from
-        // (injection hops fire from the source and hold none).
-        if fired_pos > 0 {
-            let sidx = {
-                let comm = &self.comms[comm_id as usize];
-                let prev = comm.nodes[fired_pos - 1] as usize;
-                let here = comm.nodes[fired_pos] as usize;
-                let incoming = self.topo.reverse_port(prev, comm.ports[fired_pos - 1]);
-                here * self.ports_per_node + incoming.index()
-            };
-            self.storage[sidx].free();
+        self.telesets.release(teleset);
+        if let Some(sidx) = held_storage {
+            self.storage.free(sidx);
             self.drain_storage_waiters(sidx);
         }
         self.drain_teleset_waiters(teleset);
 
-        let hops = self.comms[comm_id as usize].ports.len();
-        self.tokens[token_idx as usize].pos = landed as u16;
+        self.tokens[token_idx as usize].pos = u16::try_from(landed).expect("route length fits u16");
         if landed == hops {
-            // Arrived: hand off to the P node, freeing network storage.
-            let sidx = {
-                let comm = &self.comms[comm_id as usize];
-                let prev = comm.nodes[landed - 1] as usize;
-                let here = comm.nodes[landed] as usize;
-                let incoming = self.topo.reverse_port(prev, comm.ports[landed - 1]);
-                here * self.ports_per_node + incoming.index()
-            };
-            self.storage[sidx].free();
+            // Arrived: hand off to the P node, freeing network storage
+            // (the landing bank of the final hop).
+            let sidx = self.comms[comm_id as usize].path.hops[landed - 1].storage as usize;
+            self.storage.free(sidx);
             self.free_token(token_idx);
             self.drain_storage_waiters(sidx);
             self.feed_purifier(comm_id);
@@ -931,45 +1294,64 @@ impl<T: Topology> World<T> {
 
     fn wire_wake(&mut self, edge: usize) {
         let now = self.queue.now();
-        self.wires[edge].set_wake_pending(false);
+        let id = self.wait_wire0 + edge;
+        self.wires.wake_pending[edge] = false;
         loop {
-            let stock = self.wires[edge].stock(now);
-            if stock == 0 || !self.wires[edge].has_waiters() {
+            self.wires.refresh(edge, now);
+            if self.wires.stock[edge] == 0 {
                 break;
             }
-            let w = self.wires[edge].pop_waiter().expect("has_waiters checked");
-            self.wake(w);
+            match self.waiters.pop_front(id) {
+                Some(w) => self.wake(w),
+                None => break,
+            }
         }
         // If tokens still wait and the wire is dry, re-arm the wake.
-        if self.wires[edge].has_waiters() && self.wires[edge].stock(now) == 0 {
-            let at = self.wires[edge].next_available(now);
-            if !self.wires[edge].wake_pending() {
-                self.wires[edge].set_wake_pending(true);
-                self.queue
-                    .schedule_at(at, Event::WireWake { edge: edge as u32 });
-            }
+        self.wires.refresh(edge, now);
+        if !self.waiters.is_empty(id)
+            && self.wires.stock[edge] == 0
+            && !self.wires.wake_pending[edge]
+        {
+            self.wires.wake_pending[edge] = true;
+            self.queue.schedule_at(
+                self.wires.next_ready[edge],
+                Event::WireWake {
+                    edge: u32::try_from(edge).expect("link indices fit u32"),
+                },
+            );
         }
     }
 
     fn report(&mut self) -> NetReport {
         let makespan = self.queue.now().as_duration();
-        let pairs_generated: u64 = self.wires.iter().map(LinkWire::produced).sum();
-        let pairs_consumed: u64 = self.wires.iter().map(LinkWire::consumed).sum();
+        let pairs_generated: u64 = self.wires.produced.iter().sum();
+        let pairs_consumed: u64 = self.wires.consumed.iter().sum();
+        let horizon_ns = u128::from(makespan.as_nanos());
         let tele_util = if makespan == Duration::ZERO {
             0.0
         } else {
-            let total: f64 = self.telesets.iter().map(|s| s.utilization(makespan)).sum();
-            total / self.telesets.len() as f64
+            // Same per-pool arithmetic (and summation order) as
+            // `ServerPool::utilization`, over the flat arrays. Idle
+            // pools contribute exactly 0.0, so they are skipped.
+            let mut total = 0.0;
+            for i in 0..self.telesets.capacity.len() {
+                if self.telesets.busy_ns[i] != 0 {
+                    total += self.telesets.busy_ns[i] as f64
+                        / (horizon_ns * u128::from(self.telesets.capacity[i])) as f64;
+                }
+            }
+            total / self.telesets.capacity.len() as f64
         };
         let puri_util = if makespan == Duration::ZERO {
             0.0
         } else {
             let mut total = 0.0;
-            for s in &self.sites {
-                total += s.busy_ns as f64
-                    / (u128::from(makespan.as_nanos()) * u128::from(s.units)) as f64;
+            for &busy_ns in &self.sites.busy_ns {
+                if busy_ns != 0 {
+                    total += busy_ns as f64 / (horizon_ns * u128::from(self.sites.units)) as f64;
+                }
             }
-            total / self.sites.len() as f64
+            total / self.sites.busy_ns.len() as f64
         };
         NetReport {
             makespan,
@@ -1026,8 +1408,15 @@ impl NetworkSim<Fabric> {
     ///
     /// Panics if the configuration fails [`NetConfig::validate`].
     pub fn new(cfg: NetConfig) -> Self {
-        cfg.validate().expect("configuration must validate");
-        let fabric = cfg.fabric();
+        // `World::new` validates the full config; only an unbuildable grid
+        // needs catching here, and then `validate` supplies the real error.
+        let fabric = match cfg.topology.build(cfg.mesh_width, cfg.mesh_height) {
+            Ok(fabric) => fabric,
+            Err(_) => {
+                cfg.validate().expect("configuration must validate");
+                unreachable!("validate rejects unbuildable fabrics")
+            }
+        };
         NetworkSim::with_topology(cfg, fabric)
     }
 }
@@ -1074,13 +1463,22 @@ impl<T: Topology> NetworkSim<T> {
             world: &mut self.world,
         });
         let max_events = self.world.cfg.max_events;
-        while let Some((_, ev)) = self.world.queue.pop() {
-            self.world.handle(ev, driver);
-            if self.world.queue.events_processed() > max_events {
-                panic!(
-                    "event budget exceeded ({max_events}); {} comms incomplete",
-                    self.world.live_comms
-                );
+        // Batched dispatch: drain each instant's events in one queue
+        // operation. `handled` counts per-event so the budget panic
+        // fires at exactly the same event a pop-one-at-a-time loop
+        // would have reached.
+        let mut handled: u64 = 0;
+        let mut batch: Vec<Event> = Vec::with_capacity(16);
+        while self.world.queue.pop_batch(&mut batch).is_some() {
+            for &ev in &batch {
+                self.world.handle(ev, driver);
+                handled += 1;
+                if handled > max_events {
+                    panic!(
+                        "event budget exceeded ({max_events}); {} comms incomplete",
+                        self.world.live_comms
+                    );
+                }
             }
         }
         assert_eq!(
@@ -1300,6 +1698,37 @@ mod tests {
         c.max_events = 10;
         let mut driver = OneShotDriver::new(Coord::new(0, 0), Coord::new(3, 3));
         let _ = NetworkSim::new(c).run(&mut driver);
+    }
+
+    #[test]
+    #[should_panic(expected = "route span in cells overflows u64")]
+    fn absurd_hop_cells_fail_loudly_instead_of_wrapping() {
+        // Cast audit regression: `route hops × hop_cells` is the one
+        // multiplication user input can push past u64, and it must panic
+        // rather than wrap into a silently wrong latency model. Zero the
+        // per-cell classical time so the per-hop service computation
+        // stays in range and the span product is the first overflow.
+        let mut c = cfg();
+        c.hop_cells = u64::MAX / 2;
+        c.times = c.times.with_classical_per_cell(Duration::ZERO);
+        let mut driver = OneShotDriver::new(Coord::new(0, 0), Coord::new(3, 3));
+        let _ = NetworkSim::new(c).run(&mut driver);
+    }
+
+    #[test]
+    fn repeat_submissions_hit_the_route_cache_and_match_fresh_runs() {
+        // Two identical batched comms (cache hit on the second) must
+        // report exactly twice the single-comm op counts.
+        let mut batch = BatchDriver::new(vec![
+            (Coord::new(0, 0), Coord::new(3, 3)),
+            (Coord::new(0, 0), Coord::new(3, 3)),
+        ]);
+        let report = NetworkSim::new(cfg()).run(&mut batch);
+        let mut single = OneShotDriver::new(Coord::new(0, 0), Coord::new(3, 3));
+        let one = NetworkSim::new(cfg()).run(&mut single);
+        assert_eq!(report.comms_completed, 2);
+        assert_eq!(report.teleport_ops, 2 * one.teleport_ops);
+        assert_eq!(report.purified_outputs, 2 * one.purified_outputs);
     }
 
     // --- multi-topology behaviour -------------------------------------

@@ -116,6 +116,11 @@ impl Topology for Hypercube {
         ports
     }
 
+    fn min_port(&self, node: usize, dst: usize) -> Option<Port> {
+        let diff = node ^ dst;
+        (diff != 0).then(|| Port(diff.trailing_zeros() as u8))
+    }
+
     fn diameter(&self) -> u32 {
         self.dim
     }

@@ -236,6 +236,24 @@ impl Topology for Mesh {
         ports
     }
 
+    fn min_port(&self, node: usize, dst: usize) -> Option<Port> {
+        // X first (East/West are the low ports), then Y — the same
+        // ascending order `min_ports` lists.
+        let at = self.coord_of(node);
+        let to = self.coord_of(dst);
+        if to.x > at.x {
+            Some(Dir::East.port())
+        } else if to.x < at.x {
+            Some(Dir::West.port())
+        } else if to.y > at.y {
+            Some(Dir::North.port())
+        } else if to.y < at.y {
+            Some(Dir::South.port())
+        } else {
+            None
+        }
+    }
+
     fn diameter(&self) -> u32 {
         u32::from(self.width - 1) + u32::from(self.height - 1)
     }

@@ -292,6 +292,16 @@ pub trait Topology {
 
     // --- provided helpers -------------------------------------------------
 
+    /// The lowest-numbered minimal port toward `dst` (the
+    /// dimension-order choice), or `None` exactly when `node == dst`.
+    ///
+    /// Semantically `min_ports(node, dst).first().copied()`; concrete
+    /// fabrics override it to answer without building the full list, so
+    /// oblivious routing costs no allocation per hop.
+    fn min_port(&self, node: usize, dst: usize) -> Option<Port> {
+        self.min_ports(node, dst).first().copied()
+    }
+
     /// Number of nodes (`width × height`).
     fn nodes(&self) -> usize {
         usize::from(self.width()) * usize::from(self.height())
@@ -350,6 +360,10 @@ pub trait Topology {
 
     /// Extra service nanoseconds a hop over `link` pays at `now_ns`
     /// (transient hot-spot windows). Zero on healthy fabrics.
+    ///
+    /// The simulator consults this only when [`Topology::fault_aware`]
+    /// returns `true` — a penalty model must come with `fault_aware`
+    /// set, or it is (deliberately) never read on the hot path.
     fn hop_penalty_ns(&self, link: usize, now_ns: u64) -> u64 {
         let _ = (link, now_ns);
         0
@@ -543,6 +557,10 @@ impl Topology for Fabric {
 
     fn min_ports(&self, node: usize, dst: usize) -> Vec<Port> {
         fabric_dispatch!(self, t => t.min_ports(node, dst))
+    }
+
+    fn min_port(&self, node: usize, dst: usize) -> Option<Port> {
+        fabric_dispatch!(self, t => t.min_port(node, dst))
     }
 
     fn diameter(&self) -> u32 {

@@ -179,6 +179,31 @@ impl Topology for Torus {
         ports
     }
 
+    fn min_port(&self, node: usize, dst: usize) -> Option<Port> {
+        let at = self.coord_of(node);
+        let to = self.coord_of(dst);
+        if at.x != to.x {
+            let w = u32::from(self.width);
+            let east = (u32::from(to.x) + w - u32::from(at.x)) % w;
+            // East (port 0) wins antipodal ties, as in `min_ports`.
+            return Some(if east <= w - east {
+                Dir::East.port()
+            } else {
+                Dir::West.port()
+            });
+        }
+        if at.y != to.y {
+            let h = u32::from(self.height);
+            let north = (u32::from(to.y) + h - u32::from(at.y)) % h;
+            return Some(if north <= h - north {
+                Dir::North.port()
+            } else {
+                Dir::South.port()
+            });
+        }
+        None
+    }
+
     fn diameter(&self) -> u32 {
         u32::from(self.width / 2) + u32::from(self.height / 2)
     }

@@ -1,12 +1,50 @@
 //! Property-based tests for the topologies, the routing policies, and
 //! the simulator's conservation laws.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use proptest::prelude::*;
 
 use qic_net::config::NetConfig;
-use qic_net::routing::RoutingPolicy;
-use qic_net::sim::{NetworkSim, OneShotDriver};
+use qic_net::routing::{DimensionOrder, Router, RoutingPolicy};
+use qic_net::sim::{BatchDriver, NetworkSim, OneShotDriver};
 use qic_net::topology::{Coord, Fabric, Hypercube, Mesh, Port, Topology, TopologyKind, Torus};
+
+/// A shared log of `route` calls: endpoint pair → the hop sequence
+/// returned.
+type RouteLog = Rc<RefCell<Vec<((usize, usize), Vec<Port>)>>>;
+
+/// Dimension-order routing with a switchable cacheability flag and a
+/// log of every `route` call — the probe for the differential test
+/// between the precomputed-route fast path and the dynamic
+/// `Router::route` path.
+struct RecordingDor {
+    cacheable: bool,
+    log: RouteLog,
+}
+
+impl Router for RecordingDor {
+    fn name(&self) -> &'static str {
+        "dor"
+    }
+
+    fn cacheable(&self) -> bool {
+        self.cacheable
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        src: usize,
+        dst: usize,
+        load: &dyn Fn(usize) -> u32,
+    ) -> Vec<Port> {
+        let path = DimensionOrder.route(topo, src, dst, load);
+        self.log.borrow_mut().push(((src, dst), path.clone()));
+        path
+    }
+}
 
 /// The three fabrics at a `w × h`-ish scale (the hypercube picks the
 /// nearest power-of-two node count).
@@ -191,6 +229,67 @@ proptest! {
         prop_assert_eq!(report.teleport_ops, cfg.raw_pairs_per_comm() * hops);
         prop_assert_eq!(report.pairs_consumed, report.teleport_ops);
         prop_assert!(report.pairs_generated >= report.pairs_consumed);
+    }
+
+    /// The precomputed-route fast path is an optimization, not a
+    /// behaviour: on every fabric, under duplicated (cache-hitting)
+    /// workloads and varying load parameters, the cached run must emit
+    /// the same hop sequence per endpoint pair and a bit-identical
+    /// [`qic_net::report::NetReport`] as the dynamic virtual-call path.
+    #[test]
+    fn cached_dor_fast_path_matches_dynamic_routing(
+        kind_idx in 0usize..3,
+        pairs in proptest::collection::vec((0u16..4, 0u16..4, 0u16..4, 0u16..4), 1..8),
+        outputs in 1u32..4, depth in 1u32..3, gens in 1u32..3,
+        seed in 0u64..1000,
+    ) {
+        let kind = TopologyKind::ALL[kind_idx];
+        let mut cfg = NetConfig::small_test().with_topology(kind);
+        cfg.outputs_per_comm = outputs;
+        cfg.purify_depth = depth;
+        cfg.generators_per_edge = gens;
+        cfg.seed = seed;
+        // Submit every pair twice so the second submission exercises a
+        // cache hit on the fast-path run.
+        let mut batch: Vec<(Coord, Coord)> = pairs
+            .iter()
+            .map(|&(a, b, c, d)| (Coord::new(a, b), Coord::new(c, d)))
+            .collect();
+        batch.extend(batch.clone());
+
+        let run = |cacheable: bool| {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let router = Box::new(RecordingDor { cacheable, log: Rc::clone(&log) });
+            let mut driver = BatchDriver::new(batch.clone());
+            let report = NetworkSim::with_router(cfg.clone(), cfg.fabric(), router)
+                .run(&mut driver);
+            (report, Rc::try_unwrap(log).expect("sim dropped").into_inner())
+        };
+        let (cached_report, cached_log) = run(true);
+        let (dynamic_report, dynamic_log) = run(false);
+        prop_assert_eq!(&cached_report, &dynamic_report, "reports diverge");
+
+        // The stock constructor (real `DimensionOrder`, cache on) agrees too.
+        let mut driver = BatchDriver::new(batch.clone());
+        let stock_report = NetworkSim::new(cfg.clone()).run(&mut driver);
+        prop_assert_eq!(&cached_report, &stock_report, "stock constructor diverges");
+
+        // Per endpoint pair, the cached (miss-time) route equals every
+        // dynamically recomputed route.
+        let miss_routes: std::collections::HashMap<(usize, usize), Vec<Port>> =
+            cached_log.iter().cloned().collect();
+        prop_assert!(!dynamic_log.is_empty());
+        for (pair, path) in &dynamic_log {
+            prop_assert_eq!(
+                Some(path),
+                miss_routes.get(pair),
+                "hop sequence diverges for {:?}", pair
+            );
+        }
+        // The cache genuinely deduplicates: at most one miss per
+        // distinct pair, and never more route calls than the dynamic run.
+        prop_assert_eq!(cached_log.len(), miss_routes.len(), "duplicate cache misses");
+        prop_assert!(cached_log.len() <= dynamic_log.len());
     }
 
     #[test]

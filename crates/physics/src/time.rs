@@ -41,6 +41,7 @@ impl Duration {
     pub const MAX: Duration = Duration(u64::MAX);
 
     /// Creates a duration from whole nanoseconds.
+    #[inline]
     pub const fn from_nanos(ns: u64) -> Self {
         Duration(ns)
     }
@@ -50,6 +51,7 @@ impl Duration {
     /// # Panics
     ///
     /// Panics if the value overflows `u64` nanoseconds (≈ 584 years).
+    #[inline]
     pub const fn from_micros(us: u64) -> Self {
         Duration(us * 1_000)
     }
@@ -74,6 +76,7 @@ impl Duration {
     }
 
     /// Number of whole nanoseconds in this duration.
+    #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
@@ -90,11 +93,13 @@ impl Duration {
 
     /// Saturating subtraction: returns [`Duration::ZERO`] instead of
     /// underflowing.
+    #[inline]
     pub fn saturating_sub(self, rhs: Duration) -> Duration {
         Duration(self.0.saturating_sub(rhs.0))
     }
 
     /// Saturating addition: clamps at [`Duration::MAX`].
+    #[inline]
     pub fn saturating_add(self, rhs: Duration) -> Duration {
         Duration(self.0.saturating_add(rhs.0))
     }
@@ -105,6 +110,7 @@ impl Duration {
     }
 
     /// The larger of two durations.
+    #[inline]
     pub fn max(self, other: Duration) -> Duration {
         if self >= other {
             self
@@ -114,6 +120,7 @@ impl Duration {
     }
 
     /// The smaller of two durations.
+    #[inline]
     pub fn min(self, other: Duration) -> Duration {
         if self <= other {
             self
@@ -126,12 +133,14 @@ impl Duration {
 impl Add for Duration {
     type Output = Duration;
 
+    #[inline]
     fn add(self, rhs: Duration) -> Duration {
         Duration(self.0 + rhs.0)
     }
 }
 
 impl AddAssign for Duration {
+    #[inline]
     fn add_assign(&mut self, rhs: Duration) {
         self.0 += rhs.0;
     }
@@ -140,12 +149,14 @@ impl AddAssign for Duration {
 impl Sub for Duration {
     type Output = Duration;
 
+    #[inline]
     fn sub(self, rhs: Duration) -> Duration {
         Duration(self.0 - rhs.0)
     }
 }
 
 impl SubAssign for Duration {
+    #[inline]
     fn sub_assign(&mut self, rhs: Duration) {
         self.0 -= rhs.0;
     }
@@ -154,6 +165,7 @@ impl SubAssign for Duration {
 impl Mul<u64> for Duration {
     type Output = Duration;
 
+    #[inline]
     fn mul(self, rhs: u64) -> Duration {
         Duration(self.0 * rhs)
     }
@@ -162,6 +174,7 @@ impl Mul<u64> for Duration {
 impl Mul<Duration> for u64 {
     type Output = Duration;
 
+    #[inline]
     fn mul(self, rhs: Duration) -> Duration {
         Duration(self * rhs.0)
     }
@@ -170,6 +183,7 @@ impl Mul<Duration> for u64 {
 impl Div<u64> for Duration {
     type Output = Duration;
 
+    #[inline]
     fn div(self, rhs: u64) -> Duration {
         Duration(self.0 / rhs)
     }
