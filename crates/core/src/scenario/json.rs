@@ -135,6 +135,15 @@ impl Json {
         }
     }
 
+    pub(crate) fn bool_of(&self, ctx: &str) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(Json::schema_err(format!(
+                "{ctx}: expected a boolean, got {other:?}"
+            ))),
+        }
+    }
+
     pub(crate) fn usize_of(&self, ctx: &str) -> Result<usize, JsonError> {
         match self {
             Json::Int(v) => usize::try_from(*v)

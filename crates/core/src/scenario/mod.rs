@@ -45,8 +45,8 @@ pub use json::JsonError;
 pub use registry::{faceoff_spec, fig16_spec, ScenarioEntry, ScenarioRegistry, ScenarioScale};
 pub use runner::{run, ScenarioReport};
 pub use spec::{
-    ratio_resources, ExperimentSpec, MachineSpec, NetPreset, ScenarioAxis, ScenarioError,
-    ScenarioSpec, WorkloadSpec,
+    ratio_resources, ExperimentSpec, MachineSpec, NetPreset, ObserveSpec, ScenarioAxis,
+    ScenarioError, ScenarioSpec, WorkloadSpec,
 };
 
 #[cfg(test)]
@@ -118,6 +118,43 @@ mod tests {
                 assert_eq!(spec, back, "{} at {scale:?}", entry.name);
             }
         }
+    }
+
+    #[test]
+    fn observe_blocks_round_trip_and_validate() {
+        let spec = ScenarioRegistry::builtin()
+            .spec("synthetic_stress", ScenarioScale::SmallTest)
+            .unwrap()
+            .with_observe(ObserveSpec::to_dir("target/observe_codec").with_bins(16));
+        spec.validate().unwrap();
+        let json = spec.to_json();
+        assert!(json.contains("\"observe\""));
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
+
+        // Unobserved documents never mention the field.
+        let plain = ScenarioRegistry::builtin()
+            .spec("synthetic_stress", ScenarioScale::SmallTest)
+            .unwrap();
+        assert!(!plain.to_json().contains("observe"));
+
+        // Validation rejects the degenerate settings.
+        let mut bad = spec.clone();
+        bad.observe.as_mut().unwrap().dir.clear();
+        assert!(bad.validate().is_err(), "empty dir must fail");
+        let mut bad = spec.clone();
+        bad.observe.as_mut().unwrap().bins = 0;
+        assert!(bad.validate().is_err(), "zero bins must fail");
+        let channel = ScenarioSpec::channel(
+            "ch",
+            PurifyPlacement::VirtualWire { rounds: 1 },
+            20,
+            PairMetric::TotalPairs,
+        )
+        .with_observe(ObserveSpec::to_dir("target/observe_codec"));
+        assert!(
+            channel.validate().is_err(),
+            "channel scenarios have nothing to trace"
+        );
     }
 
     #[test]

@@ -1,15 +1,18 @@
 //! The single entry point: `run(&spec) -> ScenarioReport`.
 
+use std::path::Path;
+
 use qic_analytic::figures::pair_budget;
 use qic_analytic::plan::ChannelModel;
 use qic_analytic::strategy::PurifyPlacement;
 use qic_net::sim::{BatchDriver, NetworkSim};
 use qic_net::topology::Coord;
-use qic_sweep::{Campaign, CampaignReport, Metrics};
+use qic_probe::RecordingProbe;
+use qic_sweep::{Campaign, CampaignReport, JsonlProgress, Metrics};
 
 use crate::machine::Machine;
 use crate::scenario::spec::{
-    ExperimentSpec, MachineSpec, ScenarioError, ScenarioSpec, WorkloadSpec,
+    ExperimentSpec, MachineSpec, ObserveSpec, ScenarioError, ScenarioSpec, WorkloadSpec,
 };
 use crate::scheduler::ProgramDriver;
 
@@ -73,6 +76,39 @@ fn campaign(spec: &ScenarioSpec) -> Campaign {
         .workers(spec.workers)
 }
 
+/// Writes one evaluation's trace exports under the observe directory.
+/// The file stem is `{name}_p{index:04}_r{replicate}`, with any
+/// path-hostile characters of the scenario name mapped to `_`.
+fn write_traces(
+    obs: &ObserveSpec,
+    name: &str,
+    point: usize,
+    replicate: u32,
+    probe: &RecordingProbe,
+) {
+    let stem: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let base = Path::new(&obs.dir).join(format!("{stem}_p{point:04}_r{replicate}"));
+    if obs.events {
+        let path = base.with_extension("events.jsonl");
+        std::fs::write(&path, probe.events_jsonl())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+    if obs.chrome_trace {
+        let path = base.with_extension("trace.json");
+        std::fs::write(&path, probe.chrome_trace())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+}
+
 fn run_machine(
     spec: &ScenarioSpec,
     machine: &MachineSpec,
@@ -89,7 +125,12 @@ fn run_machine(
     } else {
         workload.program()
     };
-    campaign(spec).run(|point, ctx| {
+    let observe = spec.observe.as_ref();
+    if let Some(obs) = observe {
+        std::fs::create_dir_all(&obs.dir)
+            .unwrap_or_else(|e| panic!("creating observe directory {}: {e}", obs.dir));
+    }
+    let eval = |point: &qic_sweep::SweepPoint<'_>, ctx: qic_sweep::RunCtx| -> Metrics {
         let mut net = machine.net_config();
         let mut layout = machine.layout;
         let mut wl = workload.clone();
@@ -116,9 +157,21 @@ fn run_machine(
                     .map(|&((sx, sy), (dx, dy))| (Coord::new(sx, sy), Coord::new(dx, dy)))
                     .collect();
                 let mut driver = BatchDriver::new(batch);
-                match degraded {
-                    Some(topo) => NetworkSim::with_topology(net, topo).run(&mut driver),
-                    None => NetworkSim::new(net).run(&mut driver),
+                match observe {
+                    Some(obs) => {
+                        let probe = RecordingProbe::with_bins(obs.bins);
+                        let (report, probe) = match degraded {
+                            Some(topo) => NetworkSim::with_topology_probe(net, topo, probe)
+                                .run_traced(&mut driver),
+                            None => NetworkSim::with_probe(net, probe).run_traced(&mut driver),
+                        };
+                        write_traces(obs, &spec.name, point.index(), ctx.replicate, &probe);
+                        report
+                    }
+                    None => match degraded {
+                        Some(topo) => NetworkSim::with_topology(net, topo).run(&mut driver),
+                        None => NetworkSim::new(net).run(&mut driver),
+                    },
                 }
                 .metrics()
             }
@@ -133,8 +186,8 @@ fn run_machine(
                         &per_point
                     }
                 };
-                match degraded {
-                    Some(topo) => {
+                match (degraded, observe) {
+                    (Some(topo), observe) => {
                         // The scheduler drives the degraded fabric
                         // directly; dropped communications still retire
                         // their instructions, so degraded programs
@@ -142,11 +195,34 @@ fn run_machine(
                         // the resilience story).
                         let mut driver = ProgramDriver::new(&net, layout, program)
                             .expect("validated scenario points fit the grid");
-                        let report = NetworkSim::with_topology(net, topo).run(&mut driver);
+                        let report = match observe {
+                            Some(obs) => {
+                                let probe = RecordingProbe::with_bins(obs.bins);
+                                let (report, probe) =
+                                    NetworkSim::with_topology_probe(net, topo, probe)
+                                        .run_traced(&mut driver);
+                                write_traces(obs, &spec.name, point.index(), ctx.replicate, &probe);
+                                report
+                            }
+                            None => NetworkSim::with_topology(net, topo).run(&mut driver),
+                        };
                         driver.assert_finished();
                         report.metrics()
                     }
-                    None => {
+                    (None, Some(obs)) => {
+                        // Same construction Machine::run performs
+                        // (ProgramDriver's default gate time is the
+                        // machine builder's), with the probe attached.
+                        let mut driver = ProgramDriver::new(&net, layout, program)
+                            .expect("validated scenario points fit the grid");
+                        let probe = RecordingProbe::with_bins(obs.bins);
+                        let (report, probe) =
+                            NetworkSim::with_probe(net, probe).run_traced(&mut driver);
+                        driver.assert_finished();
+                        write_traces(obs, &spec.name, point.index(), ctx.replicate, &probe);
+                        report.metrics()
+                    }
+                    (None, None) => {
                         let mut b = Machine::builder();
                         b.net_config(net).layout(layout);
                         let machine = b.build().expect("validated scenario points build");
@@ -155,7 +231,20 @@ fn run_machine(
                 }
             }
         }
-    })
+    };
+    match observe {
+        Some(obs) => {
+            // Campaign-level observability rides along: a machine-
+            // readable progress stream (wall-clock, outside the
+            // determinism contract) next to the traces.
+            let total = spec.param_space().len() * spec.replicates as usize;
+            let path = Path::new(&obs.dir).join(format!("{}.progress.jsonl", spec.name));
+            let file = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("creating {}: {e}", path.display()));
+            campaign(spec).run_with_progress(eval, &JsonlProgress::new(file, total))
+        }
+        None => campaign(spec).run(eval),
+    }
 }
 
 fn run_channel(

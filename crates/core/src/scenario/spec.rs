@@ -595,6 +595,50 @@ pub fn ratio_resources(ratio: i64, area: u32) -> (u32, u32, u32) {
     (t, t, p)
 }
 
+/// Observability settings for a machine scenario: attach a
+/// `qic_probe::RecordingProbe` to every simulated point and export the
+/// structured traces under [`ObserveSpec::dir`].
+///
+/// Per `(point, replicate)` evaluation the runner writes
+/// `{name}_p{index:04}_r{replicate}.events.jsonl` (the structured event
+/// log) and the matching `.trace.json` (Chrome-trace / Perfetto), plus
+/// one `{name}.progress.jsonl` campaign progress stream. Every exported
+/// trace is deterministic — same spec, same bytes, any worker count —
+/// while the progress stream is wall-clock by design. Scenarios without
+/// an observe block never construct a probe, so their reports and
+/// golden outputs stay byte-identical to the uninstrumented simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObserveSpec {
+    /// Directory the trace files are written into (created if missing).
+    pub dir: String,
+    /// Write per-point `.events.jsonl` structured event logs.
+    pub events: bool,
+    /// Write per-point `.trace.json` Chrome-trace (Perfetto) files.
+    pub chrome_trace: bool,
+    /// Sampling-grid bins for the utilization/occupancy time series
+    /// (≥ 1).
+    pub bins: u32,
+}
+
+impl ObserveSpec {
+    /// Full observability into `dir`: both exporters on, the default
+    /// 64-bin sampling grid.
+    pub fn to_dir(dir: impl Into<String>) -> ObserveSpec {
+        ObserveSpec {
+            dir: dir.into(),
+            events: true,
+            chrome_trace: true,
+            bins: 64,
+        }
+    }
+
+    /// Overrides the sampling-grid resolution.
+    pub fn with_bins(mut self, bins: u32) -> ObserveSpec {
+        self.bins = bins;
+        self
+    }
+}
+
 /// What a scenario measures: a full machine simulation or the
 /// closed-form channel-resource model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -639,6 +683,11 @@ pub struct ScenarioSpec {
     pub axes: Vec<ScenarioAxis>,
     /// What each point evaluates.
     pub experiment: ExperimentSpec,
+    /// Structured-trace export (machine scenarios only). `None` — the
+    /// default everywhere, including every figure preset — runs the
+    /// simulator unprobed: zero instrumentation cost, byte-identical
+    /// reports and golden outputs.
+    pub observe: Option<ObserveSpec>,
 }
 
 impl ScenarioSpec {
@@ -657,6 +706,7 @@ impl ScenarioSpec {
             workers: 0,
             axes: Vec::new(),
             experiment: ExperimentSpec::Machine { machine, workload },
+            observe: None,
         }
     }
 
@@ -679,6 +729,7 @@ impl ScenarioSpec {
                 hops,
                 metric,
             },
+            observe: None,
         }
     }
 
@@ -703,6 +754,13 @@ impl ScenarioSpec {
     /// Pins the worker-thread count (`0` = engine default).
     pub fn with_workers(mut self, workers: usize) -> ScenarioSpec {
         self.workers = workers;
+        self
+    }
+
+    /// Attaches structured-trace export (machine scenarios only; see
+    /// [`ObserveSpec`]).
+    pub fn with_observe(mut self, observe: ObserveSpec) -> ScenarioSpec {
+        self.observe = Some(observe);
         self
     }
 
@@ -736,6 +794,20 @@ impl ScenarioSpec {
         }
         if self.replicates == 0 {
             return Err(self.spec_err("scenarios need at least one replicate"));
+        }
+        if let Some(obs) = &self.observe {
+            if matches!(self.experiment, ExperimentSpec::Channel { .. }) {
+                return Err(self.spec_err(
+                    "observe applies only to machine scenarios (the channel model \
+                     is closed-form; there is no simulation to trace)",
+                ));
+            }
+            if obs.dir.is_empty() {
+                return Err(self.spec_err("observe needs a non-empty output directory"));
+            }
+            if obs.bins == 0 {
+                return Err(self.spec_err("observe needs at least one sampling bin"));
+            }
         }
         for (i, axis) in self.axes.iter().enumerate() {
             // The dedicated error-rate diagnosis must run before the
@@ -935,7 +1007,7 @@ impl ScenarioSpec {
     }
 
     fn encode(&self) -> Json {
-        obj(vec![
+        let mut fields = vec![
             ("name", Json::Str(self.name.clone())),
             ("seed", Json::Int(i128::from(self.seed))),
             ("replicates", Json::Int(i128::from(self.replicates))),
@@ -945,7 +1017,13 @@ impl ScenarioSpec {
                 "axes",
                 Json::Arr(self.axes.iter().map(encode_axis).collect()),
             ),
-        ])
+        ];
+        if let Some(obs) = &self.observe {
+            // Emitted only when set, so unobserved specs (and their
+            // documents) are byte-identical to the pre-probe schema.
+            fields.push(("observe", encode_observe(obs)));
+        }
+        obj(fields)
     }
 
     fn decode(value: &Json) -> Result<ScenarioSpec, JsonError> {
@@ -959,6 +1037,7 @@ impl ScenarioSpec {
                 "workers",
                 "experiment",
                 "axes",
+                "observe",
             ],
             "scenario",
         )?;
@@ -973,6 +1052,7 @@ impl ScenarioSpec {
                 .iter()
                 .map(decode_axis)
                 .collect::<Result<_, _>>()?,
+            observe: get_opt(fields, "observe").map(decode_observe).transpose()?,
         })
     }
 }
@@ -1142,6 +1222,26 @@ fn decode_machine(value: &Json) -> Result<MachineSpec, JsonError> {
         purify_depth: get(f, "purify_depth", "machine")?.u32_of("purify_depth")?,
         outputs_per_comm: get(f, "outputs_per_comm", "machine")?.u32_of("outputs_per_comm")?,
         fault: get_opt(f, "fault").map(decode_fault_plan).transpose()?,
+    })
+}
+
+fn encode_observe(o: &ObserveSpec) -> Json {
+    obj(vec![
+        ("dir", Json::Str(o.dir.clone())),
+        ("events", Json::Bool(o.events)),
+        ("chrome_trace", Json::Bool(o.chrome_trace)),
+        ("bins", Json::Int(i128::from(o.bins))),
+    ])
+}
+
+fn decode_observe(value: &Json) -> Result<ObserveSpec, JsonError> {
+    let f = value.obj_of("observe")?;
+    check_fields(f, &["dir", "events", "chrome_trace", "bins"], "observe")?;
+    Ok(ObserveSpec {
+        dir: get(f, "dir", "observe")?.str_of("dir")?.to_string(),
+        events: get(f, "events", "observe")?.bool_of("events")?,
+        chrome_trace: get(f, "chrome_trace", "observe")?.bool_of("chrome_trace")?,
+        bins: get(f, "bins", "observe")?.u32_of("bins")?,
     })
 }
 

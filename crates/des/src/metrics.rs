@@ -36,8 +36,27 @@ impl Metrics {
     /// Panics on a duplicate name.
     pub fn push(&mut self, name: impl Into<String>, value: f64) {
         let name = name.into();
-        assert!(self.get(&name).is_none(), "duplicate metric name {name:?}");
+        if let Some(existing) = self.get(&name) {
+            panic!(
+                "duplicate metric name {name:?}: already recorded as {existing}, \
+                 attempted to record {value}"
+            );
+        }
         self.entries.push((name, value));
+    }
+
+    /// Merges every metric of `other` under a dotted namespace:
+    /// `extend("trace", m)` records `m`'s `"bins"` as `"trace.bins"`.
+    /// Namespacing is what makes merging safe — two reports can both
+    /// have a `"bins"` as long as their prefixes differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prefixed name still collides with an existing metric.
+    pub fn extend(&mut self, prefix: &str, other: &Metrics) {
+        for (name, value) in other.iter() {
+            self.push(format!("{prefix}.{name}"), value);
+        }
     }
 
     /// Looks a metric up by name.
@@ -86,8 +105,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate metric name")]
-    fn duplicate_name_rejected() {
+    #[should_panic(
+        expected = "duplicate metric name \"x\": already recorded as 1, attempted to record 2"
+    )]
+    fn duplicate_name_rejected_with_both_values() {
         let _ = Metrics::new().with("x", 1.0).with("x", 2.0);
+    }
+
+    #[test]
+    fn extend_namespaces_the_merged_set() {
+        let inner = Metrics::new().with("bins", 64.0).with("peak", 0.5);
+        let mut m = Metrics::new().with("bins", 1.0);
+        m.extend("trace", &inner);
+        assert_eq!(m.get("bins"), Some(1.0));
+        assert_eq!(m.get("trace.bins"), Some(64.0));
+        assert_eq!(m.get("trace.peak"), Some(0.5));
+        assert_eq!(
+            m.names().collect::<Vec<_>>(),
+            vec!["bins", "trace.bins", "trace.peak"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name \"trace.bins\"")]
+    fn extend_still_rejects_prefixed_collisions() {
+        let inner = Metrics::new().with("bins", 64.0);
+        let mut m = Metrics::new().with("trace.bins", 1.0);
+        m.extend("trace", &inner);
     }
 }

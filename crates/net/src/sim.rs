@@ -30,6 +30,7 @@ use qic_des::queue::EventQueue;
 use qic_des::stats::{Percentiles, Tally};
 use qic_des::time::SimTime;
 use qic_physics::time::Duration;
+use qic_probe::{EventKind, FabricInfo, NoProbe, Probe, StallCause};
 
 use crate::config::NetConfig;
 use crate::report::{FaultStats, NetReport};
@@ -531,8 +532,13 @@ fn teleset_share(t: u32, classes: usize, class: usize) -> u32 {
     (base + extra).max(1)
 }
 
-struct World<T: Topology> {
+struct World<T: Topology, P: Probe> {
     cfg: NetConfig,
+    /// Instrumentation sink. Every hook call site is guarded by
+    /// `P::ACTIVE`, a compile-time constant, so with the default
+    /// [`NoProbe`] the probe costs nothing — field, guards and argument
+    /// computation all vanish in codegen.
+    probe: P,
     topo: T,
     router: Box<dyn Router>,
     /// Cached `topo.ports_per_node()`.
@@ -601,7 +607,7 @@ trait WorldApi {
     fn live_comms(&self) -> u64;
 }
 
-impl<T: Topology> WorldApi for World<T> {
+impl<T: Topology, P: Probe> WorldApi for World<T, P> {
     fn now(&self) -> SimTime {
         self.queue.now()
     }
@@ -660,8 +666,8 @@ impl SimApi<'_> {
 // World mechanics
 // ---------------------------------------------------------------------------
 
-impl<T: Topology> World<T> {
-    fn new(cfg: NetConfig, topo: T, router: Box<dyn Router>) -> World<T> {
+impl<T: Topology, P: Probe> World<T, P> {
+    fn new(cfg: NetConfig, topo: T, router: Box<dyn Router>, mut probe: P) -> World<T, P> {
         cfg.validate().expect("configuration must validate");
         let nodes = topo.nodes();
         let classes = topo.port_classes();
@@ -739,8 +745,23 @@ impl<T: Topology> World<T> {
         };
         let hop_time = cfg.times.teleport(cfg.hop_cells);
         let turn_time = cfg.times.ballistic(cfg.turn_cells);
+        if P::ACTIVE {
+            probe.on_fabric(&FabricInfo {
+                topology: topo.name().to_string(),
+                width: topo.width(),
+                height: topo.height(),
+                nodes: u32::try_from(nodes).expect("node counts fit u32"),
+                links: u32::try_from(links).expect("link counts fit u32"),
+                port_classes: u32::try_from(classes).expect("port classes fit u32"),
+                ports_per_node: u32::try_from(ports_per_node).expect("port counts fit u32"),
+                teleset_capacity: telesets.capacity.clone(),
+                storage_capacity: storage.capacity,
+                purifier_units: sites.units,
+            });
+        }
         World {
             cfg,
+            probe,
             topo,
             router,
             ports_per_node,
@@ -814,6 +835,9 @@ impl<T: Topology> World<T> {
             };
             self.comms.push(comm);
             self.live_comms += 1;
+            if P::ACTIVE {
+                self.probe.on_submit(self.queue.now().as_nanos(), id, 0);
+            }
             self.queue.schedule_now(Event::Dropped { comm: id });
             return CommId(id);
         }
@@ -827,6 +851,9 @@ impl<T: Topology> World<T> {
             let healthy = self.topo.healthy_distance(s, d);
             if path.hops.len() as u32 > healthy {
                 self.comms_rerouted += 1;
+                if P::ACTIVE {
+                    self.probe.on_reroute(self.queue.now().as_nanos(), id);
+                }
             }
             self.route_inflation_sum += if healthy == 0 {
                 1.0
@@ -851,6 +878,13 @@ impl<T: Topology> World<T> {
         };
         self.live_comms += 1;
         self.comms.push(comm);
+        if P::ACTIVE {
+            self.probe.on_submit(
+                self.queue.now().as_nanos(),
+                id,
+                u32::try_from(hops).expect("route length fits u32"),
+            );
+        }
         if hops == 0 {
             // Co-located endpoints: only the local data handoff remains.
             self.queue
@@ -991,12 +1025,20 @@ impl<T: Topology> World<T> {
         // Check all three, commit only if all are available.
         if self.storage.free_cells(storage) <= reserve {
             self.storage_stalls += 1;
+            if P::ACTIVE {
+                self.probe
+                    .on_stall(now.as_nanos(), StallCause::Storage, hop.storage, comm_id);
+            }
             self.waiters.push_back(self.wait_storage0 + storage, waiter);
             return false;
         }
         self.wires.refresh(edge, now);
         if self.wires.stock[edge] == 0 {
             self.wire_stalls += 1;
+            if P::ACTIVE {
+                self.probe
+                    .on_stall(now.as_nanos(), StallCause::Wire, hop.link, comm_id);
+            }
             self.waiters.push_back(self.wait_wire0 + edge, waiter);
             if !self.wires.wake_pending[edge] {
                 self.wires.wake_pending[edge] = true;
@@ -1011,6 +1053,10 @@ impl<T: Topology> World<T> {
         }
         if !self.telesets.available(teleset) {
             self.teleporter_stalls += 1;
+            if P::ACTIVE {
+                self.probe
+                    .on_stall(now.as_nanos(), StallCause::Teleporter, hop.teleset, comm_id);
+            }
             self.waiters.push_back(teleset, waiter);
             return false;
         }
@@ -1026,6 +1072,20 @@ impl<T: Topology> World<T> {
         self.telesets.acquire(teleset, service);
         self.storage.reserve(storage);
         self.teleport_ops += 1;
+        if P::ACTIVE {
+            let t = now.as_nanos();
+            self.probe.on_wire_take(t, hop.link);
+            self.probe.on_hop_fire(
+                t,
+                comm_id,
+                u32::try_from(pos).expect("route length fits u32"),
+                hop.link,
+                hop.teleset,
+                service.as_nanos(),
+            );
+            self.probe
+                .on_storage(t, hop.storage, self.storage.used[storage]);
+        }
         let token_idx = if waiter & SOURCE_FLAG != 0 {
             self.alloc_token(comm_id)
         } else {
@@ -1124,6 +1184,15 @@ impl<T: Topology> World<T> {
         if self.sites.busy[site_idx] < self.sites.units {
             self.sites.busy[site_idx] += 1;
             self.sites.busy_ns[site_idx] += job_dur.as_nanos();
+            if P::ACTIVE {
+                self.probe.on_purify_start(
+                    self.queue.now().as_nanos(),
+                    site_idx as u32,
+                    comm_id,
+                    ops,
+                    job_dur.as_nanos(),
+                );
+            }
             self.queue.schedule_after(
                 job_dur,
                 Event::PurifyDone {
@@ -1162,6 +1231,15 @@ impl<T: Topology> World<T> {
             let dur = self.comms[c as usize].path.purify_op_time * u64::from(ops);
             self.sites.busy[s] += 1;
             self.sites.busy_ns[s] += dur.as_nanos();
+            if P::ACTIVE {
+                self.probe.on_purify_start(
+                    self.queue.now().as_nanos(),
+                    site_idx,
+                    c,
+                    ops,
+                    dur.as_nanos(),
+                );
+            }
             self.queue.schedule_after(
                 dur,
                 Event::PurifyDone {
@@ -1177,6 +1255,19 @@ impl<T: Topology> World<T> {
     // --- event dispatch -------------------------------------------------
 
     fn handle(&mut self, ev: Event, driver: &mut dyn Driver) {
+        if P::ACTIVE {
+            let kind = match ev {
+                Event::SourceTry { .. } => EventKind::SourceTry,
+                Event::TeleportDone { .. } => EventKind::TeleportDone,
+                Event::WireWake { .. } => EventKind::WireWake,
+                Event::PurifyDone { .. } => EventKind::PurifyDone,
+                Event::DataTeleportDone { .. } => EventKind::DataTeleportDone,
+                Event::Dropped { .. } => EventKind::Dropped,
+                Event::Submit { .. } => EventKind::Submit,
+                Event::Notify { .. } => EventKind::Notify,
+            };
+            self.probe.on_event(self.queue.now().as_nanos(), kind);
+        }
         match ev {
             Event::SourceTry { comm } => {
                 // Clear the waiting latch set by a previous failed attempt
@@ -1220,6 +1311,13 @@ impl<T: Topology> World<T> {
                 let latency = done.completed_at.since(done.issued_at);
                 self.comm_latency_us.record_duration(latency);
                 self.latency_samples.push(latency.as_us_f64());
+                if P::ACTIVE {
+                    self.probe.on_comm_done(
+                        done.completed_at.as_nanos(),
+                        comm,
+                        done.issued_at.as_nanos(),
+                    );
+                }
                 driver.on_complete(done, &mut SimApi { world: self });
             }
             Event::Dropped { comm } => {
@@ -1242,6 +1340,9 @@ impl<T: Topology> World<T> {
                 self.live_comms -= 1;
                 self.comms_completed += 1;
                 self.comms_dropped += 1;
+                if P::ACTIVE {
+                    self.probe.on_comm_drop(done.completed_at.as_nanos(), comm);
+                }
                 driver.on_complete(done, &mut SimApi { world: self });
             }
             Event::Submit { src, dst, tag } => {
@@ -1272,8 +1373,21 @@ impl<T: Topology> World<T> {
         };
         // Free the teleporter that served this hop.
         self.telesets.release(teleset);
+        if P::ACTIVE {
+            self.probe.on_teleset_release(
+                self.queue.now().as_nanos(),
+                u32::try_from(teleset).expect("teleset indices fit u32"),
+            );
+        }
         if let Some(sidx) = held_storage {
             self.storage.free(sidx);
+            if P::ACTIVE {
+                self.probe.on_storage(
+                    self.queue.now().as_nanos(),
+                    u32::try_from(sidx).expect("storage indices fit u32"),
+                    self.storage.used[sidx],
+                );
+            }
             self.drain_storage_waiters(sidx);
         }
         self.drain_teleset_waiters(teleset);
@@ -1284,6 +1398,13 @@ impl<T: Topology> World<T> {
             // (the landing bank of the final hop).
             let sidx = self.comms[comm_id as usize].path.hops[landed - 1].storage as usize;
             self.storage.free(sidx);
+            if P::ACTIVE {
+                self.probe.on_storage(
+                    self.queue.now().as_nanos(),
+                    u32::try_from(sidx).expect("storage indices fit u32"),
+                    self.storage.used[sidx],
+                );
+            }
             self.free_token(token_idx);
             self.drain_storage_waiters(sidx);
             self.feed_purifier(comm_id);
@@ -1382,6 +1503,11 @@ impl<T: Topology> World<T> {
                     },
                 }
             }),
+            timeline: if P::ACTIVE {
+                self.probe.finish(makespan.as_nanos())
+            } else {
+                None
+            },
         }
     }
 }
@@ -1395,9 +1521,13 @@ impl<T: Topology> World<T> {
 /// static dispatch on the simulation hot path.
 ///
 /// See the crate docs for an overview; construct with a validated
-/// [`NetConfig`] and run a [`Driver`] to completion.
-pub struct NetworkSim<T: Topology = Fabric> {
-    world: World<T>,
+/// [`NetConfig`] and run a [`Driver`] to completion. Instrumentation is
+/// the second type parameter: the default [`NoProbe`] compiles every
+/// hook away; attach a recording probe with [`NetworkSim::with_probe`]
+/// (or the `_probe` variants of the other constructors) and recover it
+/// through [`NetworkSim::run_traced`].
+pub struct NetworkSim<T: Topology = Fabric, P: Probe = NoProbe> {
+    world: World<T, P>,
 }
 
 impl NetworkSim<Fabric> {
@@ -1408,6 +1538,18 @@ impl NetworkSim<Fabric> {
     ///
     /// Panics if the configuration fails [`NetConfig::validate`].
     pub fn new(cfg: NetConfig) -> Self {
+        NetworkSim::with_probe(cfg, NoProbe)
+    }
+}
+
+impl<P: Probe> NetworkSim<Fabric, P> {
+    /// Builds a simulator for the given configuration with an attached
+    /// probe (e.g. `qic_probe::RecordingProbe`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NetConfig::validate`].
+    pub fn with_probe(cfg: NetConfig, probe: P) -> Self {
         // `World::new` validates the full config; only an unbuildable grid
         // needs catching here, and then `validate` supplies the real error.
         let fabric = match cfg.topology.build(cfg.mesh_width, cfg.mesh_height) {
@@ -1417,7 +1559,7 @@ impl NetworkSim<Fabric> {
                 unreachable!("validate rejects unbuildable fabrics")
             }
         };
-        NetworkSim::with_topology(cfg, fabric)
+        NetworkSim::with_topology_probe(cfg, fabric, probe)
     }
 }
 
@@ -1430,8 +1572,7 @@ impl<T: Topology> NetworkSim<T> {
     ///
     /// Panics if the configuration fails [`NetConfig::validate`].
     pub fn with_topology(cfg: NetConfig, topo: T) -> Self {
-        let router = cfg.routing.router();
-        NetworkSim::with_router(cfg, topo, router)
+        NetworkSim::with_topology_probe(cfg, topo, NoProbe)
     }
 
     /// Builds a simulator over a caller-supplied topology and routing
@@ -1441,8 +1582,29 @@ impl<T: Topology> NetworkSim<T> {
     ///
     /// Panics if the configuration fails [`NetConfig::validate`].
     pub fn with_router(cfg: NetConfig, topo: T, router: Box<dyn Router>) -> Self {
+        NetworkSim::with_router_probe(cfg, topo, router, NoProbe)
+    }
+}
+
+impl<T: Topology, P: Probe> NetworkSim<T, P> {
+    /// [`NetworkSim::with_topology`] with an attached probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NetConfig::validate`].
+    pub fn with_topology_probe(cfg: NetConfig, topo: T, probe: P) -> Self {
+        let router = cfg.routing.router();
+        NetworkSim::with_router_probe(cfg, topo, router, probe)
+    }
+
+    /// [`NetworkSim::with_router`] with an attached probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NetConfig::validate`].
+    pub fn with_router_probe(cfg: NetConfig, topo: T, router: Box<dyn Router>, probe: P) -> Self {
         NetworkSim {
-            world: World::new(cfg, topo, router),
+            world: World::new(cfg, topo, router, probe),
         }
     }
 
@@ -1458,7 +1620,18 @@ impl<T: Topology> NetworkSim<T> {
     /// Panics if the event budget (`max_events`) is exhausted — a sign of
     /// a runaway workload or a configuration far beyond the intended
     /// scale.
-    pub fn run(mut self, driver: &mut dyn Driver) -> NetReport {
+    pub fn run(self, driver: &mut dyn Driver) -> NetReport {
+        self.run_traced(driver).0
+    }
+
+    /// Runs the driver's workload to completion, returning the report
+    /// and the probe (so a recording probe's event stream can be
+    /// exported after the run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event budget (`max_events`) is exhausted.
+    pub fn run_traced(mut self, driver: &mut dyn Driver) -> (NetReport, P) {
         driver.start(&mut SimApi {
             world: &mut self.world,
         });
@@ -1470,6 +1643,12 @@ impl<T: Topology> NetworkSim<T> {
         let mut handled: u64 = 0;
         let mut batch: Vec<Event> = Vec::with_capacity(16);
         while self.world.queue.pop_batch(&mut batch).is_some() {
+            if P::ACTIVE {
+                self.world.probe.on_queue_depth(
+                    self.world.queue.now().as_nanos(),
+                    batch.len() + self.world.queue.len(),
+                );
+            }
             for &ev in &batch {
                 self.world.handle(ev, driver);
                 handled += 1;
@@ -1485,11 +1664,12 @@ impl<T: Topology> NetworkSim<T> {
             self.world.live_comms, 0,
             "simulation drained with live comms"
         );
-        self.world.report()
+        let report = self.world.report();
+        (report, self.world.probe)
     }
 }
 
-impl<T: Topology> std::fmt::Debug for NetworkSim<T> {
+impl<T: Topology, P: Probe> std::fmt::Debug for NetworkSim<T, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetworkSim")
             .field("topology", &self.world.topo.name())

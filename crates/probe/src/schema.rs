@@ -1,0 +1,425 @@
+//! Structural validation for the emitted trace files.
+//!
+//! CI's observability smoke test (and `examples/trace_run.rs`) parse
+//! every emitted file back and check it against the expected shape, so
+//! a malformed exporter fails loudly instead of producing a trace that
+//! silently will not load. The parser is a tiny self-contained
+//! recursive-descent JSON reader — validation must not trust the code
+//! that did the writing.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (key order is irrelevant to validation).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    fn obj(&self, ctx: &str) -> Result<&BTreeMap<String, Value>, String> {
+        match self {
+            Value::Obj(m) => Ok(m),
+            other => Err(format!("{ctx}: expected object, got {}", other.type_name())),
+        }
+    }
+
+    fn num(&self, ctx: &str) -> Result<f64, String> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => Err(format!("{ctx}: expected number, got {}", other.type_name())),
+        }
+    }
+
+    fn str(&self, ctx: &str) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("{ctx}: expected string, got {}", other.type_name())),
+        }
+    }
+}
+
+/// Parses a complete JSON document (rejects trailing garbage).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if matches!(b.get(*pos), Some(b'-')) {
+        *pos += 1;
+    }
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("invalid escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through untouched.
+                let len = utf8_len(c);
+                let chunk = b
+                    .get(*pos..*pos + len)
+                    .ok_or("truncated UTF-8 sequence".to_string())?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if matches!(b.get(*pos), Some(b']')) {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']', got {other:?}")),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if matches!(b.get(*pos), Some(b'}')) {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if !matches!(b.get(*pos), Some(b'"')) {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if !matches!(b.get(*pos), Some(b':')) {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        map.insert(key, parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+/// Every event label the JSONL log may carry, with its required numeric
+/// fields beyond `t_ns`.
+const EVENT_FIELDS: &[(&str, &[&str])] = &[
+    ("submit", &["comm", "hops"]),
+    ("reroute", &["comm"]),
+    ("stall", &["resource", "comm"]),
+    ("wire_take", &["link"]),
+    (
+        "hop_fire",
+        &["comm", "pos", "link", "teleset", "service_ns"],
+    ),
+    ("teleset_release", &["teleset"]),
+    ("storage", &["storage", "used"]),
+    ("purify_start", &["site", "comm", "ops", "dur_ns"]),
+    ("drop", &["comm"]),
+    ("done", &["comm", "issued_ns"]),
+];
+
+/// Validates a JSONL event log: every line is an object with a numeric
+/// `t_ns` (monotone non-decreasing across lines), a known `ev` label,
+/// and that label's required payload fields. Returns the line count.
+pub fn validate_events_jsonl(text: &str) -> Result<u64, String> {
+    let mut lines = 0u64;
+    let mut last_t = 0.0f64;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let v = parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let obj = v.obj(&format!("line {n}"))?;
+        let t = obj
+            .get("t_ns")
+            .ok_or(format!("line {n}: missing t_ns"))?
+            .num(&format!("line {n}: t_ns"))?;
+        if t < last_t {
+            return Err(format!(
+                "line {n}: t_ns {t} goes backwards (after {last_t})"
+            ));
+        }
+        last_t = t;
+        let ev = obj
+            .get("ev")
+            .ok_or(format!("line {n}: missing ev"))?
+            .str(&format!("line {n}: ev"))?;
+        let fields = EVENT_FIELDS
+            .iter()
+            .find(|(label, _)| *label == ev)
+            .map(|(_, f)| *f)
+            .ok_or(format!("line {n}: unknown event {ev:?}"))?;
+        for f in fields {
+            obj.get(*f)
+                .ok_or(format!("line {n}: {ev} missing field {f:?}"))?
+                .num(&format!("line {n}: {ev}.{f}"))?;
+        }
+        if ev == "stall" {
+            obj.get("cause")
+                .ok_or(format!("line {n}: stall missing cause"))?
+                .str(&format!("line {n}: stall.cause"))?;
+        }
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+/// Validates a Chrome trace-event file: a top-level object with a
+/// `traceEvents` array whose entries carry the fields their phase
+/// requires (`X` spans, `M` metadata, `i` instants, `C` counters).
+/// Returns the event count.
+pub fn validate_chrome_trace(text: &str) -> Result<u64, String> {
+    let v = parse(text)?;
+    let obj = v.obj("top level")?;
+    let events = match obj.get("traceEvents") {
+        Some(Value::Arr(a)) => a,
+        Some(other) => {
+            return Err(format!(
+                "traceEvents: expected array, got {}",
+                other.type_name()
+            ))
+        }
+        None => return Err("missing traceEvents".into()),
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = format!("traceEvents[{i}]");
+        let obj = ev.obj(&ctx)?;
+        let need_num = |f: &str| -> Result<f64, String> {
+            obj.get(f)
+                .ok_or(format!("{ctx}: missing {f:?}"))?
+                .num(&format!("{ctx}: {f}"))
+        };
+        let need_str = |f: &str| -> Result<&str, String> {
+            obj.get(f)
+                .ok_or(format!("{ctx}: missing {f:?}"))?
+                .str(&format!("{ctx}: {f}"))
+        };
+        let ph = need_str("ph")?;
+        match ph {
+            "X" => {
+                need_str("name")?;
+                need_num("ts")?;
+                need_num("dur")?;
+                need_num("pid")?;
+                need_num("tid")?;
+            }
+            "M" => {
+                need_str("name")?;
+                obj.get("args")
+                    .ok_or(format!("{ctx}: missing \"args\""))?
+                    .obj(&format!("{ctx}: args"))?;
+            }
+            "i" => {
+                need_num("ts")?;
+                need_num("pid")?;
+                need_num("tid")?;
+            }
+            "C" => {
+                need_str("name")?;
+                need_num("ts")?;
+                need_num("pid")?;
+                obj.get("args")
+                    .ok_or(format!("{ctx}: missing \"args\""))?
+                    .obj(&format!("{ctx}: args"))?;
+            }
+            other => return Err(format!("{ctx}: unknown phase {other:?}")),
+        }
+    }
+    Ok(events.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_basic_documents() {
+        let v = parse(r#"{"a":[1,2.5,-3],"b":"x\"y","c":true,"d":null}"#).unwrap();
+        let obj = v.obj("t").unwrap();
+        assert_eq!(
+            obj.get("a"),
+            Some(&Value::Arr(vec![
+                Value::Num(1.0),
+                Value::Num(2.5),
+                Value::Num(-3.0)
+            ]))
+        );
+        assert_eq!(obj.get("b"), Some(&Value::Str("x\"y".into())));
+        assert_eq!(obj.get("c"), Some(&Value::Bool(true)));
+        assert_eq!(obj.get("d"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn jsonl_validator_enforces_shape() {
+        let good = "{\"t_ns\":0,\"ev\":\"submit\",\"comm\":0,\"hops\":2}\n\
+                    {\"t_ns\":5,\"ev\":\"wire_take\",\"link\":1}\n";
+        assert_eq!(validate_events_jsonl(good), Ok(2));
+        // Time going backwards.
+        let bad = "{\"t_ns\":5,\"ev\":\"wire_take\",\"link\":1}\n\
+                   {\"t_ns\":0,\"ev\":\"wire_take\",\"link\":1}\n";
+        assert!(validate_events_jsonl(bad)
+            .unwrap_err()
+            .contains("backwards"));
+        // Unknown label.
+        let bad = "{\"t_ns\":0,\"ev\":\"nope\"}\n";
+        assert!(validate_events_jsonl(bad).unwrap_err().contains("unknown"));
+        // Missing payload field.
+        let bad = "{\"t_ns\":0,\"ev\":\"submit\",\"comm\":0}\n";
+        assert!(validate_events_jsonl(bad).unwrap_err().contains("hops"));
+    }
+
+    #[test]
+    fn chrome_validator_enforces_phases() {
+        let good = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":0,"args":{"name":"x"}},
+            {"name":"s","ph":"X","ts":0.0,"dur":1.0,"pid":0,"tid":0},
+            {"ph":"i","s":"t","ts":0.5,"pid":1,"tid":0},
+            {"name":"c","ph":"C","ts":0.0,"pid":3,"args":{"used":1}}
+        ]}"#;
+        assert_eq!(validate_chrome_trace(good), Ok(4));
+        assert!(validate_chrome_trace("{}")
+            .unwrap_err()
+            .contains("traceEvents"));
+        let bad = r#"{"traceEvents":[{"name":"s","ph":"X","ts":0.0,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("dur"));
+    }
+}

@@ -1,7 +1,8 @@
 //! Campaign definition and execution.
 
 use crate::derive_seed;
-use crate::exec::{default_workers, run_indexed};
+use crate::exec::{default_workers, run_indexed_observed};
+use crate::progress::{NoProgress, ProgressSink};
 use crate::report::{CampaignReport, PointReport};
 use crate::space::{AxisValue, ParamSpace, SweepPoint};
 use qic_des::metrics::Metrics;
@@ -108,6 +109,22 @@ impl Campaign {
     where
         F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Sync,
     {
+        self.run_with_progress(eval, &NoProgress)
+    }
+
+    /// [`Campaign::run`] with a [`ProgressSink`] observing the executor:
+    /// the sink hears every task claim and completion as they happen
+    /// (points done, in-flight, per-worker attribution).
+    ///
+    /// Progress output is wall-clock and scheduling-dependent; the
+    /// returned report is still byte-identical for any worker count
+    /// (per-point wall times are captured in
+    /// [`CampaignReport::wall_ns`], which is excluded from report
+    /// equality and serialization).
+    pub fn run_with_progress<F>(&self, eval: F, progress: &dyn ProgressSink) -> CampaignReport
+    where
+        F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Sync,
+    {
         let n_points = self.space.len();
         let reps = self.replicates as usize;
         let tasks = n_points * reps;
@@ -123,8 +140,11 @@ impl Campaign {
         let mut remaining: Vec<usize> = vec![reps; n_points];
         let mut reports: Vec<Option<PointReport>> = Vec::new();
         reports.resize_with(n_points, || None);
+        // Per-point wall time: replicate wall times summed. Measurement
+        // noise only — excluded from report equality and serialization.
+        let mut wall_ns: Vec<u64> = vec![0; n_points];
 
-        run_indexed(
+        run_indexed_observed(
             tasks,
             workers,
             |task| {
@@ -136,8 +156,9 @@ impl Campaign {
                 };
                 eval(&point, ctx)
             },
-            |task, metrics| {
+            |task, metrics, task_wall_ns| {
                 let (p, r) = (task / reps, task % reps);
+                wall_ns[p] = wall_ns[p].saturating_add(task_wall_ns);
                 pending[p][r] = Some(metrics);
                 remaining[p] -= 1;
                 if remaining[p] == 0 {
@@ -152,6 +173,7 @@ impl Campaign {
                     ));
                 }
             },
+            progress,
         );
 
         CampaignReport {
@@ -163,6 +185,7 @@ impl Campaign {
                 .into_iter()
                 .map(|r| r.expect("every point completed"))
                 .collect(),
+            wall_ns,
         }
     }
 }
@@ -243,6 +266,28 @@ mod tests {
             assert_eq!(runs[0].to_json(), other.to_json());
             assert_eq!(runs[0].to_csv(), other.to_csv());
         }
+    }
+
+    #[test]
+    fn progress_run_matches_plain_run_and_captures_wall_times() {
+        use crate::progress::JsonlProgress;
+        let plain = Campaign::new("p", toy_space())
+            .replicates(2)
+            .seed(9)
+            .workers(2)
+            .run(eval);
+        let sink = JsonlProgress::new(Vec::new(), 12);
+        let observed = Campaign::new("p", toy_space())
+            .replicates(2)
+            .seed(9)
+            .workers(2)
+            .run_with_progress(eval, &sink);
+        assert_eq!(plain, observed, "observation must not perturb results");
+        assert_eq!(plain.to_json(), observed.to_json());
+        assert_eq!(observed.wall_ns.len(), 6, "one wall time per point");
+        assert_eq!(sink.done(), 12, "6 points x 2 replicates");
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 24, "a start and done line per task");
     }
 
     #[test]

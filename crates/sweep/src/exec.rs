@@ -13,6 +13,9 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
+use std::time::Instant;
+
+use crate::progress::{NoProgress, ProgressSink};
 
 /// Flags the shared cancel latch when its worker unwinds, so the other
 /// workers stop claiming tasks instead of draining the whole campaign
@@ -42,13 +45,36 @@ where
     F: Fn(usize) -> R + Sync,
     S: FnMut(usize, R),
 {
+    run_indexed_observed(tasks, workers, task, |i, r, _wall| sink(i, r), &NoProgress);
+}
+
+/// [`run_indexed`] with campaign-level observability: `progress`
+/// receives a claim/finish callback pair per task from the worker that
+/// ran it, and `sink` additionally receives each task's wall-clock
+/// evaluation time in nanoseconds.
+///
+/// The result stream and its index-addressing are identical to
+/// [`run_indexed`] — wall times and progress callbacks are measurement
+/// side channels, scheduling-dependent by nature, and must not feed
+/// anything that claims determinism.
+pub fn run_indexed_observed<R, F, S>(
+    tasks: usize,
+    workers: usize,
+    task: F,
+    mut sink: S,
+    progress: &dyn ProgressSink,
+) where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    S: FnMut(usize, R, u64),
+{
     let workers = workers.clamp(1, tasks.max(1));
     let cursor = AtomicUsize::new(0);
     let cancelled = AtomicBool::new(false);
     thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let (tx, rx) = mpsc::channel::<(usize, R, u64)>();
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|worker| {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let cancelled = &cancelled;
@@ -63,9 +89,14 @@ where
                         if i >= tasks {
                             break;
                         }
+                        progress.on_start(i, worker);
+                        let begun = Instant::now();
+                        let result = task(i);
+                        let wall_ns = u64::try_from(begun.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        progress.on_finish(i, worker, wall_ns);
                         // A closed channel means the receiver is gone
                         // (caller unwinding); stop claiming work.
-                        if tx.send((i, task(i))).is_err() {
+                        if tx.send((i, result, wall_ns)).is_err() {
                             break;
                         }
                     }
@@ -75,8 +106,8 @@ where
             .collect();
         drop(tx);
         // Streams until every worker has dropped its sender.
-        while let Ok((i, r)) = rx.recv() {
-            sink(i, r);
+        while let Ok((i, r, wall_ns)) = rx.recv() {
+            sink(i, r, wall_ns);
         }
         // Join explicitly so a worker's panic payload (not the scope's
         // generic "a scoped thread panicked") reaches the caller.
@@ -104,14 +135,33 @@ where
         .collect()
 }
 
-/// Worker count to use when a campaign does not pin one: the machine's
-/// available parallelism, capped at 8 (simulator tasks are CPU-bound;
-/// more threads only add scheduling noise).
+/// Worker count to use when a campaign does not pin one.
+///
+/// The `QIC_WORKERS` environment variable, when set to a positive
+/// integer, overrides the choice (clamped to 64) — CI and the bench
+/// gate pin worker counts this way without code changes. Otherwise:
+/// the machine's available parallelism, capped at 8 (simulator tasks
+/// are CPU-bound; more threads only add scheduling noise).
 pub fn default_workers() -> usize {
+    if let Some(w) = std::env::var("QIC_WORKERS")
+        .ok()
+        .as_deref()
+        .and_then(parse_workers)
+    {
+        return w;
+    }
     thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .clamp(1, 8)
+}
+
+/// Parses a `QIC_WORKERS` value: a positive integer, clamped to 64.
+/// Anything else (empty, zero, garbage) yields `None` and falls back to
+/// the automatic choice.
+fn parse_workers(v: &str) -> Option<usize> {
+    let n: usize = v.trim().parse().ok()?;
+    (n > 0).then(|| n.min(64))
 }
 
 #[cfg(test)]
@@ -155,6 +205,45 @@ mod tests {
             },
         );
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn parse_workers_accepts_positive_clamped_integers() {
+        assert_eq!(parse_workers("4"), Some(4));
+        assert_eq!(parse_workers(" 12 \n"), Some(12));
+        assert_eq!(parse_workers("1000"), Some(64), "clamped to 64");
+        assert_eq!(parse_workers("0"), None, "zero falls back");
+        assert_eq!(parse_workers(""), None);
+        assert_eq!(parse_workers("all"), None);
+        assert_eq!(parse_workers("-2"), None);
+    }
+
+    #[test]
+    fn observed_run_reports_progress_and_wall_times() {
+        use crate::progress::JsonlProgress;
+        let sink = JsonlProgress::new(Vec::new(), 6);
+        let mut walls = [0u64; 6];
+        run_indexed_observed(
+            6,
+            2,
+            |i| i * 10,
+            |i, r, wall_ns| {
+                assert_eq!(r, i * 10);
+                walls[i] = wall_ns;
+            },
+            &sink,
+        );
+        assert_eq!(sink.done(), 6);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 12, "one start + one done per task");
+        for i in 0..6 {
+            assert!(
+                text.contains(&format!("\"event\":\"start\",\"task\":{i},")),
+                "missing start line for task {i}:\n{text}"
+            );
+        }
+        let final_line = text.lines().last().unwrap();
+        assert!(final_line.contains("\"done\":6,\"total\":6,\"in_flight\":0"));
     }
 
     #[test]

@@ -72,10 +72,12 @@
 
 pub mod campaign;
 pub mod exec;
+pub mod progress;
 pub mod report;
 pub mod space;
 
 pub use campaign::{Campaign, RunCtx};
+pub use progress::{JsonlProgress, NoProgress, ProgressSink};
 // The metric record type lives in `qic-des` (so simulator crates can
 // produce it without depending on the orchestration layer); campaigns
 // consume and aggregate it.
@@ -87,6 +89,7 @@ pub use space::{Axis, AxisValue, ParamSpace, SweepPoint};
 pub mod prelude {
     pub use crate::campaign::{Campaign, RunCtx};
     pub use crate::derive_seed;
+    pub use crate::progress::{JsonlProgress, NoProgress, ProgressSink};
     pub use crate::report::{CampaignReport, MetricSummary, PointReport};
     pub use crate::space::{Axis, AxisValue, ParamSpace, SweepPoint};
     pub use qic_des::metrics::Metrics;

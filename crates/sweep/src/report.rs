@@ -133,7 +133,7 @@ impl PointReport {
 /// in row-major index order. Worker count is deliberately *not*
 /// recorded — the report of a campaign is identical however it was
 /// scheduled.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignReport {
     /// Campaign name (figure/table identifier).
     pub name: String,
@@ -145,9 +145,36 @@ pub struct CampaignReport {
     pub axes: Vec<Axis>,
     /// Per-point results, ordered by point index.
     pub points: Vec<PointReport>,
+    /// Wall-clock nanoseconds spent evaluating each point (replicate
+    /// times summed), indexed like [`CampaignReport::points`].
+    /// Measurement noise: excluded from report equality and from the
+    /// [`to_json`](CampaignReport::to_json) /
+    /// [`to_csv`](CampaignReport::to_csv) emitters, so the determinism
+    /// contract is untouched.
+    pub wall_ns: Vec<u64>,
+}
+
+/// Wall times are scheduling noise; equality covers only the
+/// deterministic payload, so reports from different worker counts (or
+/// machines) compare equal when their results agree.
+impl PartialEq for CampaignReport {
+    fn eq(&self, other: &CampaignReport) -> bool {
+        self.name == other.name
+            && self.seed == other.seed
+            && self.replicates == other.replicates
+            && self.axes == other.axes
+            && self.points == other.points
+    }
 }
 
 impl CampaignReport {
+    /// Total wall-clock nanoseconds spent evaluating points (excludes
+    /// scheduling overhead; overlapping worker time sums, so this can
+    /// exceed the campaign's elapsed time).
+    pub fn total_wall_ns(&self) -> u64 {
+        self.wall_ns.iter().fold(0, |acc, w| acc.saturating_add(*w))
+    }
+
     /// The replicate mean of `metric` at point `index`.
     ///
     /// # Panics
@@ -372,6 +399,7 @@ mod tests {
             replicates: 2,
             axes,
             points,
+            wall_ns: vec![1_000, 2_000],
         }
     }
 
@@ -438,6 +466,7 @@ mod tests {
             replicates: 1,
             axes: vec![Axis::ints("t", [2, 4])],
             points,
+            wall_ns: vec![0, 0],
         };
         let csv = r.to_csv();
         let mut lines = csv.lines();
@@ -453,6 +482,18 @@ mod tests {
         let row1 = lines.next().unwrap();
         assert_eq!(row1.split(',').count(), cols);
         assert!(row1.ends_with(",3,,3,3,1"));
+    }
+
+    #[test]
+    fn wall_times_are_outside_the_equality_and_emitters() {
+        let a = report();
+        let mut b = report();
+        b.wall_ns = vec![999_999, 888_888];
+        assert_eq!(a, b, "wall time must not affect report equality");
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.total_wall_ns(), 3_000);
+        assert!(!a.to_json().contains("wall"), "wall time leaked into JSON");
     }
 
     #[test]
@@ -518,6 +559,7 @@ mod tests {
                 vec![],
                 vec![Metrics::new().with("lat,us", 1.0)],
             )],
+            wall_ns: vec![0],
         };
         let header = r.to_csv().lines().next().unwrap().to_string();
         // The delimiter lives inside one fully quoted cell.

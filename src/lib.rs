@@ -24,6 +24,7 @@
 //! | [`workload`] | `qic-workload` | QFT / modular-arithmetic instruction streams |
 //! | [`core`] | `qic-core` | machine builder, layouts, logical scheduler, the Scenario API (spec/registry/[`run`]) |
 //! | [`sweep`] | `qic-sweep` | parallel campaign engine: declarative parameter sweeps, deterministic seeding, CSV/JSON reports |
+//! | [`probe`] | `qic-probe` | zero-cost structured tracing: per-resource time series, JSONL event logs, Chrome-trace (Perfetto) export |
 //!
 //! # Quickstart
 //!
@@ -66,11 +67,12 @@ pub use qic_fault as fault;
 pub use qic_iontrap as iontrap;
 pub use qic_net as net;
 pub use qic_physics as physics;
+pub use qic_probe as probe;
 pub use qic_purify as purify;
 pub use qic_sweep as sweep;
 pub use qic_workload as workload;
 
-pub use qic_core::scenario::{ScenarioReport, ScenarioSpec};
+pub use qic_core::scenario::{ObserveSpec, ScenarioReport, ScenarioSpec};
 
 /// Runs a scenario: the single entry point for every experiment.
 ///
@@ -106,6 +108,7 @@ pub mod prelude {
     };
     pub use qic_net::{NetConfig, NetReport};
     pub use qic_physics::prelude::*;
+    pub use qic_probe::{NoProbe, Probe, RecordingProbe, TimelineReport};
     pub use qic_purify::prelude::*;
     pub use qic_sweep::prelude::*;
     pub use qic_workload::prelude::*;

@@ -1,0 +1,165 @@
+//! Cross-crate observability guarantees:
+//!
+//! * attaching a `RecordingProbe` never perturbs the simulation — on
+//!   every fabric × routing × fault combination the traced report,
+//!   minus its timeline block, equals the unprobed report exactly;
+//! * the recorded utilization time series integrate back to the
+//!   simulator's scalar utilizations (property-tested over random
+//!   traffic and grid resolutions);
+//! * scenario-level trace export is deterministic: the same observed
+//!   spec writes byte-identical `.events.jsonl` and `.trace.json`
+//!   files run-over-run and for 1 vs 4 workers.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use qic::fault::FaultPlan;
+use qic::net::config::NetConfig;
+use qic::net::sim::{BatchDriver, NetworkSim};
+use qic::net::topology::{Coord, TopologyKind};
+use qic::prelude::*;
+use qic::probe::RecordingProbe;
+use qic::ObserveSpec;
+
+fn crossing_batch() -> Vec<(Coord, Coord)> {
+    vec![
+        (Coord::new(0, 0), Coord::new(3, 3)),
+        (Coord::new(3, 3), Coord::new(0, 0)),
+        (Coord::new(0, 3), Coord::new(3, 0)),
+        (Coord::new(1, 2), Coord::new(2, 0)),
+        (Coord::new(1, 1), Coord::new(2, 2)),
+    ]
+}
+
+#[test]
+fn recording_probe_is_invisible_to_the_report_on_every_combination() {
+    for kind in TopologyKind::ALL {
+        for routing in RoutingPolicy::ALL {
+            for plan in [None, Some(FaultPlan::healthy().with_dead_link(0))] {
+                let cfg = NetConfig::small_test()
+                    .with_topology(kind)
+                    .with_routing(routing);
+                let ctx = format!("{kind:?} × {routing:?} × fault={}", plan.is_some());
+
+                let (unprobed, mut traced) = match &plan {
+                    None => (
+                        NetworkSim::new(cfg.clone()).run(&mut BatchDriver::new(crossing_batch())),
+                        NetworkSim::with_probe(cfg, RecordingProbe::new())
+                            .run_traced(&mut BatchDriver::new(crossing_batch()))
+                            .0,
+                    ),
+                    Some(plan) => (
+                        NetworkSim::with_topology(cfg.clone(), plan.clone().compile(cfg.fabric()))
+                            .run(&mut BatchDriver::new(crossing_batch())),
+                        NetworkSim::with_topology_probe(
+                            cfg.clone(),
+                            plan.clone().compile(cfg.fabric()),
+                            RecordingProbe::new(),
+                        )
+                        .run_traced(&mut BatchDriver::new(crossing_batch()))
+                        .0,
+                    ),
+                };
+                assert!(traced.timeline.is_some(), "{ctx}: probe must record");
+                traced.timeline = None;
+                assert_eq!(traced, unprobed, "{ctx}: the probe perturbed the run");
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn utilization_traces_integrate_to_the_report_scalars(
+        pairs in proptest::collection::vec(
+            ((0u16..4, 0u16..4), (0u16..4, 0u16..4)), 1..8),
+        bins in 1u32..200,
+        seed in 0u64..500,
+    ) {
+        let mut batch: Vec<(Coord, Coord)> = pairs
+            .iter()
+            .filter(|(s, d)| s != d)
+            .map(|&((sx, sy), (dx, dy))| (Coord::new(sx, sy), Coord::new(dx, dy)))
+            .collect();
+        if batch.is_empty() {
+            batch.push((Coord::new(0, 0), Coord::new(3, 3)));
+        }
+        let mut cfg = NetConfig::small_test();
+        cfg.seed = seed;
+        let (report, _) = NetworkSim::with_probe(cfg, RecordingProbe::with_bins(bins))
+            .run_traced(&mut BatchDriver::new(batch));
+        let t = report.timeline.as_ref().expect("probe attached");
+        prop_assert_eq!(t.bins, bins);
+        prop_assert!(
+            (t.mean_teleporter_utilization() - report.teleporter_utilization).abs() < 1e-9,
+            "teleporter trace integral {} vs scalar {}",
+            t.mean_teleporter_utilization(),
+            report.teleporter_utilization,
+        );
+        prop_assert!(
+            (t.mean_purifier_utilization() - report.purifier_utilization).abs() < 1e-9,
+            "purifier trace integral {} vs scalar {}",
+            t.mean_purifier_utilization(),
+            report.purifier_utilization,
+        );
+    }
+}
+
+/// All observed output files of one run, keyed by file name.
+fn run_observed(dir: &PathBuf, workers: usize) -> BTreeMap<String, String> {
+    let spec = ScenarioSpec::machine(
+        "obs_determinism",
+        MachineSpec::preset(NetPreset::SmallTest),
+        WorkloadSpec::Synthetic {
+            qubits: 8,
+            comms: 16,
+            seed: 7,
+        },
+    )
+    .with_axis(ScenarioAxis::Topologies {
+        kinds: TopologyKind::ALL.to_vec(),
+    })
+    .with_replicates(2)
+    .with_workers(workers)
+    .with_observe(ObserveSpec::to_dir(dir.display().to_string()).with_bins(32));
+    qic::run(&spec).expect("spec validates");
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("observe dir exists") {
+        let path = entry.expect("readable entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        // The progress stream is wall-clock by contract; everything
+        // else must be deterministic.
+        if name.ends_with(".progress.jsonl") {
+            continue;
+        }
+        files.insert(name, std::fs::read_to_string(path).expect("readable"));
+    }
+    files
+}
+
+#[test]
+fn scenario_trace_export_is_deterministic_across_runs_and_workers() {
+    let base = std::env::temp_dir().join(format!("qic_probe_obs_{}", std::process::id()));
+    let dirs = [base.join("a"), base.join("b"), base.join("c")];
+    let first = run_observed(&dirs[0], 1);
+    let again = run_observed(&dirs[1], 1);
+    let wide = run_observed(&dirs[2], 4);
+    assert_eq!(first.len(), 3 * 2 * 2, "events + trace per (point, rep)");
+    assert!(first.keys().any(|k| k.ends_with(".events.jsonl")));
+    assert!(first.keys().any(|k| k.ends_with(".trace.json")));
+    assert_eq!(first, again, "same spec, same bytes");
+    assert_eq!(first, wide, "worker count must not change any trace");
+    // Spot-validate the documents against the schema checker.
+    for (name, text) in &first {
+        if name.ends_with(".events.jsonl") {
+            qic::probe::schema::validate_events_jsonl(text)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        } else {
+            qic::probe::schema::validate_chrome_trace(text)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
