@@ -57,9 +57,9 @@ pub mod prelude {
     pub use crate::layout::{Layout, Placement};
     pub use crate::machine::{Machine, MachineBuilder, MachineError, RunReport};
     pub use crate::scenario::{
-        faceoff_spec, fig16_spec, ExperimentSpec, MachineSpec, NetPreset, ObserveSpec,
-        ScenarioAxis, ScenarioError, ScenarioRegistry, ScenarioReport, ScenarioScale, ScenarioSpec,
-        WorkloadSpec,
+        faceoff_spec, fig16_spec, CheckpointSpec, ExperimentSpec, MachineSpec, NetPreset,
+        ObserveSpec, ScenarioAxis, ScenarioError, ScenarioProgress, ScenarioRegistry,
+        ScenarioReport, ScenarioScale, ScenarioSpec, WorkloadSpec,
     };
     pub use crate::scheduler::ProgramDriver;
     pub use qic_fault::{DegradedFabric, FaultPlan, Hotspot};

@@ -36,17 +36,20 @@
 //! # Ok::<(), qic_core::scenario::ScenarioError>(())
 //! ```
 
-mod json;
 mod registry;
 mod runner;
 mod spec;
 
-pub use json::JsonError;
+// The strict JSON model the spec codec is built on lives in `qic-sweep`
+// (`qic_sweep::json`), where the campaign record and checkpoint codecs
+// share it; the error type stays re-exported here so `ScenarioError::Json`
+// keeps its established path.
+pub use qic_sweep::json::JsonError;
 pub use registry::{faceoff_spec, fig16_spec, ScenarioEntry, ScenarioRegistry, ScenarioScale};
-pub use runner::{run, ScenarioReport};
+pub use runner::{run, run_budgeted, run_shard, ScenarioProgress, ScenarioReport};
 pub use spec::{
-    ratio_resources, ExperimentSpec, MachineSpec, NetPreset, ObserveSpec, ScenarioAxis,
-    ScenarioError, ScenarioSpec, WorkloadSpec,
+    ratio_resources, CheckpointSpec, ExperimentSpec, MachineSpec, NetPreset, ObserveSpec,
+    ScenarioAxis, ScenarioError, ScenarioSpec, WorkloadSpec,
 };
 
 #[cfg(test)]
@@ -155,6 +158,48 @@ mod tests {
             channel.validate().is_err(),
             "channel scenarios have nothing to trace"
         );
+    }
+
+    #[test]
+    fn checkpoint_blocks_round_trip_and_validate() {
+        let spec = ScenarioRegistry::builtin()
+            .spec("synthetic_stress", ScenarioScale::SmallTest)
+            .unwrap()
+            .with_checkpoint(CheckpointSpec::to_dir("target/ckpt_codec").with_every(4));
+        spec.validate().unwrap();
+        let json = spec.to_json();
+        assert!(json.contains("\"checkpoint\""));
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
+
+        // Uncheckpointed documents never mention the field.
+        let plain = ScenarioRegistry::builtin()
+            .spec("synthetic_stress", ScenarioScale::SmallTest)
+            .unwrap();
+        assert!(!plain.to_json().contains("checkpoint"));
+
+        // Unknown fields inside the block are rejected, not ignored.
+        let doctored = json.replacen("\"every\"", "\"evry\"", 1);
+        assert!(ScenarioSpec::from_json(&doctored).is_err());
+
+        // Validation rejects the degenerate settings.
+        let mut bad = spec.clone();
+        bad.checkpoint.as_mut().unwrap().dir.clear();
+        assert!(bad.validate().is_err(), "empty dir must fail");
+        let mut bad = spec.clone();
+        bad.checkpoint.as_mut().unwrap().every = 0;
+        assert!(bad.validate().is_err(), "zero interval must fail");
+
+        // Channel scenarios checkpoint too — the closed-form model is
+        // cheap, but resumability is a property of the campaign, not of
+        // what a point evaluates.
+        let channel = ScenarioSpec::channel(
+            "ch",
+            PurifyPlacement::VirtualWire { rounds: 1 },
+            20,
+            PairMetric::TotalPairs,
+        )
+        .with_checkpoint(CheckpointSpec::to_dir("target/ckpt_codec"));
+        channel.validate().unwrap();
     }
 
     #[test]

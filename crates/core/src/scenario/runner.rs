@@ -8,7 +8,10 @@ use qic_analytic::strategy::PurifyPlacement;
 use qic_net::sim::{BatchDriver, NetworkSim};
 use qic_net::topology::Coord;
 use qic_probe::RecordingProbe;
-use qic_sweep::{Campaign, CampaignReport, JsonlProgress, Metrics};
+use qic_sweep::{
+    Campaign, CampaignProgress, CampaignReport, CheckpointConfig, CheckpointError, JsonlProgress,
+    Metrics, Shard,
+};
 
 use crate::machine::Machine;
 use crate::scenario::spec::{
@@ -41,32 +44,141 @@ impl ScenarioReport {
     }
 }
 
+/// How far a budgeted, checkpointed scenario run got — either the
+/// finished report or the checkpoint manifest's progress.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioProgress {
+    /// Every point completed; the full report.
+    Complete(Box<ScenarioReport>),
+    /// The point budget ran out; the manifest holds `done` of `total`
+    /// points and a later run resumes from it.
+    Partial {
+        /// Points completed so far (across all runs).
+        done: usize,
+        /// Points in the scenario's sweep.
+        total: usize,
+    },
+}
+
+/// Which slice of the campaign this invocation executes.
+#[derive(Clone, Copy)]
+enum ExecMode {
+    /// The whole campaign (resuming from a checkpoint manifest when the
+    /// spec asks for one).
+    Full,
+    /// One contiguous shard of the point space, buffered.
+    Shard(Shard),
+    /// Checkpointed with a point budget: stop after this many newly
+    /// completed points (`None` = run to completion).
+    Budgeted(Option<usize>),
+}
+
+/// An execution's result: a report, or checkpointed partial progress.
+enum ExecOutcome {
+    Report(CampaignReport),
+    Partial { done: usize, total: usize },
+}
+
 /// Runs a scenario: validates the spec, builds the campaign its axes
 /// describe, evaluates every point (in parallel, deterministically) and
 /// returns the report.
 ///
 /// This is the one entry point every experiment goes through — the
 /// figure presets in [`crate::scenario::ScenarioRegistry`], the
-/// examples, and ad-hoc specs loaded from JSON.
+/// examples, and ad-hoc specs loaded from JSON. Specs with a
+/// [`crate::scenario::CheckpointSpec`] resume from their manifest and
+/// run to completion.
 ///
 /// # Errors
 ///
-/// [`ScenarioError`] if the spec fails validation; running a validated
-/// spec cannot fail.
+/// [`ScenarioError`] if the spec fails validation or — for
+/// checkpointed specs — the manifest cannot be read, written, or does
+/// not belong to this spec. Running a validated, uncheckpointed spec
+/// cannot fail.
 pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
     spec.validate()?;
-    let report = match &spec.experiment {
-        ExperimentSpec::Machine { machine, workload } => run_machine(spec, machine, workload),
+    match dispatch(spec, ExecMode::Full)? {
+        ExecOutcome::Report(report) => Ok(ScenarioReport {
+            spec: spec.clone(),
+            report,
+        }),
+        ExecOutcome::Partial { .. } => unreachable!("a full run always completes"),
+    }
+}
+
+/// Runs one contiguous shard of a scenario's campaign: the points of
+/// `shard` evaluate exactly as they would in [`run`] (per-point seeds
+/// derive from absolute indices), and the report contains only those
+/// points. Merging every shard's report with
+/// [`qic_sweep::CampaignReport::merge`] reproduces the serial report
+/// byte for byte — the cross-process fan-out primitive behind
+/// `scenario_run --shard i/K`.
+///
+/// # Errors
+///
+/// [`ScenarioError`] if the spec fails validation, or if it has a
+/// checkpoint block (a shard neither reads nor writes the manifest, so
+/// combining the two would silently disable resume).
+pub fn run_shard(spec: &ScenarioSpec, shard: Shard) -> Result<ScenarioReport, ScenarioError> {
+    spec.validate()?;
+    if spec.checkpoint.is_some() {
+        return Err(ScenarioError::Spec {
+            scenario: spec.name.clone(),
+            problem: "sharded runs do not checkpoint; drop the checkpoint block \
+                      (shards are restarted whole) or run unsharded"
+                .into(),
+        });
+    }
+    match dispatch(spec, ExecMode::Shard(shard))? {
+        ExecOutcome::Report(report) => Ok(ScenarioReport {
+            spec: spec.clone(),
+            report,
+        }),
+        ExecOutcome::Partial { .. } => unreachable!("shard runs always complete"),
+    }
+}
+
+/// Runs a checkpointed scenario with a point budget: at most `budget`
+/// not-yet-completed points are evaluated before the manifest is
+/// committed and progress reported (`None` = run to completion). Call
+/// repeatedly — or from separate processes, one after another — until
+/// [`ScenarioProgress::Complete`]; the final report is byte-identical
+/// to an uninterrupted run's.
+///
+/// # Errors
+///
+/// [`ScenarioError`] if the spec fails validation, has no checkpoint
+/// block (there is nowhere to record progress), or the manifest cannot
+/// be read, written, or does not belong to this spec.
+pub fn run_budgeted(
+    spec: &ScenarioSpec,
+    budget: Option<usize>,
+) -> Result<ScenarioProgress, ScenarioError> {
+    spec.validate()?;
+    if spec.checkpoint.is_none() {
+        return Err(ScenarioError::Spec {
+            scenario: spec.name.clone(),
+            problem: "budgeted runs need a checkpoint block to record progress in".into(),
+        });
+    }
+    match dispatch(spec, ExecMode::Budgeted(budget))? {
+        ExecOutcome::Report(report) => Ok(ScenarioProgress::Complete(Box::new(ScenarioReport {
+            spec: spec.clone(),
+            report,
+        }))),
+        ExecOutcome::Partial { done, total } => Ok(ScenarioProgress::Partial { done, total }),
+    }
+}
+
+fn dispatch(spec: &ScenarioSpec, mode: ExecMode) -> Result<ExecOutcome, ScenarioError> {
+    match &spec.experiment {
+        ExperimentSpec::Machine { machine, workload } => run_machine(spec, machine, workload, mode),
         ExperimentSpec::Channel {
             placement,
             hops,
             metric,
-        } => run_channel(spec, *placement, *hops, *metric),
-    };
-    Ok(ScenarioReport {
-        spec: spec.clone(),
-        report,
-    })
+        } => run_channel(spec, *placement, *hops, *metric, mode),
+    }
 }
 
 fn campaign(spec: &ScenarioSpec) -> Campaign {
@@ -74,6 +186,68 @@ fn campaign(spec: &ScenarioSpec) -> Campaign {
         .seed(spec.seed)
         .replicates(spec.replicates)
         .workers(spec.workers)
+}
+
+/// Maps path-hostile characters of a scenario name to `_`, the shared
+/// file-stem convention for trace exports and checkpoint manifests.
+fn sanitize_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Runs `eval` under the chosen execution mode: plain, sharded, or
+/// checkpoint/resume (streaming aggregation, atomic manifest commits).
+fn execute<F>(spec: &ScenarioSpec, mode: ExecMode, eval: F) -> Result<ExecOutcome, ScenarioError>
+where
+    F: Fn(&qic_sweep::SweepPoint<'_>, qic_sweep::RunCtx) -> Metrics + Sync,
+{
+    let campaign = campaign(spec);
+    match (mode, &spec.checkpoint) {
+        (ExecMode::Shard(shard), _) => Ok(ExecOutcome::Report(campaign.run_shard(shard, eval))),
+        (ExecMode::Full, None) => Ok(ExecOutcome::Report(campaign.run(eval))),
+        (ExecMode::Full, Some(ckpt)) => {
+            let config = checkpoint_config(spec, &ckpt.dir, ckpt.every)?;
+            let report = campaign.run_resumable(&config, eval)?;
+            Ok(ExecOutcome::Report(report))
+        }
+        (ExecMode::Budgeted(budget), Some(ckpt)) => {
+            let config = checkpoint_config(spec, &ckpt.dir, ckpt.every)?;
+            match campaign.run_resumable_budgeted(&config, budget, eval)? {
+                CampaignProgress::Complete(report) => Ok(ExecOutcome::Report(*report)),
+                CampaignProgress::Partial { done, total } => {
+                    Ok(ExecOutcome::Partial { done, total })
+                }
+            }
+        }
+        (ExecMode::Budgeted(_), None) => {
+            unreachable!("run_budgeted rejects specs without a checkpoint block")
+        }
+    }
+}
+
+/// Builds the manifest location `{dir}/{stem}.ckpt.json`, creating the
+/// directory if needed.
+fn checkpoint_config(
+    spec: &ScenarioSpec,
+    dir: &str,
+    every: u32,
+) -> Result<CheckpointConfig, ScenarioError> {
+    std::fs::create_dir_all(dir).map_err(|e| {
+        ScenarioError::Checkpoint(CheckpointError::Io {
+            path: dir.to_string(),
+            op: "create dir",
+            message: e.to_string(),
+        })
+    })?;
+    let path = Path::new(dir).join(format!("{}.ckpt.json", sanitize_stem(&spec.name)));
+    Ok(CheckpointConfig::new(path).every(every as usize))
 }
 
 /// Writes one evaluation's trace exports under the observe directory.
@@ -86,16 +260,7 @@ fn write_traces(
     replicate: u32,
     probe: &RecordingProbe,
 ) {
-    let stem: String = name
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
-                c
-            } else {
-                '_'
-            }
-        })
-        .collect();
+    let stem = sanitize_stem(name);
     let base = Path::new(&obs.dir).join(format!("{stem}_p{point:04}_r{replicate}"));
     if obs.events {
         let path = base.with_extension("events.jsonl");
@@ -113,7 +278,8 @@ fn run_machine(
     spec: &ScenarioSpec,
     machine: &MachineSpec,
     workload: &WorkloadSpec,
-) -> CampaignReport {
+    mode: ExecMode,
+) -> Result<ExecOutcome, ScenarioError> {
     // Unless a workload axis varies it per point, generate the program
     // once up front (QFT-256 is tens of thousands of instructions).
     let workload_varies = spec
@@ -232,19 +398,22 @@ fn run_machine(
             }
         }
     };
-    match observe {
-        Some(obs) => {
-            // Campaign-level observability rides along: a machine-
-            // readable progress stream (wall-clock, outside the
-            // determinism contract) next to the traces.
-            let total = spec.param_space().len() * spec.replicates as usize;
-            let path = Path::new(&obs.dir).join(format!("{}.progress.jsonl", spec.name));
-            let file = std::fs::File::create(&path)
-                .unwrap_or_else(|e| panic!("creating {}: {e}", path.display()));
-            campaign(spec).run_with_progress(eval, &JsonlProgress::new(file, total))
-        }
-        None => campaign(spec).run(eval),
+    if let (ExecMode::Full, Some(obs), None) = (mode, observe, spec.checkpoint.as_ref()) {
+        // Campaign-level observability rides along: a machine-
+        // readable progress stream (wall-clock, outside the
+        // determinism contract) next to the traces. Checkpointed and
+        // sharded runs skip the stream (their eval still writes
+        // per-point traces) — the manifest / shard merge is their
+        // progress record.
+        let total = spec.param_space().len() * spec.replicates as usize;
+        let path = Path::new(&obs.dir).join(format!("{}.progress.jsonl", spec.name));
+        let file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("creating {}: {e}", path.display()));
+        return Ok(ExecOutcome::Report(
+            campaign(spec).run_with_progress(eval, &JsonlProgress::new(file, total)),
+        ));
     }
+    execute(spec, mode, eval)
 }
 
 fn run_channel(
@@ -252,8 +421,9 @@ fn run_channel(
     base_placement: PurifyPlacement,
     base_hops: u32,
     metric: qic_analytic::figures::PairMetric,
-) -> CampaignReport {
-    campaign(spec).run(|point, _ctx| {
+    mode: ExecMode,
+) -> Result<ExecOutcome, ScenarioError> {
+    execute(spec, mode, |point, _ctx| {
         let mut placement = base_placement;
         let mut hops = base_hops;
         let mut rates = None;

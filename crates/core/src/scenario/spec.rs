@@ -11,11 +11,11 @@ use qic_net::config::{ConfigError, NetConfig};
 use qic_net::routing::RoutingPolicy;
 use qic_net::topology::TopologyKind;
 use qic_physics::error::ErrorRates;
-use qic_sweep::{Axis, ParamSpace};
+use qic_sweep::{Axis, CheckpointError, ParamSpace};
 use qic_workload::Program;
 
 use crate::layout::Layout;
-use crate::scenario::json::{check_fields, get, get_opt, ints, obj, Json, JsonError};
+use qic_sweep::json::{check_fields, get, get_opt, ints, obj, Json, JsonError};
 
 /// A named base network configuration a [`MachineSpec`] starts from.
 ///
@@ -639,6 +639,47 @@ impl ObserveSpec {
     }
 }
 
+/// Checkpoint/resume settings for a scenario: run the campaign with
+/// streaming aggregation and commit a versioned manifest of completed
+/// points under [`CheckpointSpec::dir`], so a killed run resumes where
+/// it stopped and still produces the byte-identical report.
+///
+/// The manifest lives at `{dir}/{name}.ckpt.json` (scenario name
+/// sanitized the way trace files are) and is committed atomically —
+/// write-temp, sync, rename — every [`CheckpointSpec::every`] completed
+/// points and once at the end. Resume validates a spec fingerprint
+/// (name, seed, replicates, axes), so editing the spec between runs
+/// fails loudly instead of stitching incompatible halves together.
+///
+/// Checkpointed runs use the same streaming aggregation as campaign
+/// sharding: summaries and CSV are byte-identical to a buffered run,
+/// but raw replicate samples are not retained in the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSpec {
+    /// Directory the manifest is written into (created if missing).
+    pub dir: String,
+    /// Commit the manifest every this many newly completed points
+    /// (≥ 1).
+    pub every: u32,
+}
+
+impl CheckpointSpec {
+    /// Checkpoints into `dir` with the default 16-point commit
+    /// interval.
+    pub fn to_dir(dir: impl Into<String>) -> CheckpointSpec {
+        CheckpointSpec {
+            dir: dir.into(),
+            every: 16,
+        }
+    }
+
+    /// Overrides the commit interval.
+    pub fn with_every(mut self, every: u32) -> CheckpointSpec {
+        self.every = every;
+        self
+    }
+}
+
 /// What a scenario measures: a full machine simulation or the
 /// closed-form channel-resource model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -688,6 +729,10 @@ pub struct ScenarioSpec {
     /// simulator unprobed: zero instrumentation cost, byte-identical
     /// reports and golden outputs.
     pub observe: Option<ObserveSpec>,
+    /// Checkpoint/resume via an on-disk manifest (see
+    /// [`CheckpointSpec`]). `None` — the default everywhere — runs the
+    /// campaign in memory exactly as before.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl ScenarioSpec {
@@ -707,6 +752,7 @@ impl ScenarioSpec {
             axes: Vec::new(),
             experiment: ExperimentSpec::Machine { machine, workload },
             observe: None,
+            checkpoint: None,
         }
     }
 
@@ -730,6 +776,7 @@ impl ScenarioSpec {
                 metric,
             },
             observe: None,
+            checkpoint: None,
         }
     }
 
@@ -761,6 +808,15 @@ impl ScenarioSpec {
     /// [`ObserveSpec`]).
     pub fn with_observe(mut self, observe: ObserveSpec) -> ScenarioSpec {
         self.observe = Some(observe);
+        self
+    }
+
+    /// Makes the scenario resumable: checkpoint the campaign to an
+    /// on-disk manifest and resume from it on the next run (see
+    /// [`CheckpointSpec`]). Works for machine and channel scenarios
+    /// alike — any registry preset becomes resumable by adding this.
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointSpec) -> ScenarioSpec {
+        self.checkpoint = Some(checkpoint);
         self
     }
 
@@ -807,6 +863,16 @@ impl ScenarioSpec {
             }
             if obs.bins == 0 {
                 return Err(self.spec_err("observe needs at least one sampling bin"));
+            }
+        }
+        if let Some(ckpt) = &self.checkpoint {
+            if ckpt.dir.is_empty() {
+                return Err(self.spec_err("checkpoint needs a non-empty manifest directory"));
+            }
+            if ckpt.every == 0 {
+                return Err(
+                    self.spec_err("checkpoint needs a commit interval of at least one point")
+                );
             }
         }
         for (i, axis) in self.axes.iter().enumerate() {
@@ -1023,6 +1089,10 @@ impl ScenarioSpec {
             // documents) are byte-identical to the pre-probe schema.
             fields.push(("observe", encode_observe(obs)));
         }
+        if let Some(ckpt) = &self.checkpoint {
+            // Same only-when-set rule as `observe`.
+            fields.push(("checkpoint", encode_checkpoint(ckpt)));
+        }
         obj(fields)
     }
 
@@ -1038,6 +1108,7 @@ impl ScenarioSpec {
                 "experiment",
                 "axes",
                 "observe",
+                "checkpoint",
             ],
             "scenario",
         )?;
@@ -1053,6 +1124,9 @@ impl ScenarioSpec {
                 .map(decode_axis)
                 .collect::<Result<_, _>>()?,
             observe: get_opt(fields, "observe").map(decode_observe).transpose()?,
+            checkpoint: get_opt(fields, "checkpoint")
+                .map(decode_checkpoint)
+                .transpose()?,
         })
     }
 }
@@ -1242,6 +1316,22 @@ fn decode_observe(value: &Json) -> Result<ObserveSpec, JsonError> {
         events: get(f, "events", "observe")?.bool_of("events")?,
         chrome_trace: get(f, "chrome_trace", "observe")?.bool_of("chrome_trace")?,
         bins: get(f, "bins", "observe")?.u32_of("bins")?,
+    })
+}
+
+fn encode_checkpoint(c: &CheckpointSpec) -> Json {
+    obj(vec![
+        ("dir", Json::Str(c.dir.clone())),
+        ("every", Json::Int(i128::from(c.every))),
+    ])
+}
+
+fn decode_checkpoint(value: &Json) -> Result<CheckpointSpec, JsonError> {
+    let f = value.obj_of("checkpoint")?;
+    check_fields(f, &["dir", "every"], "checkpoint")?;
+    Ok(CheckpointSpec {
+        dir: get(f, "dir", "checkpoint")?.str_of("dir")?.to_string(),
+        every: get(f, "every", "checkpoint")?.u32_of("every")?,
     })
 }
 
@@ -1673,6 +1763,9 @@ pub enum ScenarioError {
     /// The JSON document could not be parsed or did not match the
     /// schema.
     Json(JsonError),
+    /// A checkpointed run could not load, validate or commit its
+    /// manifest.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for ScenarioError {
@@ -1690,6 +1783,7 @@ impl fmt::Display for ScenarioError {
                 None => write!(f, "scenario {scenario:?}: {source}"),
             },
             ScenarioError::Json(err) => write!(f, "{err}"),
+            ScenarioError::Checkpoint(err) => write!(f, "{err}"),
         }
     }
 }
@@ -1700,6 +1794,7 @@ impl std::error::Error for ScenarioError {
             ScenarioError::Config { source, .. } => Some(source),
             ScenarioError::Json(err) => Some(err),
             ScenarioError::Spec { .. } => None,
+            ScenarioError::Checkpoint(err) => Some(err),
         }
     }
 }
@@ -1707,5 +1802,11 @@ impl std::error::Error for ScenarioError {
 impl From<JsonError> for ScenarioError {
     fn from(err: JsonError) -> ScenarioError {
         ScenarioError::Json(err)
+    }
+}
+
+impl From<CheckpointError> for ScenarioError {
+    fn from(err: CheckpointError) -> ScenarioError {
+        ScenarioError::Checkpoint(err)
     }
 }

@@ -140,6 +140,42 @@ impl Tally {
     pub fn ci95_half_width(&self) -> Option<f64> {
         self.std_err().map(|se| 1.96 * se)
     }
+
+    /// Folds another tally into this one (Chan's parallel Welford
+    /// merge), as if this tally had also recorded every sample `other`
+    /// recorded.
+    ///
+    /// Count, sum, min and max combine exactly. Mean and variance
+    /// combine by the pairwise update
+    /// `m2 = m2_a + m2_b + δ²·n_a·n_b/n`, which matches a sequential
+    /// fold of the same samples to floating-point rounding (tests pin
+    /// `1e-12` relative agreement) but **not necessarily bit-for-bit**
+    /// — paths that promise byte-identical reports must fold samples
+    /// in a fixed order instead of merging partial tallies.
+    ///
+    /// Merging an empty tally (either side) is an exact identity:
+    /// `a.merge(empty)` leaves `a` bitwise untouched, and
+    /// `empty.merge(b)` makes `empty` a bitwise copy of `b`.
+    pub fn merge(&mut self, other: &Tally) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let count = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let n_a = self.count as f64;
+        let n_b = other.count as f64;
+        let n = count as f64;
+        self.mean += delta * (n_b / n);
+        self.m2 += other.m2 + delta * delta * (n_a * n_b / n);
+        self.count = count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Exact p50/p95/p99 estimates over a recorded sample set.
@@ -435,6 +471,51 @@ mod tests {
         }
         assert!((t.variance().unwrap() - 1.0).abs() < 1e-6);
         assert!((t.mean().unwrap() - (1e8 + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tally_merge_of_splits_matches_whole() {
+        let samples: Vec<f64> = (0..40).map(|i| 1e8 + (i as f64) * 0.25).collect();
+        let mut whole = Tally::new();
+        for &x in &samples {
+            whole.record(x);
+        }
+        for split in [1, 7, 20, 39] {
+            let (left, right) = samples.split_at(split);
+            let mut a = Tally::new();
+            let mut b = Tally::new();
+            left.iter().for_each(|&x| a.record(x));
+            right.iter().for_each(|&x| b.record(x));
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert_eq!(a.min(), whole.min());
+            assert_eq!(a.max(), whole.max());
+            let rel = |got: f64, want: f64| ((got - want) / want).abs();
+            assert!(rel(a.mean().unwrap(), whole.mean().unwrap()) < 1e-12);
+            assert!(
+                rel(a.variance().unwrap(), whole.variance().unwrap()) < 1e-12,
+                "split at {split}: {} vs {}",
+                a.variance().unwrap(),
+                whole.variance().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn tally_merge_empty_is_bitwise_identity() {
+        let mut a = Tally::new();
+        a.record(3.0);
+        a.record(-1.5);
+        let before = a;
+        a.merge(&Tally::new());
+        assert_eq!(a, before, "merging an empty tally must be a no-op");
+        let mut empty = Tally::new();
+        empty.merge(&before);
+        assert_eq!(empty, before, "empty.merge(b) must copy b exactly");
+        let mut both = Tally::new();
+        both.merge(&Tally::new());
+        assert_eq!(both, Tally::new());
+        assert_eq!(both.mean(), None);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Property tests for `Tally::merge` — the constant-memory Welford
+//! combine that streaming campaign aggregation is built on.
+
+use proptest::prelude::*;
+
+use qic_des::stats::Tally;
+
+fn tally_of(samples: &[f64]) -> Tally {
+    let mut t = Tally::new();
+    for &x in samples {
+        t.record(x);
+    }
+    t
+}
+
+/// `|got - want|` relative to `want` (absolute when `want` is ~0).
+fn rel_err(got: f64, want: f64) -> f64 {
+    let scale = want.abs().max(1.0);
+    (got - want).abs() / scale
+}
+
+proptest! {
+    #[test]
+    fn merge_of_splits_matches_sequential_fold(
+        samples in proptest::collection::vec(-1e6f64..1e6, 2..120),
+        cut in 0usize..120,
+    ) {
+        let cut = cut % samples.len();
+        let whole = tally_of(&samples);
+        let mut merged = tally_of(&samples[..cut]);
+        merged.merge(&tally_of(&samples[cut..]));
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert!(rel_err(merged.mean().unwrap(), whole.mean().unwrap()) < 1e-12);
+        if let Some(v) = whole.variance() {
+            // m2 is a sum of squared deviations; compare in its own scale.
+            prop_assert!(rel_err(merged.variance().unwrap(), v) < 1e-9,
+                "variance {} vs {}", merged.variance().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(-1e3f64..1e3, 0..40),
+        b in proptest::collection::vec(-1e3f64..1e3, 0..40),
+        c in proptest::collection::vec(-1e3f64..1e3, 0..40),
+    ) {
+        // (a ⊔ b) ⊔ c vs a ⊔ (b ⊔ c): equal within float tolerance.
+        let mut left = tally_of(&a);
+        left.merge(&tally_of(&b));
+        left.merge(&tally_of(&c));
+        let mut bc = tally_of(&b);
+        bc.merge(&tally_of(&c));
+        let mut right = tally_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        match (left.mean(), right.mean()) {
+            (None, None) => {}
+            (Some(l), Some(r)) => prop_assert!(rel_err(l, r) < 1e-12, "means {l} vs {r}"),
+            other => prop_assert!(false, "count mismatch: {other:?}"),
+        }
+        if let (Some(l), Some(r)) = (left.variance(), right.variance()) {
+            prop_assert!(rel_err(l, r) < 1e-9, "variances {l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn empty_is_a_two_sided_identity(samples in proptest::collection::vec(-1e6f64..1e6, 0..60)) {
+        let t = tally_of(&samples);
+        let mut left = Tally::new();
+        left.merge(&t);
+        let mut right = t;
+        right.merge(&Tally::new());
+        // Bitwise: identity merges must not perturb a single bit.
+        prop_assert_eq!(left, t);
+        prop_assert_eq!(right, t);
+    }
+}

@@ -1,11 +1,15 @@
 //! Campaign definition and execution.
 
+use std::ops::Range;
+
 use crate::derive_seed;
 use crate::exec::{default_workers, run_indexed_observed};
 use crate::progress::{NoProgress, ProgressSink};
 use crate::report::{CampaignReport, PointReport};
+use crate::shard::Shard;
 use crate::space::{AxisValue, ParamSpace, SweepPoint};
 use qic_des::metrics::Metrics;
+use qic_des::stats::Tally;
 
 /// Per-evaluation context handed to the campaign's evaluation function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +101,34 @@ impl Campaign {
         &self.space
     }
 
+    /// Replicates evaluated per point.
+    pub fn replicate_count(&self) -> u32 {
+        self.replicates
+    }
+
+    /// The campaign-level seed per-point seeds derive from.
+    pub fn campaign_seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            default_workers()
+        } else {
+            self.workers
+        }
+    }
+
+    /// The [`RunCtx`] for one `(point, replicate)` evaluation — the
+    /// same derivation whether the campaign runs whole, sharded,
+    /// streamed or resumed.
+    fn ctx(&self, point_index: usize, replicate: u32) -> RunCtx {
+        RunCtx {
+            seed: derive_seed(self.seed, point_index as u64, u64::from(replicate)),
+            replicate,
+        }
+    }
+
     /// Evaluates every `(point, replicate)` on the worker pool and
     /// aggregates the streamed results into a [`CampaignReport`].
     ///
@@ -125,14 +157,123 @@ impl Campaign {
     where
         F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Sync,
     {
-        let n_points = self.space.len();
+        let (points, wall_ns) = self.run_range_buffered(0..self.space.len(), &eval, progress);
+        self.report_of(points, wall_ns)
+    }
+
+    /// Evaluates one contiguous shard of the campaign — exactly the
+    /// points of [`Shard::point_range`], full replicate buffering like
+    /// [`Campaign::run`] — and reports only those points.
+    ///
+    /// Per-point seeds derive from the point's **absolute** index, so a
+    /// shard's evaluations are identical to the same points of a serial
+    /// run; merging every shard's report with [`CampaignReport::merge`]
+    /// reproduces the serial report byte for byte (JSON and CSV). This
+    /// is the cross-process fan-out primitive: run shard `i/K` on
+    /// machine `i`, ship the records home, merge.
+    ///
+    /// [`CampaignReport::merge`]: crate::report::CampaignReport::merge
+    pub fn run_shard<F>(&self, shard: Shard, eval: F) -> CampaignReport
+    where
+        F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Sync,
+    {
+        let range = shard.point_range(self.space.len());
+        let (points, wall_ns) = self.run_range_buffered(range, &eval, &NoProgress);
+        self.report_of(points, wall_ns)
+    }
+
+    /// [`Campaign::run_shard`] with streaming (constant-memory)
+    /// aggregation — the shard counterpart of
+    /// [`Campaign::run_streaming`], with the same trade-off: summaries
+    /// identical to the buffered path, raw replicate samples not
+    /// retained.
+    pub fn run_shard_streaming<F>(&self, shard: Shard, eval: F) -> CampaignReport
+    where
+        F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Sync,
+    {
+        let range = shard.point_range(self.space.len());
+        let indices: Vec<usize> = range.collect();
+        let mut points: Vec<PointReport> = Vec::with_capacity(indices.len());
+        let mut wall_ns: Vec<u64> = Vec::with_capacity(indices.len());
+        self.run_point_set(&indices, &eval, |point, wall| {
+            points.push(point);
+            wall_ns.push(wall);
+        });
+        // Completion order is scheduling-dependent; the report is
+        // index-addressed.
+        let mut paired: Vec<(PointReport, u64)> = points.into_iter().zip(wall_ns).collect();
+        paired.sort_by_key(|(p, _)| p.index);
+        let (points, wall_ns) = paired.into_iter().unzip();
+        self.report_of(points, wall_ns)
+    }
+
+    /// Evaluates the whole campaign with **streaming aggregation**: one
+    /// task per point, replicates folded into per-metric Welford
+    /// tallies ([`qic_des::stats::Tally`]) as they are produced, so a
+    /// point's replicates never co-reside in memory.
+    ///
+    /// The resulting summaries (and therefore the CSV emitter's bytes)
+    /// are bit-for-bit identical to [`Campaign::run`]'s — the fold
+    /// visits the same samples in the same order. What streaming gives
+    /// up is the raw replicate list: [`PointReport::replicates`] is
+    /// empty, so [`CampaignReport::to_json`]'s per-metric `samples`
+    /// arrays are empty too. Compare streaming runs against streaming
+    /// runs for JSON byte-identity; CSV is identical across both modes.
+    pub fn run_streaming<F>(&self, eval: F) -> CampaignReport
+    where
+        F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Sync,
+    {
+        let mut slots: Vec<Option<(PointReport, u64)>> = Vec::new();
+        slots.resize_with(self.space.len(), || None);
+        self.run_streaming_with(eval, |point, wall| {
+            let i = point.index;
+            slots[i] = Some((point, wall));
+        });
+        let (points, wall_ns) = slots
+            .into_iter()
+            .map(|s| s.expect("every point completed"))
+            .unzip();
+        self.report_of(points, wall_ns)
+    }
+
+    /// Out-of-core streaming: like [`Campaign::run_streaming`], but
+    /// each completed [`PointReport`] is handed to `sink` (with its
+    /// wall-clock nanoseconds) **in completion order** instead of being
+    /// accumulated — the campaign's memory footprint stays constant in
+    /// the number of points. The sink runs on the caller's thread;
+    /// append each record to an on-disk spill (see
+    /// [`CampaignReport::to_record_json`] for the format) and
+    /// reassemble by point index.
+    ///
+    /// Completion order is scheduling-dependent; the records are not.
+    ///
+    /// [`CampaignReport::to_record_json`]: crate::report::CampaignReport::to_record_json
+    pub fn run_streaming_with<F, S>(&self, eval: F, sink: S)
+    where
+        F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Sync,
+        S: FnMut(PointReport, u64),
+    {
+        let indices: Vec<usize> = (0..self.space.len()).collect();
+        self.run_point_set(&indices, &eval, sink);
+    }
+
+    /// Buffered (replicate-retaining) evaluation of a contiguous point
+    /// range: the engine behind [`Campaign::run`] and
+    /// [`Campaign::run_shard`]. Returns the completed points in index
+    /// order plus their wall times.
+    fn run_range_buffered<F>(
+        &self,
+        range: Range<usize>,
+        eval: &F,
+        progress: &dyn ProgressSink,
+    ) -> (Vec<PointReport>, Vec<u64>)
+    where
+        F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Sync,
+    {
+        let base = range.start;
+        let n_points = range.len();
         let reps = self.replicates as usize;
         let tasks = n_points * reps;
-        let workers = if self.workers == 0 {
-            default_workers()
-        } else {
-            self.workers
-        };
 
         // Replicate slots per point, filled as results stream in; a
         // point's report is built once its replicate set completes.
@@ -146,15 +287,11 @@ impl Campaign {
 
         run_indexed_observed(
             tasks,
-            workers,
+            self.resolved_workers(),
             |task| {
-                let point = self.space.point(task / reps);
+                let point = self.space.point(base + task / reps);
                 let replicate = (task % reps) as u32;
-                let ctx = RunCtx {
-                    seed: derive_seed(self.seed, point.index() as u64, u64::from(replicate)),
-                    replicate,
-                };
-                eval(&point, ctx)
+                eval(&point, self.ctx(point.index(), replicate))
             },
             |task, metrics, task_wall_ns| {
                 let (p, r) = (task / reps, task % reps);
@@ -167,8 +304,8 @@ impl Campaign {
                         .map(|m| m.take().expect("all replicates landed"))
                         .collect();
                     reports[p] = Some(PointReport::from_replicates(
-                        p,
-                        point_params(&self.space, p),
+                        base + p,
+                        point_params(&self.space, base + p),
                         replicates,
                     ));
                 }
@@ -176,15 +313,71 @@ impl Campaign {
             progress,
         );
 
+        (
+            reports
+                .into_iter()
+                .map(|r| r.expect("every point completed"))
+                .collect(),
+            wall_ns,
+        )
+    }
+
+    /// Streaming evaluation of an arbitrary point-index set (one task
+    /// per point, replicates folded sequentially into tallies): the
+    /// engine behind [`Campaign::run_streaming`] and checkpoint resume,
+    /// which evaluates exactly the not-yet-completed indices.
+    pub(crate) fn run_point_set<F, S>(&self, indices: &[usize], eval: &F, mut sink: S)
+    where
+        F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Sync,
+        S: FnMut(PointReport, u64),
+    {
+        let reps = self.replicates;
+        run_indexed_observed(
+            indices.len(),
+            self.resolved_workers(),
+            |task| {
+                let point_index = indices[task];
+                let point = self.space.point(point_index);
+                // First-appearance metric order, samples in replicate
+                // order: the same fold `PointReport::from_replicates`
+                // performs, so the summaries are bitwise identical —
+                // but each replicate's metrics are dropped as soon as
+                // they are folded.
+                let mut names: Vec<String> = Vec::new();
+                let mut tallies: Vec<Tally> = Vec::new();
+                for replicate in 0..reps {
+                    let metrics = eval(&point, self.ctx(point_index, replicate));
+                    for (name, v) in metrics.iter() {
+                        match names.iter().position(|n| n == name) {
+                            Some(i) => tallies[i].record(v),
+                            None => {
+                                names.push(name.to_string());
+                                let mut t = Tally::new();
+                                t.record(v);
+                                tallies.push(t);
+                            }
+                        }
+                    }
+                }
+                PointReport::from_tallies(
+                    point_index,
+                    point_params(&self.space, point_index),
+                    names.into_iter().zip(tallies).collect(),
+                )
+            },
+            |_task, point, wall_ns| sink(point, wall_ns),
+            &NoProgress {},
+        );
+    }
+
+    /// Wraps completed points into the campaign's report envelope.
+    pub(crate) fn report_of(&self, points: Vec<PointReport>, wall_ns: Vec<u64>) -> CampaignReport {
         CampaignReport {
             name: self.name.clone(),
             seed: self.seed,
             replicates: self.replicates,
             axes: self.space.axes().to_vec(),
-            points: reports
-                .into_iter()
-                .map(|r| r.expect("every point completed"))
-                .collect(),
+            points,
             wall_ns,
         }
     }
@@ -322,5 +515,109 @@ mod tests {
     #[should_panic(expected = "at least one replicate")]
     fn zero_replicates_rejected() {
         let _ = Campaign::new("t", toy_space()).replicates(0);
+    }
+
+    fn toy_campaign() -> Campaign {
+        Campaign::new("t", toy_space())
+            .replicates(3)
+            .seed(2006)
+            .workers(3)
+    }
+
+    #[test]
+    fn merged_shards_reproduce_the_serial_report_byte_for_byte() {
+        let serial = toy_campaign().workers(1).run(eval);
+        for count in 1..=6usize {
+            let parts: Vec<CampaignReport> = (0..count)
+                .map(|i| toy_campaign().run_shard(Shard::new(i, count), eval))
+                .collect();
+            let merged = CampaignReport::merge(parts).unwrap();
+            assert_eq!(merged, serial, "{count} shards");
+            assert_eq!(merged.to_json(), serial.to_json(), "{count} shards");
+            assert_eq!(merged.to_csv(), serial.to_csv(), "{count} shards");
+            assert_eq!(
+                merged.to_record_json(),
+                serial.to_record_json(),
+                "{count} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_merge_order_does_not_matter() {
+        let serial = toy_campaign().run(eval);
+        let mut parts: Vec<CampaignReport> = (0..3)
+            .map(|i| toy_campaign().run_shard(Shard::new(i, 3), eval))
+            .collect();
+        parts.reverse();
+        assert_eq!(CampaignReport::merge(parts).unwrap(), serial);
+    }
+
+    #[test]
+    fn shard_merge_rejects_gaps_overlaps_and_foreign_parts() {
+        use crate::shard::MergeError;
+        let shard = |i: usize, k: usize| toy_campaign().run_shard(Shard::new(i, k), eval);
+        // Missing the second half.
+        let err = CampaignReport::merge(vec![shard(0, 2)]).unwrap_err();
+        assert!(matches!(err, MergeError::Gap { index: 3 }), "{err}");
+        // The same half twice.
+        let err = CampaignReport::merge(vec![shard(0, 2), shard(0, 2)]).unwrap_err();
+        assert!(matches!(err, MergeError::Overlap { index: 0 }), "{err}");
+        // A shard of a different campaign seed.
+        let foreign = toy_campaign().seed(7).run_shard(Shard::new(1, 2), eval);
+        let err = CampaignReport::merge(vec![shard(0, 2), foreign]).unwrap_err();
+        assert!(
+            matches!(err, MergeError::Mismatch { field: "seed" }),
+            "{err}"
+        );
+        assert!(CampaignReport::merge(vec![]).is_err());
+    }
+
+    #[test]
+    fn streaming_matches_buffered_summaries_and_csv() {
+        let buffered = toy_campaign().run(eval);
+        let streamed = toy_campaign().run_streaming(eval);
+        // Summaries are bitwise identical (same fold, same order)...
+        for (b, s) in buffered.points.iter().zip(&streamed.points) {
+            assert_eq!(b.index, s.index);
+            assert_eq!(b.params, s.params);
+            assert_eq!(b.summaries, s.summaries);
+            // ...but streaming keeps no raw replicates.
+            assert_eq!(b.replicates.len(), 3);
+            assert!(s.replicates.is_empty());
+        }
+        // The CSV emitter reads only summaries — identical bytes.
+        assert_eq!(buffered.to_csv(), streamed.to_csv());
+    }
+
+    #[test]
+    fn streaming_is_deterministic_across_worker_counts() {
+        let one = toy_campaign().workers(1).run_streaming(eval);
+        for w in [2, 4, 8] {
+            let many = toy_campaign().workers(w).run_streaming(eval);
+            assert_eq!(one, many, "{w} workers");
+            assert_eq!(one.to_record_json(), many.to_record_json(), "{w} workers");
+        }
+    }
+
+    #[test]
+    fn merged_streaming_shards_match_the_streaming_run() {
+        let whole = toy_campaign().run_streaming(eval);
+        let parts: Vec<CampaignReport> = (0..4)
+            .map(|i| toy_campaign().run_shard_streaming(Shard::new(i, 4), eval))
+            .collect();
+        let merged = CampaignReport::merge(parts).unwrap();
+        assert_eq!(merged, whole);
+        assert_eq!(merged.to_record_json(), whole.to_record_json());
+        assert_eq!(merged.to_csv(), whole.to_csv());
+    }
+
+    #[test]
+    fn streaming_sink_sees_every_point_exactly_once() {
+        let mut seen = vec![0usize; 6];
+        toy_campaign().run_streaming_with(eval, |point, _wall| {
+            seen[point.index] += 1;
+        });
+        assert_eq!(seen, vec![1; 6]);
     }
 }

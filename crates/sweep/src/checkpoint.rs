@@ -1,0 +1,593 @@
+//! Checkpoint / resume for long campaigns: a versioned on-disk manifest
+//! of completed points, committed atomically as the campaign streams,
+//! so a killed run resumes exactly where it stopped — and produces the
+//! byte-identical report a fresh run would have.
+//!
+//! # The manifest
+//!
+//! A manifest is one line of strict JSON:
+//!
+//! ```text
+//! {"record":"campaign_checkpoint","version":1,"campaign":...,
+//!  "spec_hash":...,"seed":...,"replicates":...,"total_points":...,
+//!  "completed":"<hex bitmap>","points":[...]}
+//! ```
+//!
+//! * `spec_hash` fingerprints the campaign (name, seed, replicates,
+//!   axes), so resuming against an edited spec fails loudly instead of
+//!   stitching incompatible halves together.
+//! * `completed` is a little-endian-bit hex bitmap over point indices
+//!   (bit `i % 8` of byte `i / 8`), cross-checked against the point
+//!   records on load.
+//! * `points` holds the lossless per-point records of
+//!   [`crate::report::CampaignReport::to_record_json`], in index order.
+//!
+//! # Atomic commit
+//!
+//! Every commit writes `<path>.tmp`, syncs it, then renames over the
+//! manifest. A crash mid-write leaves either the previous manifest or a
+//! stray `.tmp` — never a torn manifest — so resume always sees a
+//! consistent prefix of the campaign.
+//!
+//! # Determinism
+//!
+//! Per-point seeds are pure functions of the campaign seed and the
+//! point index ([`crate::derive_seed`]), and resumed evaluation uses
+//! the same streaming fold as [`Campaign::run_streaming`], so a
+//! resumed report equals a fresh streaming run byte for byte (JSON
+//! record and CSV alike).
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::campaign::{Campaign, RunCtx};
+use crate::json::{check_fields, get, obj, Json, JsonError};
+use crate::report::{axis_to_json, point_from_json, point_to_json, CampaignReport, PointReport};
+use crate::space::SweepPoint;
+use crate::{splitmix64, GOLDEN};
+use qic_des::metrics::Metrics;
+
+/// Schema version of the checkpoint manifest. Bumped on any
+/// incompatible change; loading surfaces a mismatch instead of
+/// guessing.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Where and how often a resumable campaign checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    path: PathBuf,
+    every: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `path`, committing every 16 newly completed
+    /// points (and always once at the end of a run).
+    pub fn new(path: impl Into<PathBuf>) -> CheckpointConfig {
+        CheckpointConfig {
+            path: path.into(),
+            every: 16,
+        }
+    }
+
+    /// Commits the manifest every `every` newly completed points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn every(mut self, every: usize) -> CheckpointConfig {
+        assert!(every >= 1, "checkpoint interval must be at least 1");
+        self.every = every;
+        self
+    }
+
+    /// The manifest path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The commit interval, in newly completed points.
+    pub fn interval(&self) -> usize {
+        self.every
+    }
+}
+
+/// Why a checkpointed run could not load, validate or commit its
+/// manifest.
+///
+/// Stores rendered I/O messages rather than `std::io::Error` (which is
+/// neither `Clone` nor `PartialEq`) so callers can derive both.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The filesystem refused an operation on the manifest.
+    Io {
+        /// The path involved.
+        path: String,
+        /// Which operation failed (`"read"`, `"create"`, `"write"`,
+        /// `"sync"`, `"rename"`, `"create dir"`).
+        op: &'static str,
+        /// The rendered `std::io::Error`.
+        message: String,
+    },
+    /// The manifest is not a valid checkpoint document.
+    Corrupt {
+        /// The path involved.
+        path: String,
+        /// What the strict JSON codec rejected.
+        source: JsonError,
+    },
+    /// The manifest is well-formed but does not belong to this
+    /// campaign (wrong spec hash, totals, seed, …) or is internally
+    /// inconsistent (bitmap disagrees with the point records).
+    Mismatch {
+        /// The path involved.
+        path: String,
+        /// What disagreed.
+        problem: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, op, message } => {
+                write!(f, "checkpoint {op} failed for {path}: {message}")
+            }
+            CheckpointError::Corrupt { path, source } => {
+                write!(f, "corrupt checkpoint manifest {path}: {source}")
+            }
+            CheckpointError::Mismatch { path, problem } => {
+                write!(f, "checkpoint manifest {path} does not match: {problem}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Corrupt { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a budgeted resumable run: either the finished campaign or
+/// how far the manifest now reaches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignProgress {
+    /// Every point completed; the manifest holds the full campaign and
+    /// this is its report.
+    Complete(Box<CampaignReport>),
+    /// The point budget ran out first; the manifest was committed and a
+    /// later run will pick up from here.
+    Partial {
+        /// Points completed so far (across all runs).
+        done: usize,
+        /// Points in the campaign.
+        total: usize,
+    },
+}
+
+impl Campaign {
+    /// Runs the campaign with streaming aggregation, committing a
+    /// checkpoint manifest as points complete; if `ckpt.path()` already
+    /// holds a manifest of this campaign, the completed points are
+    /// loaded from it and only the missing ones are evaluated.
+    ///
+    /// The returned report is byte-identical (lossless record JSON and
+    /// CSV) to [`Campaign::run_streaming`] on a fresh campaign — kill
+    /// and resume as many times as you like.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] if the manifest cannot be read, written, or
+    /// does not belong to this campaign. Evaluation work committed
+    /// before the error is preserved in the manifest.
+    pub fn run_resumable<F>(
+        &self,
+        ckpt: &CheckpointConfig,
+        eval: F,
+    ) -> Result<CampaignReport, CheckpointError>
+    where
+        F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Sync,
+    {
+        match self.run_resumable_budgeted(ckpt, None, eval)? {
+            CampaignProgress::Complete(report) => Ok(*report),
+            CampaignProgress::Partial { .. } => {
+                unreachable!("an unbudgeted resumable run always completes")
+            }
+        }
+    }
+
+    /// [`Campaign::run_resumable`] with a point budget: evaluates at
+    /// most `budget` not-yet-completed points this invocation, then
+    /// commits and reports progress. `None` means no budget — run to
+    /// completion. This is the building block for cooperative
+    /// scheduling (and for the crash-injection tests, which use a
+    /// budget to stop a campaign dead at a checkpoint boundary).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] as for [`Campaign::run_resumable`].
+    pub fn run_resumable_budgeted<F>(
+        &self,
+        ckpt: &CheckpointConfig,
+        budget: Option<usize>,
+        eval: F,
+    ) -> Result<CampaignProgress, CheckpointError>
+    where
+        F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Sync,
+    {
+        let total = self.space().len();
+        let manifest = Manifest::new(self, ckpt.path());
+
+        // Load whatever a previous run committed.
+        let mut slots: Vec<Option<PointReport>> = manifest.load(total)?;
+        let mut wall_ns: Vec<u64> = vec![0; total];
+
+        let missing: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
+        let todo: Vec<usize> = match budget {
+            Some(limit) => missing.iter().copied().take(limit).collect(),
+            None => missing,
+        };
+
+        if !todo.is_empty() {
+            // The sink runs on this thread, so committing from it is
+            // ordinary sequential file I/O; an error aborts the run
+            // after the in-flight points drain.
+            let mut commit_error: Option<CheckpointError> = None;
+            let mut fresh = 0usize;
+            self.run_point_set(&todo, &eval, |point, wall| {
+                if commit_error.is_some() {
+                    return;
+                }
+                let index = point.index;
+                wall_ns[index] = wall;
+                slots[index] = Some(point);
+                fresh += 1;
+                if fresh % ckpt.interval() == 0 {
+                    if let Err(e) = manifest.commit(&slots) {
+                        commit_error = Some(e);
+                    }
+                }
+            });
+            if let Some(e) = commit_error {
+                return Err(e);
+            }
+            manifest.commit(&slots)?;
+        }
+
+        let done = slots.iter().filter(|s| s.is_some()).count();
+        if done < total {
+            return Ok(CampaignProgress::Partial { done, total });
+        }
+        let points: Vec<PointReport> = slots
+            .into_iter()
+            .map(|s| s.expect("all points complete"))
+            .collect();
+        Ok(CampaignProgress::Complete(Box::new(
+            self.report_of(points, wall_ns),
+        )))
+    }
+}
+
+/// The manifest codec bound to one campaign and one path.
+struct Manifest<'a> {
+    campaign: &'a Campaign,
+    path: &'a Path,
+}
+
+impl<'a> Manifest<'a> {
+    fn new(campaign: &'a Campaign, path: &'a Path) -> Manifest<'a> {
+        Manifest { campaign, path }
+    }
+
+    fn path_string(&self) -> String {
+        self.path.display().to_string()
+    }
+
+    fn io(&self, op: &'static str, e: &std::io::Error) -> CheckpointError {
+        CheckpointError::Io {
+            path: self.path_string(),
+            op,
+            message: e.to_string(),
+        }
+    }
+
+    /// Loads the manifest into index-addressed slots; all-`None` when
+    /// no manifest exists yet (a fresh campaign).
+    fn load(&self, total: usize) -> Result<Vec<Option<PointReport>>, CheckpointError> {
+        let mut slots: Vec<Option<PointReport>> = Vec::new();
+        slots.resize_with(total, || None);
+        if !self.path.exists() {
+            return Ok(slots);
+        }
+        let text = fs::read_to_string(self.path).map_err(|e| self.io("read", &e))?;
+        let corrupt = |source: JsonError| CheckpointError::Corrupt {
+            path: self.path_string(),
+            source,
+        };
+        let mismatch = |problem: String| CheckpointError::Mismatch {
+            path: self.path_string(),
+            problem,
+        };
+
+        let value = Json::parse(&text).map_err(corrupt)?;
+        let parsed: Result<_, JsonError> = (|| {
+            let fields = value.obj_of("checkpoint manifest")?;
+            check_fields(
+                fields,
+                &[
+                    "record",
+                    "version",
+                    "campaign",
+                    "spec_hash",
+                    "seed",
+                    "replicates",
+                    "total_points",
+                    "completed",
+                    "points",
+                ],
+                "checkpoint manifest",
+            )?;
+            let tag = get(fields, "record", "checkpoint manifest")?.str_of("record")?;
+            if tag != "campaign_checkpoint" {
+                return Err(Json::schema_err(format!(
+                    "checkpoint manifest: unexpected record tag {tag:?}"
+                )));
+            }
+            let version = get(fields, "version", "checkpoint manifest")?.u32_of("version")?;
+            if version != CHECKPOINT_VERSION {
+                return Err(Json::schema_err(format!(
+                    "checkpoint manifest: version {version}, this build reads \
+                     version {CHECKPOINT_VERSION}"
+                )));
+            }
+            let name = get(fields, "campaign", "checkpoint manifest")?
+                .str_of("campaign")?
+                .to_string();
+            let spec_hash = get(fields, "spec_hash", "checkpoint manifest")?.u64_of("spec_hash")?;
+            let seed = get(fields, "seed", "checkpoint manifest")?.u64_of("seed")?;
+            let replicates =
+                get(fields, "replicates", "checkpoint manifest")?.u32_of("replicates")?;
+            let total_points =
+                get(fields, "total_points", "checkpoint manifest")?.usize_of("total_points")?;
+            let completed = get(fields, "completed", "checkpoint manifest")?
+                .str_of("completed")?
+                .to_string();
+            let points: Vec<PointReport> = get(fields, "points", "checkpoint manifest")?
+                .arr_of("points")?
+                .iter()
+                .map(point_from_json)
+                .collect::<Result<_, _>>()?;
+            Ok((
+                name,
+                spec_hash,
+                seed,
+                replicates,
+                total_points,
+                completed,
+                points,
+            ))
+        })();
+        let (name, spec_hash, seed, replicates, total_points, completed, points) =
+            parsed.map_err(corrupt)?;
+
+        // Does this manifest belong to this campaign?
+        if name != self.campaign.name() {
+            return Err(mismatch(format!(
+                "manifest is for campaign {name:?}, expected {:?}",
+                self.campaign.name()
+            )));
+        }
+        if seed != self.campaign.campaign_seed() {
+            return Err(mismatch(format!(
+                "manifest seed {seed}, expected {}",
+                self.campaign.campaign_seed()
+            )));
+        }
+        if replicates != self.campaign.replicate_count() {
+            return Err(mismatch(format!(
+                "manifest replicates {replicates}, expected {}",
+                self.campaign.replicate_count()
+            )));
+        }
+        if total_points != total {
+            return Err(mismatch(format!(
+                "manifest covers {total_points} points, campaign has {total}"
+            )));
+        }
+        let expected_hash = self.spec_hash();
+        if spec_hash != expected_hash {
+            return Err(mismatch(format!(
+                "manifest spec hash {spec_hash:#018x}, campaign hashes to \
+                 {expected_hash:#018x} — the parameter space changed"
+            )));
+        }
+
+        // Is the manifest internally consistent?
+        let bitmap = decode_bitmap(&completed, total).map_err(mismatch)?;
+        let mut from_records = vec![false; total];
+        for point in points {
+            let index = point.index;
+            if index >= total {
+                return Err(mismatch(format!(
+                    "point record index {index} out of range for {total} points"
+                )));
+            }
+            if from_records[index] {
+                return Err(mismatch(format!(
+                    "duplicate point record for index {index}"
+                )));
+            }
+            from_records[index] = true;
+            slots[index] = Some(point);
+        }
+        if bitmap != from_records {
+            return Err(mismatch(
+                "completed bitmap disagrees with the point records".into(),
+            ));
+        }
+        Ok(slots)
+    }
+
+    /// Atomically commits the manifest: write `<path>.tmp`, sync,
+    /// rename over the manifest.
+    fn commit(&self, slots: &[Option<PointReport>]) -> Result<(), CheckpointError> {
+        let text = self.encode(slots);
+        let tmp = PathBuf::from(format!("{}.tmp", self.path.display()));
+        let mut file = fs::File::create(&tmp).map_err(|e| self.io("create", &e))?;
+        file.write_all(text.as_bytes())
+            .map_err(|e| self.io("write", &e))?;
+        file.write_all(b"\n").map_err(|e| self.io("write", &e))?;
+        file.sync_all().map_err(|e| self.io("sync", &e))?;
+        drop(file);
+        fs::rename(&tmp, self.path).map_err(|e| self.io("rename", &e))
+    }
+
+    fn encode(&self, slots: &[Option<PointReport>]) -> String {
+        let total = slots.len();
+        let mut bitmap = vec![false; total];
+        let mut points = Vec::new();
+        for (index, slot) in slots.iter().enumerate() {
+            if let Some(point) = slot {
+                bitmap[index] = true;
+                points.push(point_to_json(point));
+            }
+        }
+        obj(vec![
+            ("record", Json::Str("campaign_checkpoint".into())),
+            ("version", Json::Int(i128::from(CHECKPOINT_VERSION))),
+            ("campaign", Json::Str(self.campaign.name().to_string())),
+            ("spec_hash", Json::Int(i128::from(self.spec_hash()))),
+            ("seed", Json::Int(i128::from(self.campaign.campaign_seed()))),
+            (
+                "replicates",
+                Json::Int(i128::from(self.campaign.replicate_count())),
+            ),
+            ("total_points", Json::Int(total as i128)),
+            ("completed", Json::Str(encode_bitmap(&bitmap))),
+            ("points", Json::Arr(points)),
+        ])
+        .emit()
+    }
+
+    /// Fingerprints the campaign spec (name, seed, replicates, axes) by
+    /// hashing its canonical JSON emission with a SplitMix64 byte fold.
+    /// Not cryptographic — it guards against *accidental* spec drift
+    /// between the run that wrote a manifest and the run resuming it.
+    fn spec_hash(&self) -> u64 {
+        let spec = obj(vec![
+            ("campaign", Json::Str(self.campaign.name().to_string())),
+            ("seed", Json::Int(i128::from(self.campaign.campaign_seed()))),
+            (
+                "replicates",
+                Json::Int(i128::from(self.campaign.replicate_count())),
+            ),
+            (
+                "axes",
+                Json::Arr(
+                    self.campaign
+                        .space()
+                        .axes()
+                        .iter()
+                        .map(axis_to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+        .emit();
+        let mut h = GOLDEN;
+        for byte in spec.bytes() {
+            h = splitmix64(h ^ u64::from(byte));
+        }
+        h
+    }
+}
+
+/// Encodes a completion bitmap as lowercase hex: bit `i % 8` of byte
+/// `i / 8` is point `i`, bytes in order, two hex digits per byte.
+fn encode_bitmap(bits: &[bool]) -> String {
+    let mut bytes = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &set) in bits.iter().enumerate() {
+        if set {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for byte in bytes {
+        let _ = fmt::Write::write_fmt(&mut out, format_args!("{byte:02x}"));
+    }
+    out
+}
+
+/// Decodes [`encode_bitmap`]'s output back into `total` bits, rejecting
+/// wrong lengths, non-hex digits, and set bits past `total`.
+fn decode_bitmap(text: &str, total: usize) -> Result<Vec<bool>, String> {
+    let expected_len = total.div_ceil(8) * 2;
+    if text.len() != expected_len {
+        return Err(format!(
+            "completed bitmap has {} hex digits, expected {expected_len} for {total} points",
+            text.len()
+        ));
+    }
+    let mut bits = vec![false; total];
+    for (b, pair) in text.as_bytes().chunks(2).enumerate() {
+        let hex = std::str::from_utf8(pair).expect("chunks of ASCII hex");
+        let byte = u8::from_str_radix(hex, 16)
+            .map_err(|_| format!("completed bitmap has non-hex digits {hex:?}"))?;
+        for bit in 0..8 {
+            let index = b * 8 + bit;
+            let set = byte & (1 << bit) != 0;
+            if index < total {
+                bits[index] = set;
+            } else if set {
+                return Err(format!(
+                    "completed bitmap sets bit {index}, past the last point {}",
+                    total - 1
+                ));
+            }
+        }
+    }
+    Ok(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_round_trips_every_pattern_of_a_small_space() {
+        for total in 0..12usize {
+            for pattern in 0..(1u32 << total) {
+                let bits: Vec<bool> = (0..total).map(|i| pattern & (1 << i) != 0).collect();
+                let hex = encode_bitmap(&bits);
+                assert_eq!(hex.len(), total.div_ceil(8) * 2);
+                assert_eq!(decode_bitmap(&hex, total), Ok(bits));
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_rejects_bad_lengths_digits_and_stray_bits() {
+        assert!(decode_bitmap("0", 3).is_err(), "odd/short length");
+        assert!(decode_bitmap("0000", 3).is_err(), "too long");
+        assert!(decode_bitmap("zz", 3).is_err(), "not hex");
+        // Bit 3 set in a 3-point campaign: byte 0b0000_1000 = "08".
+        assert!(decode_bitmap("08", 3).is_err(), "bit past the last point");
+        assert_eq!(decode_bitmap("07", 3), Ok(vec![true; 3]));
+    }
+
+    #[test]
+    fn bitmap_uses_little_endian_bit_order() {
+        // Point 0 only → bit 0 of byte 0 → "01".
+        assert_eq!(encode_bitmap(&[true, false, false]), "01");
+        // Points 0 and 9 → "01" then bit 1 of byte 1 → "0102".
+        let mut bits = vec![false; 10];
+        bits[0] = true;
+        bits[9] = true;
+        assert_eq!(encode_bitmap(&bits), "0102");
+    }
+}

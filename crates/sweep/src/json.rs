@@ -1,22 +1,27 @@
-//! A minimal, deterministic JSON value model for scenario specs.
+//! A minimal, deterministic JSON value model for strict codecs.
 //!
 //! The vendored `serde` stand-in provides trait names but no wire
-//! format (see `vendor/README.md`), so — like the campaign report
-//! emitters in `qic-sweep` — the scenario layer formats and parses JSON
-//! directly. The model is deliberately small:
+//! format (see `vendor/README.md`), so the workspace's serializable
+//! documents — scenario specs in `qic-core`, campaign shard records and
+//! checkpoint manifests here — format and parse JSON through this
+//! model. It is deliberately small:
 //!
 //! * integers are kept apart from floats (`i128` holds every `u64`
 //!   seed and every `i64` ratio losslessly);
 //! * floats emit with Rust's shortest-roundtrip `Display`, so
-//!   `parse(emit(x)) == x` bit-for-bit;
-//! * objects preserve insertion order, making emission deterministic.
+//!   `parse(emit(x)) == x` bit-for-bit (including `-0.0`; non-finite
+//!   values emit as `null` — codecs that must round-trip them encode
+//!   strings instead);
+//! * objects preserve insertion order, making emission deterministic;
+//! * decoding is strict: [`check_fields`] rejects unknown and duplicate
+//!   fields, so a typo can never silently configure nothing.
 
 use std::fmt;
 use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -45,27 +50,25 @@ pub struct JsonError {
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "invalid scenario JSON at byte {}: {}",
-            self.at, self.problem
-        )
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.problem)
     }
 }
 
 impl std::error::Error for JsonError {}
 
 impl Json {
-    pub(crate) fn schema_err(problem: impl Into<String>) -> JsonError {
+    /// A schema-level error (offset 0): the document parsed but did not
+    /// match the expected shape.
+    pub fn schema_err(problem: impl Into<String>) -> JsonError {
         JsonError {
             at: 0,
             problem: problem.into(),
         }
     }
 
-    /// Typed accessors; all produce a schema error naming `ctx` on
-    /// mismatch so spec decoding reads linearly.
-    pub(crate) fn str_of(&self, ctx: &str) -> Result<&str, JsonError> {
+    /// The value as a string; schema error naming `ctx` otherwise (all
+    /// the typed accessors follow this pattern so codecs read linearly).
+    pub fn str_of(&self, ctx: &str) -> Result<&str, JsonError> {
         match self {
             Json::Str(s) => Ok(s),
             other => Err(Json::schema_err(format!(
@@ -74,7 +77,8 @@ impl Json {
         }
     }
 
-    pub(crate) fn u64_of(&self, ctx: &str) -> Result<u64, JsonError> {
+    /// The value as a `u64`.
+    pub fn u64_of(&self, ctx: &str) -> Result<u64, JsonError> {
         match self {
             Json::Int(v) => u64::try_from(*v)
                 .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of u64 range"))),
@@ -84,7 +88,8 @@ impl Json {
         }
     }
 
-    pub(crate) fn u32_of(&self, ctx: &str) -> Result<u32, JsonError> {
+    /// The value as a `u32`.
+    pub fn u32_of(&self, ctx: &str) -> Result<u32, JsonError> {
         match self {
             Json::Int(v) => u32::try_from(*v)
                 .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of u32 range"))),
@@ -94,7 +99,8 @@ impl Json {
         }
     }
 
-    pub(crate) fn u16_of(&self, ctx: &str) -> Result<u16, JsonError> {
+    /// The value as a `u16`.
+    pub fn u16_of(&self, ctx: &str) -> Result<u16, JsonError> {
         match self {
             Json::Int(v) => u16::try_from(*v)
                 .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of u16 range"))),
@@ -104,7 +110,8 @@ impl Json {
         }
     }
 
-    pub(crate) fn i64_of(&self, ctx: &str) -> Result<i64, JsonError> {
+    /// The value as an `i64`.
+    pub fn i64_of(&self, ctx: &str) -> Result<i64, JsonError> {
         match self {
             Json::Int(v) => i64::try_from(*v)
                 .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of i64 range"))),
@@ -114,7 +121,8 @@ impl Json {
         }
     }
 
-    pub(crate) fn i32_of(&self, ctx: &str) -> Result<i32, JsonError> {
+    /// The value as an `i32`.
+    pub fn i32_of(&self, ctx: &str) -> Result<i32, JsonError> {
         match self {
             Json::Int(v) => i32::try_from(*v)
                 .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of i32 range"))),
@@ -124,10 +132,11 @@ impl Json {
         }
     }
 
-    pub(crate) fn f64_of(&self, ctx: &str) -> Result<f64, JsonError> {
+    /// The value as an `f64`; integer literals widen (a hand-written
+    /// rate of `0` is fine).
+    pub fn f64_of(&self, ctx: &str) -> Result<f64, JsonError> {
         match self {
             Json::Float(v) => Ok(*v),
-            // Integer literals widen (a hand-written rate of `0` is fine).
             Json::Int(v) => Ok(*v as f64),
             other => Err(Json::schema_err(format!(
                 "{ctx}: expected a number, got {other:?}"
@@ -135,7 +144,8 @@ impl Json {
         }
     }
 
-    pub(crate) fn bool_of(&self, ctx: &str) -> Result<bool, JsonError> {
+    /// The value as a `bool`.
+    pub fn bool_of(&self, ctx: &str) -> Result<bool, JsonError> {
         match self {
             Json::Bool(b) => Ok(*b),
             other => Err(Json::schema_err(format!(
@@ -144,7 +154,8 @@ impl Json {
         }
     }
 
-    pub(crate) fn usize_of(&self, ctx: &str) -> Result<usize, JsonError> {
+    /// The value as a `usize`.
+    pub fn usize_of(&self, ctx: &str) -> Result<usize, JsonError> {
         match self {
             Json::Int(v) => usize::try_from(*v)
                 .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of usize range"))),
@@ -154,7 +165,8 @@ impl Json {
         }
     }
 
-    pub(crate) fn arr_of(&self, ctx: &str) -> Result<&[Json], JsonError> {
+    /// The value as an array's item list.
+    pub fn arr_of(&self, ctx: &str) -> Result<&[Json], JsonError> {
         match self {
             Json::Arr(items) => Ok(items),
             other => Err(Json::schema_err(format!(
@@ -164,7 +176,7 @@ impl Json {
     }
 
     /// The value as an object's field list.
-    pub(crate) fn obj_of(&self, ctx: &str) -> Result<&[(String, Json)], JsonError> {
+    pub fn obj_of(&self, ctx: &str) -> Result<&[(String, Json)], JsonError> {
         match self {
             Json::Obj(fields) => Ok(fields),
             other => Err(Json::schema_err(format!(
@@ -174,7 +186,7 @@ impl Json {
     }
 
     /// Serialises the value (compact, deterministic).
-    pub(crate) fn emit(&self) -> String {
+    pub fn emit(&self) -> String {
         let mut out = String::new();
         self.write(&mut out);
         out
@@ -245,7 +257,11 @@ impl Json {
 
     /// Parses one JSON document (trailing whitespace allowed, nothing
     /// else).
-    pub(crate) fn parse(input: &str) -> Result<Json, JsonError> {
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with the byte offset of the first syntax problem.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: input.as_bytes(),
             at: 0,
@@ -260,8 +276,8 @@ impl Json {
     }
 }
 
-/// Convenience constructors used by the spec encoder.
-pub(crate) fn obj(fields: Vec<(&str, Json)>) -> Json {
+/// Builds an object from `(name, value)` pairs (codec convenience).
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
     Json::Obj(
         fields
             .into_iter()
@@ -270,17 +286,18 @@ pub(crate) fn obj(fields: Vec<(&str, Json)>) -> Json {
     )
 }
 
-pub(crate) fn ints<I: Into<i128>>(values: impl IntoIterator<Item = I>) -> Json {
+/// Builds an integer array (codec convenience).
+pub fn ints<I: Into<i128>>(values: impl IntoIterator<Item = I>) -> Json {
     Json::Arr(values.into_iter().map(|v| Json::Int(v.into())).collect())
 }
 
-/// Looks a field up in an object, requiring exactly the given schema:
-/// unknown fields in `fields` are rejected by [`check_fields`].
-pub(crate) fn get<'a>(
-    fields: &'a [(String, Json)],
-    name: &str,
-    ctx: &str,
-) -> Result<&'a Json, JsonError> {
+/// Looks a required field up in an object; the object is expected to
+/// have been vetted by [`check_fields`] first.
+///
+/// # Errors
+///
+/// A schema error naming `ctx` when the field is missing.
+pub fn get<'a>(fields: &'a [(String, Json)], name: &str, ctx: &str) -> Result<&'a Json, JsonError> {
     fields
         .iter()
         .find(|(k, _)| k == name)
@@ -291,13 +308,17 @@ pub(crate) fn get<'a>(
 /// Looks an optional field up in an object (`None` when absent — used
 /// for fields later schema versions added, so older documents keep
 /// parsing).
-pub(crate) fn get_opt<'a>(fields: &'a [(String, Json)], name: &str) -> Option<&'a Json> {
+pub fn get_opt<'a>(fields: &'a [(String, Json)], name: &str) -> Option<&'a Json> {
     fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
 }
 
 /// Rejects unknown or duplicate fields, so typos fail loudly instead of
 /// silently configuring nothing.
-pub(crate) fn check_fields(
+///
+/// # Errors
+///
+/// A schema error naming `ctx` and the offending field.
+pub fn check_fields(
     fields: &[(String, Json)],
     allowed: &[&str],
     ctx: &str,
@@ -404,7 +425,7 @@ impl Parser<'_> {
                                 .map_err(|_| self.err("invalid \\u escape"))?;
                             self.at += 4;
                             // Basic-plane scalars only (enough for the
-                            // labels scenario specs use; surrogate pairs
+                            // labels these documents use; surrogate pairs
                             // are rejected explicitly).
                             let ch = char::from_u32(code)
                                 .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
@@ -547,6 +568,16 @@ mod tests {
         let text = Json::Float(2.0).emit();
         assert_eq!(text, "2.0");
         assert_eq!(Json::parse(&text).unwrap(), Json::Float(2.0));
+    }
+
+    #[test]
+    fn negative_zero_round_trips_with_its_sign() {
+        let text = Json::Float(-0.0).emit();
+        assert_eq!(text, "-0.0", "the float marker keeps -0 a float");
+        match Json::parse(&text).unwrap() {
+            Json::Float(v) => assert!(v.to_bits() == (-0.0f64).to_bits(), "sign bit lost"),
+            other => panic!("parsed as {other:?}"),
+        }
     }
 
     #[test]

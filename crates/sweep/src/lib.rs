@@ -71,35 +71,42 @@
 #![deny(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod exec;
+pub mod json;
 pub mod progress;
 pub mod report;
+pub mod shard;
 pub mod space;
 
 pub use campaign::{Campaign, RunCtx};
+pub use checkpoint::{CampaignProgress, CheckpointConfig, CheckpointError, CHECKPOINT_VERSION};
 pub use progress::{JsonlProgress, NoProgress, ProgressSink};
 // The metric record type lives in `qic-des` (so simulator crates can
 // produce it without depending on the orchestration layer); campaigns
 // consume and aggregate it.
 pub use qic_des::metrics::Metrics;
-pub use report::{CampaignReport, MetricSummary, PointReport};
+pub use report::{CampaignReport, MetricSummary, PointReport, RECORD_VERSION};
+pub use shard::{MergeError, Shard};
 pub use space::{Axis, AxisValue, ParamSpace, SweepPoint};
 
 /// Convenient glob-import surface: `use qic_sweep::prelude::*;`.
 pub mod prelude {
     pub use crate::campaign::{Campaign, RunCtx};
+    pub use crate::checkpoint::{CampaignProgress, CheckpointConfig, CheckpointError};
     pub use crate::derive_seed;
     pub use crate::progress::{JsonlProgress, NoProgress, ProgressSink};
     pub use crate::report::{CampaignReport, MetricSummary, PointReport};
+    pub use crate::shard::{MergeError, Shard};
     pub use crate::space::{Axis, AxisValue, ParamSpace, SweepPoint};
     pub use qic_des::metrics::Metrics;
 }
 
 /// The 64-bit golden ratio, SplitMix64's increment constant.
-const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The SplitMix64 finaliser: a bijective avalanche mix on 64 bits.
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

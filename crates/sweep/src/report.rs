@@ -15,8 +15,15 @@ use serde::{Deserialize, Serialize};
 
 use qic_des::stats::Tally;
 
+use crate::json::{check_fields, get, obj, Json, JsonError};
 use crate::space::{Axis, AxisValue};
 use qic_des::metrics::Metrics;
+
+/// Schema version of the lossless record codec
+/// ([`CampaignReport::to_record_json`] and the point records inside
+/// checkpoint manifests). Bumped on any incompatible change; decoding
+/// surfaces a mismatch instead of guessing.
+pub const RECORD_VERSION: u32 = 1;
 
 /// Replicate aggregate of one metric at one point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -90,6 +97,41 @@ impl PointReport {
             index,
             params,
             replicates,
+            summaries,
+        }
+    }
+
+    /// Builds a point report from streamed per-metric tallies instead
+    /// of buffered replicates (the constant-memory aggregation path —
+    /// see [`Campaign::run_streaming`]).
+    ///
+    /// `tallies` must be in first-appearance metric order with samples
+    /// recorded in replicate order; the summaries are then bit-for-bit
+    /// identical to [`PointReport::from_replicates`] over the same
+    /// evaluations. [`PointReport::replicates`] stays empty — raw
+    /// samples are exactly what streaming aggregation does not retain.
+    ///
+    /// [`Campaign::run_streaming`]: crate::campaign::Campaign::run_streaming
+    pub fn from_tallies(
+        index: usize,
+        params: Vec<(String, AxisValue)>,
+        tallies: Vec<(String, Tally)>,
+    ) -> PointReport {
+        let summaries = tallies
+            .into_iter()
+            .map(|(name, tally)| MetricSummary {
+                name,
+                mean: tally.mean().unwrap_or(f64::NAN),
+                ci95: tally.ci95_half_width(),
+                min: tally.min().unwrap_or(f64::NAN),
+                max: tally.max().unwrap_or(f64::NAN),
+                n: tally.count(),
+            })
+            .collect();
+        PointReport {
+            index,
+            params,
+            replicates: Vec::new(),
             summaries,
         }
     }
@@ -307,10 +349,320 @@ impl CampaignReport {
                     None => out.push_str(",,,,"),
                 }
             }
-            let _ = writeln!(out, ",{}", point.replicates.len());
+            // The campaign-level replicate count, not the buffered
+            // replicate list: every point runs exactly this many, and
+            // streaming-mode reports (which keep no raw replicates)
+            // must emit the same bytes as buffered ones.
+            let _ = writeln!(out, ",{}", self.replicates);
         }
         out
     }
+
+    /// Serialises the report as a **lossless** single-line JSON record:
+    /// everything [`PartialEq`] compares — name, seed, replicates,
+    /// axes, and every point with raw replicates and summaries, floats
+    /// bit-exact (including `-0.0`, `NaN` and infinities) — and nothing
+    /// it does not: [`CampaignReport::wall_ns`] is deliberately
+    /// excluded, so records from different processes or machines merge
+    /// and compare cleanly.
+    ///
+    /// This is the shard hand-off and checkpoint format;
+    /// [`CampaignReport::to_json`] stays the human-facing emitter.
+    pub fn to_record_json(&self) -> String {
+        obj(vec![
+            ("record", Json::Str("campaign_report".into())),
+            ("version", Json::Int(i128::from(RECORD_VERSION))),
+            ("campaign", Json::Str(self.name.clone())),
+            ("seed", Json::Int(i128::from(self.seed))),
+            ("replicates", Json::Int(i128::from(self.replicates))),
+            (
+                "axes",
+                Json::Arr(self.axes.iter().map(axis_to_json).collect()),
+            ),
+            (
+                "points",
+                Json::Arr(self.points.iter().map(point_to_json).collect()),
+            ),
+        ])
+        .emit()
+    }
+
+    /// Parses a record produced by [`CampaignReport::to_record_json`].
+    ///
+    /// Strict: unknown or duplicate fields, a wrong `record` tag and a
+    /// [`RECORD_VERSION`] mismatch are all rejected with a structured
+    /// error. Wall times are not part of the record;
+    /// [`CampaignReport::wall_ns`] comes back zeroed (and is excluded
+    /// from equality and the emitters, so round-tripped reports compare
+    /// and emit identically).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on syntax, schema or version problems.
+    pub fn from_record_json(text: &str) -> Result<CampaignReport, JsonError> {
+        let value = Json::parse(text)?;
+        let fields = value.obj_of("campaign record")?;
+        check_fields(
+            fields,
+            &[
+                "record",
+                "version",
+                "campaign",
+                "seed",
+                "replicates",
+                "axes",
+                "points",
+            ],
+            "campaign record",
+        )?;
+        let tag = get(fields, "record", "campaign record")?.str_of("record")?;
+        if tag != "campaign_report" {
+            return Err(Json::schema_err(format!(
+                "campaign record: unexpected record tag {tag:?}"
+            )));
+        }
+        let version = get(fields, "version", "campaign record")?.u32_of("version")?;
+        if version != RECORD_VERSION {
+            return Err(Json::schema_err(format!(
+                "campaign record: version {version}, this build reads version {RECORD_VERSION}"
+            )));
+        }
+        let points: Vec<PointReport> = get(fields, "points", "campaign record")?
+            .arr_of("points")?
+            .iter()
+            .map(point_from_json)
+            .collect::<Result<_, _>>()?;
+        let wall_ns = vec![0; points.len()];
+        Ok(CampaignReport {
+            name: get(fields, "campaign", "campaign record")?
+                .str_of("campaign")?
+                .to_string(),
+            seed: get(fields, "seed", "campaign record")?.u64_of("seed")?,
+            replicates: get(fields, "replicates", "campaign record")?.u32_of("replicates")?,
+            axes: get(fields, "axes", "campaign record")?
+                .arr_of("axes")?
+                .iter()
+                .map(axis_from_json)
+                .collect::<Result<_, _>>()?,
+            points,
+            wall_ns,
+        })
+    }
+}
+
+// --- Lossless record codec helpers -----------------------------------------
+//
+// Shared by the campaign record above and the checkpoint manifest
+// (`crate::checkpoint`). Every f64 must survive the round trip
+// bit-for-bit: finite values ride the shortest-roundtrip float literal
+// (which `qic_sweep::json` guarantees, `-0.0` included); non-finite
+// values — which JSON numbers cannot carry — become tagged strings.
+
+/// Encodes an `f64` losslessly (non-finite values as strings).
+pub(crate) fn f64_to_json(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Float(v)
+    } else if v.is_nan() {
+        Json::Str("NaN".into())
+    } else if v > 0.0 {
+        Json::Str("Inf".into())
+    } else {
+        Json::Str("-Inf".into())
+    }
+}
+
+/// Decodes an `f64` written by [`f64_to_json`].
+pub(crate) fn f64_from_json(value: &Json, ctx: &str) -> Result<f64, JsonError> {
+    match value {
+        Json::Float(v) => Ok(*v),
+        Json::Int(v) => Ok(*v as f64),
+        Json::Str(s) => match s.as_str() {
+            "NaN" => Ok(f64::NAN),
+            "Inf" => Ok(f64::INFINITY),
+            "-Inf" => Ok(f64::NEG_INFINITY),
+            other => Err(Json::schema_err(format!(
+                "{ctx}: expected a number or NaN/Inf/-Inf, got {other:?}"
+            ))),
+        },
+        other => Err(Json::schema_err(format!(
+            "{ctx}: expected a number, got {other:?}"
+        ))),
+    }
+}
+
+fn axis_value_to_json(v: &AxisValue) -> Json {
+    match v {
+        AxisValue::Int(i) => Json::Int(i128::from(*i)),
+        // A non-finite float coordinate cannot ride a bare string (it
+        // would decode as Text); tag it as a one-field object.
+        AxisValue::F64(f) if !f.is_finite() => obj(vec![("f64", f64_to_json(*f))]),
+        AxisValue::F64(f) => Json::Float(*f),
+        AxisValue::Text(s) => Json::Str(s.clone()),
+    }
+}
+
+fn axis_value_from_json(value: &Json, ctx: &str) -> Result<AxisValue, JsonError> {
+    match value {
+        Json::Int(v) => i64::try_from(*v)
+            .map(AxisValue::Int)
+            .map_err(|_| Json::schema_err(format!("{ctx}: {v} out of i64 range"))),
+        Json::Float(v) => Ok(AxisValue::F64(*v)),
+        Json::Str(s) => Ok(AxisValue::Text(s.clone())),
+        Json::Obj(fields) => {
+            check_fields(fields, &["f64"], ctx)?;
+            Ok(AxisValue::F64(f64_from_json(
+                get(fields, "f64", ctx)?,
+                ctx,
+            )?))
+        }
+        other => Err(Json::schema_err(format!(
+            "{ctx}: expected an axis value, got {other:?}"
+        ))),
+    }
+}
+
+pub(crate) fn axis_to_json(axis: &Axis) -> Json {
+    obj(vec![
+        ("name", Json::Str(axis.name().into())),
+        (
+            "values",
+            Json::Arr(axis.values().iter().map(axis_value_to_json).collect()),
+        ),
+    ])
+}
+
+pub(crate) fn axis_from_json(value: &Json) -> Result<Axis, JsonError> {
+    let fields = value.obj_of("axis")?;
+    check_fields(fields, &["name", "values"], "axis")?;
+    let name = get(fields, "name", "axis")?.str_of("axis name")?;
+    let values = get(fields, "values", "axis")?
+        .arr_of("axis values")?
+        .iter()
+        .map(|v| axis_value_from_json(v, "axis value"))
+        .collect::<Result<_, _>>()?;
+    Ok(Axis::list(name, values))
+}
+
+fn metrics_to_json(m: &Metrics) -> Json {
+    Json::Obj(
+        m.names()
+            .map(|name| {
+                let v = m.get(name).expect("named metric present");
+                (name.to_string(), f64_to_json(v))
+            })
+            .collect(),
+    )
+}
+
+fn metrics_from_json(value: &Json) -> Result<Metrics, JsonError> {
+    let fields = value.obj_of("replicate metrics")?;
+    let mut m = Metrics::new();
+    for (i, (name, v)) in fields.iter().enumerate() {
+        if fields[..i].iter().any(|(k, _)| k == name) {
+            return Err(Json::schema_err(format!(
+                "replicate metrics: duplicate metric {name:?}"
+            )));
+        }
+        m = m.with(name.clone(), f64_from_json(v, "metric value")?);
+    }
+    Ok(m)
+}
+
+fn summary_to_json(s: &MetricSummary) -> Json {
+    obj(vec![
+        ("name", Json::Str(s.name.clone())),
+        ("mean", f64_to_json(s.mean)),
+        ("ci95", s.ci95.map_or(Json::Null, f64_to_json)),
+        ("min", f64_to_json(s.min)),
+        ("max", f64_to_json(s.max)),
+        ("n", Json::Int(i128::from(s.n))),
+    ])
+}
+
+fn summary_from_json(value: &Json) -> Result<MetricSummary, JsonError> {
+    let f = value.obj_of("metric summary")?;
+    check_fields(f, &["name", "mean", "ci95", "min", "max", "n"], "summary")?;
+    let ci95 = match get(f, "ci95", "summary")? {
+        Json::Null => None,
+        v => Some(f64_from_json(v, "summary ci95")?),
+    };
+    Ok(MetricSummary {
+        name: get(f, "name", "summary")?
+            .str_of("summary name")?
+            .to_string(),
+        mean: f64_from_json(get(f, "mean", "summary")?, "summary mean")?,
+        ci95,
+        min: f64_from_json(get(f, "min", "summary")?, "summary min")?,
+        max: f64_from_json(get(f, "max", "summary")?, "summary max")?,
+        n: get(f, "n", "summary")?.u64_of("summary n")?,
+    })
+}
+
+/// Encodes one point as a lossless record (shared with the checkpoint
+/// manifest).
+pub(crate) fn point_to_json(p: &PointReport) -> Json {
+    obj(vec![
+        ("index", Json::Int(p.index as i128)),
+        (
+            "params",
+            Json::Arr(
+                p.params
+                    .iter()
+                    .map(|(name, value)| {
+                        Json::Arr(vec![Json::Str(name.clone()), axis_value_to_json(value)])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "replicates",
+            Json::Arr(p.replicates.iter().map(metrics_to_json).collect()),
+        ),
+        (
+            "summaries",
+            Json::Arr(p.summaries.iter().map(summary_to_json).collect()),
+        ),
+    ])
+}
+
+/// Decodes one point record written by [`point_to_json`].
+pub(crate) fn point_from_json(value: &Json) -> Result<PointReport, JsonError> {
+    let fields = value.obj_of("point record")?;
+    check_fields(
+        fields,
+        &["index", "params", "replicates", "summaries"],
+        "point record",
+    )?;
+    let params = get(fields, "params", "point record")?
+        .arr_of("point params")?
+        .iter()
+        .map(|pair| {
+            let items = pair.arr_of("point param")?;
+            if items.len() != 2 {
+                return Err(Json::schema_err(
+                    "point param: expected a [name, value] pair",
+                ));
+            }
+            Ok((
+                items[0].str_of("param name")?.to_string(),
+                axis_value_from_json(&items[1], "param value")?,
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(PointReport {
+        index: get(fields, "index", "point record")?.usize_of("point index")?,
+        params,
+        replicates: get(fields, "replicates", "point record")?
+            .arr_of("point replicates")?
+            .iter()
+            .map(metrics_from_json)
+            .collect::<Result<_, _>>()?,
+        summaries: get(fields, "summaries", "point record")?
+            .arr_of("point summaries")?
+            .iter()
+            .map(summary_from_json)
+            .collect::<Result<_, _>>()?,
+    })
 }
 
 /// JSON string literal with minimal escaping.
@@ -545,6 +897,104 @@ mod tests {
         assert_eq!(csv_str("a,b"), "\"a,b\"");
         assert_eq!(csv_str("say \"hi\""), "\"say \"\"hi\"\"\"");
         assert_eq!(csv_f64(f64::NAN), "");
+    }
+
+    #[test]
+    fn record_codec_round_trips_and_excludes_wall_times() {
+        let mut a = report();
+        a.wall_ns = vec![123, 456];
+        let text = a.to_record_json();
+        assert!(!text.contains("wall"), "wall time leaked into the record");
+        let back = CampaignReport::from_record_json(&text).unwrap();
+        assert_eq!(back, a, "equality excludes wall times");
+        assert_eq!(back.wall_ns, vec![0, 0], "records carry no wall times");
+        assert_eq!(back.to_json(), a.to_json());
+        assert_eq!(back.to_csv(), a.to_csv());
+        assert_eq!(back.to_record_json(), text, "record codec is a fixpoint");
+    }
+
+    #[test]
+    fn record_codec_is_bit_exact_for_hostile_floats() {
+        let p = PointReport::from_replicates(
+            0,
+            vec![("x".into(), AxisValue::F64(0.1 + 0.2))],
+            vec![Metrics::new()
+                .with("neg_zero", -0.0)
+                .with("nan", f64::NAN)
+                .with("inf", f64::INFINITY)
+                .with("ninf", f64::NEG_INFINITY)
+                .with("tiny", 5e-324)],
+        );
+        let r = CampaignReport {
+            name: "bits".into(),
+            seed: 1,
+            replicates: 1,
+            axes: vec![Axis::f64s("x", [0.1 + 0.2])],
+            points: vec![p],
+            wall_ns: vec![0],
+        };
+        let back = CampaignReport::from_record_json(&r.to_record_json()).unwrap();
+        let m = &back.points[0].replicates[0];
+        assert_eq!(m.get("neg_zero").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(m.get("nan").unwrap().is_nan());
+        assert_eq!(m.get("inf"), Some(f64::INFINITY));
+        assert_eq!(m.get("ninf"), Some(f64::NEG_INFINITY));
+        assert_eq!(m.get("tiny").unwrap().to_bits(), 5e-324f64.to_bits());
+        assert_eq!(
+            back.axes[0].values()[0].as_f64().unwrap().to_bits(),
+            (0.1 + 0.2f64).to_bits()
+        );
+        // NaN makes summaries non-equal under ==; compare re-emission.
+        assert_eq!(back.to_record_json(), r.to_record_json());
+    }
+
+    #[test]
+    fn record_codec_rejects_unknown_fields_and_versions() {
+        let text = report().to_record_json();
+        let unknown = text.replacen("\"seed\"", "\"sneed\"", 1);
+        let err = CampaignReport::from_record_json(&unknown).unwrap_err();
+        assert!(err.problem.contains("unknown field"), "{err}");
+        let wrong_version = text.replacen("\"version\": 1", "\"version\": 99", 1);
+        let err = CampaignReport::from_record_json(&wrong_version).unwrap_err();
+        assert!(err.problem.contains("version 99"), "{err}");
+        let wrong_tag = text.replacen("campaign_report", "campaign_riport", 1);
+        assert!(CampaignReport::from_record_json(&wrong_tag).is_err());
+        assert!(CampaignReport::from_record_json("{\"record\":").is_err());
+    }
+
+    #[test]
+    fn from_tallies_matches_from_replicates_bitwise() {
+        let replicates = vec![
+            Metrics::new().with("lat", 10.0).with("bw", 0.5),
+            Metrics::new().with("lat", 14.5),
+            Metrics::new().with("lat", 11.25).with("bw", 0.75),
+        ];
+        let buffered = PointReport::from_replicates(3, vec![], replicates.clone());
+        // The streaming fold: first-appearance names, replicate order.
+        let mut names: Vec<String> = Vec::new();
+        let mut tallies: Vec<Tally> = Vec::new();
+        for rep in &replicates {
+            for name in rep.names() {
+                let v = rep.get(name).unwrap();
+                match names.iter().position(|n| n == name) {
+                    Some(i) => tallies[i].record(v),
+                    None => {
+                        names.push(name.to_string());
+                        let mut t = Tally::new();
+                        t.record(v);
+                        tallies.push(t);
+                    }
+                }
+            }
+        }
+        let streamed =
+            PointReport::from_tallies(3, vec![], names.into_iter().zip(tallies).collect());
+        assert!(streamed.replicates.is_empty());
+        assert_eq!(streamed.summaries, buffered.summaries);
+        for (s, b) in streamed.summaries.iter().zip(&buffered.summaries) {
+            assert_eq!(s.mean.to_bits(), b.mean.to_bits(), "{}", s.name);
+            assert_eq!(s.ci95.map(f64::to_bits), b.ci95.map(f64::to_bits));
+        }
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Campaign sharding: split a parameter space into contiguous point
+//! ranges, run each range anywhere, and merge the shard reports back
+//! into the serial campaign's report — byte for byte.
+//!
+//! A shard is a *contiguous* slice of the campaign's row-major point
+//! order. Contiguity is what makes merging trivial and exact: every
+//! point completes entirely within one shard (its replicates are never
+//! split), so the merge is pure concatenation in index order with no
+//! re-aggregation — no floating-point fold whose order could differ
+//! from the serial run. Per-point seeds derive from absolute point
+//! indices ([`crate::derive_seed`]), so shard `i/K` evaluates its
+//! points with exactly the seeds the serial campaign would have used.
+
+use std::fmt;
+
+use crate::report::{CampaignReport, PointReport};
+
+/// One contiguous slice `index/count` of a campaign's point order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shard {
+    index: usize,
+    count: usize,
+}
+
+impl Shard {
+    /// Shard `index` of `count` total shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `index >= count`.
+    pub fn new(index: usize, count: usize) -> Shard {
+        assert!(count >= 1, "shard count must be at least 1");
+        assert!(
+            index < count,
+            "shard index {index} out of range for {count} shards"
+        );
+        Shard { index, count }
+    }
+
+    /// Parses the `i/K` notation used on command lines (zero-based:
+    /// `0/4` is the first of four shards). Returns `None` unless both
+    /// numbers parse, `K >= 1` and `i < K`.
+    pub fn parse(text: &str) -> Option<Shard> {
+        let (i, k) = text.split_once('/')?;
+        let index: usize = i.trim().parse().ok()?;
+        let count: usize = k.trim().parse().ok()?;
+        if count >= 1 && index < count {
+            Some(Shard { index, count })
+        } else {
+            None
+        }
+    }
+
+    /// This shard's zero-based index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards in the split.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The contiguous range of point indices this shard owns in a
+    /// campaign of `total` points.
+    ///
+    /// Points split as evenly as possible: the first `total % count`
+    /// shards hold one extra point. The ranges of all `count` shards
+    /// partition `0..total` exactly — no gaps, no overlap — which the
+    /// merge validates again on the way back in.
+    pub fn point_range(&self, total: usize) -> std::ops::Range<usize> {
+        let base = total / self.count;
+        let extra = total % self.count;
+        // Shards before this one: `min(index, extra)` of them carry
+        // `base + 1` points, the rest carry `base`.
+        let start = self.index * base + self.index.min(extra);
+        let len = base + usize::from(self.index < extra);
+        start..start + len
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Why a set of shard reports could not be merged into one campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// No reports were given — there is nothing to merge.
+    Empty,
+    /// Two reports disagree on a campaign-level field, so they are not
+    /// shards of the same campaign.
+    Mismatch {
+        /// Which field disagreed (`"name"`, `"seed"`, `"replicates"`,
+        /// `"axes"`).
+        field: &'static str,
+    },
+    /// The same point index appears in more than one report.
+    Overlap {
+        /// The duplicated point index.
+        index: usize,
+    },
+    /// A point index of the campaign's space appears in no report —
+    /// the shard set is incomplete.
+    Gap {
+        /// The missing point index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "cannot merge an empty set of shard reports"),
+            MergeError::Mismatch { field } => {
+                write!(f, "shard reports disagree on campaign {field}")
+            }
+            MergeError::Overlap { index } => {
+                write!(f, "point {index} appears in more than one shard report")
+            }
+            MergeError::Gap { index } => {
+                write!(f, "point {index} is covered by no shard report")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl CampaignReport {
+    /// Merges shard reports back into the full campaign report.
+    ///
+    /// Every part must agree on name, seed, replicate count and axes,
+    /// and their point indices must exactly partition `0..N` where `N`
+    /// is the campaign's point count (the product of the axis lengths).
+    /// Points are placed by index, so the merged report — and its JSON
+    /// and CSV emissions — is byte-identical to the serial run's, for
+    /// any shard count and any order of `parts`. Per-point wall times
+    /// travel with their points; they remain measurement noise,
+    /// excluded from report equality and serialization.
+    pub fn merge(parts: Vec<CampaignReport>) -> Result<CampaignReport, MergeError> {
+        let mut parts = parts.into_iter();
+        let first = parts.next().ok_or(MergeError::Empty)?;
+        let total: usize = first.axes.iter().map(|a| a.values().len()).product();
+
+        let mut slots: Vec<Option<(PointReport, u64)>> = Vec::new();
+        slots.resize_with(total, || None);
+        let mut place = |report: CampaignReport| -> Result<(), MergeError> {
+            for (point, wall) in report.points.into_iter().zip(report.wall_ns) {
+                let index = point.index;
+                if index >= total {
+                    // A point outside the space means the axes the
+                    // parts agreed on do not describe this report.
+                    return Err(MergeError::Mismatch { field: "axes" });
+                }
+                if slots[index].is_some() {
+                    return Err(MergeError::Overlap { index });
+                }
+                slots[index] = Some((point, wall));
+            }
+            Ok(())
+        };
+
+        let (name, seed, replicates, axes) = (
+            first.name.clone(),
+            first.seed,
+            first.replicates,
+            first.axes.clone(),
+        );
+        place(first)?;
+        for part in parts {
+            if part.name != name {
+                return Err(MergeError::Mismatch { field: "name" });
+            }
+            if part.seed != seed {
+                return Err(MergeError::Mismatch { field: "seed" });
+            }
+            if part.replicates != replicates {
+                return Err(MergeError::Mismatch {
+                    field: "replicates",
+                });
+            }
+            if part.axes != axes {
+                return Err(MergeError::Mismatch { field: "axes" });
+            }
+            place(part)?;
+        }
+
+        let mut points = Vec::with_capacity(total);
+        let mut wall_ns = Vec::with_capacity(total);
+        for (index, slot) in slots.into_iter().enumerate() {
+            let (point, wall) = slot.ok_or(MergeError::Gap { index })?;
+            points.push(point);
+            wall_ns.push(wall);
+        }
+        Ok(CampaignReport {
+            name,
+            seed,
+            replicates,
+            axes,
+            points,
+            wall_ns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_valid_and_rejects_invalid() {
+        assert_eq!(Shard::parse("0/1"), Some(Shard::new(0, 1)));
+        assert_eq!(Shard::parse("2/4"), Some(Shard::new(2, 4)));
+        assert_eq!(Shard::parse("3/4").unwrap().to_string(), "3/4");
+        assert_eq!(Shard::parse("4/4"), None, "index must be < count");
+        assert_eq!(Shard::parse("0/0"), None, "count must be >= 1");
+        assert_eq!(Shard::parse("1"), None);
+        assert_eq!(Shard::parse("a/b"), None);
+        assert_eq!(Shard::parse("-1/2"), None);
+    }
+
+    #[test]
+    fn point_ranges_partition_the_space() {
+        for total in 0..40usize {
+            for count in 1..=9usize {
+                let mut covered = 0;
+                for index in 0..count {
+                    let range = Shard::new(index, count).point_range(total);
+                    assert_eq!(range.start, covered, "shard {index}/{count} of {total}");
+                    covered = range.end;
+                    // Even split: sizes differ by at most one.
+                    let size = range.len();
+                    assert!(size >= total / count && size <= total / count + 1);
+                }
+                assert_eq!(covered, total, "{count} shards must cover {total} points");
+            }
+        }
+    }
+
+    #[test]
+    fn earlier_shards_take_the_remainder() {
+        // 10 points over 4 shards: 3, 3, 2, 2.
+        let sizes: Vec<usize> = (0..4)
+            .map(|i| Shard::new(i, 4).point_range(10).len())
+            .collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+}

@@ -72,7 +72,10 @@ pub use qic_purify as purify;
 pub use qic_sweep as sweep;
 pub use qic_workload as workload;
 
-pub use qic_core::scenario::{ObserveSpec, ScenarioReport, ScenarioSpec};
+pub use qic_core::scenario::{
+    CheckpointSpec, ObserveSpec, ScenarioProgress, ScenarioReport, ScenarioSpec,
+};
+pub use qic_sweep::Shard;
 
 /// Runs a scenario: the single entry point for every experiment.
 ///
@@ -87,6 +90,38 @@ pub use qic_core::scenario::{ObserveSpec, ScenarioReport, ScenarioSpec};
 /// [`qic_core::scenario::ScenarioError`] if the spec fails validation.
 pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, qic_core::scenario::ScenarioError> {
     qic_core::scenario::run(spec)
+}
+
+/// Runs one contiguous shard `i/K` of a scenario's campaign; merging
+/// all `K` shard reports with [`qic_sweep::CampaignReport::merge`]
+/// reproduces the serial report byte for byte. See
+/// [`qic_core::scenario::run_shard`].
+///
+/// # Errors
+///
+/// [`qic_core::scenario::ScenarioError`] if the spec fails validation
+/// or carries a checkpoint block.
+pub fn run_shard(
+    spec: &ScenarioSpec,
+    shard: Shard,
+) -> Result<ScenarioReport, qic_core::scenario::ScenarioError> {
+    qic_core::scenario::run_shard(spec, shard)
+}
+
+/// Runs a checkpointed scenario with a point budget, committing the
+/// manifest and reporting progress; repeat until
+/// [`ScenarioProgress::Complete`]. See
+/// [`qic_core::scenario::run_budgeted`].
+///
+/// # Errors
+///
+/// [`qic_core::scenario::ScenarioError`] if the spec fails validation,
+/// has no checkpoint block, or the manifest is unusable.
+pub fn run_budgeted(
+    spec: &ScenarioSpec,
+    budget: Option<usize>,
+) -> Result<ScenarioProgress, qic_core::scenario::ScenarioError> {
+    qic_core::scenario::run_budgeted(spec, budget)
 }
 
 /// One-stop imports for examples and downstream users.
