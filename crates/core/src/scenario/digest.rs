@@ -1,0 +1,194 @@
+//! Content-addressed scenario identity: [`SpecDigest`].
+//!
+//! Two [`ScenarioSpec`]s that would produce byte-identical
+//! [`crate::scenario::ScenarioReport`]s must hash to the same digest,
+//! and any spec change that *can* change the report must change it.
+//! The digest therefore hashes the spec's **canonical JSON emission**
+//! with three execution-only fields stripped first:
+//!
+//! * `workers` — a scheduling hint; reports are byte-identical for 1
+//!   worker or 64 (the engine's determinism contract);
+//! * `observe` — trace export writes files *next to* the report without
+//!   touching its bytes;
+//! * `checkpoint` — resume bookkeeping; a resumed campaign's report is
+//!   byte-identical to an uninterrupted one's.
+//!
+//! Everything else — name, seed, replicates, axes, the experiment
+//! (machine, workload, fault plan, purification strategy, …) — is
+//! identity. Because the hash input is the canonical emission, a spec
+//! that round-trips through JSON (`from_json(to_json(s))`) keeps its
+//! digest: field order, whitespace and other encoding freedom in a
+//! *source* document never leak into the key.
+//!
+//! The hash itself is [`qic_sweep::digest_str`] — the same SplitMix64
+//! fold that keys checkpoint manifests. It is a 64-bit accident guard,
+//! not a cryptographic commitment; `qic-serve` uses it to key its
+//! result cache, where a collision would need two different canonical
+//! spec documents in the same cache directory.
+
+use std::fmt;
+
+use crate::scenario::spec::ScenarioSpec;
+
+/// The content-addressed identity of a scenario: a 64-bit digest of the
+/// canonical spec JSON with execution-only fields stripped.
+///
+/// Identity is everything that determines the report bytes — name,
+/// seed, replicates, axes, experiment — while execution hints
+/// (`workers`, `observe`, `checkpoint`) are stripped before hashing.
+/// Digests order and hash like the `u64` they wrap; [`fmt::Display`]
+/// renders the fixed-width form used in cache file names (`{:016x}`).
+///
+/// ```
+/// use qic_core::scenario::{ScenarioRegistry, ScenarioScale, SpecDigest};
+///
+/// let spec = ScenarioRegistry::builtin()
+///     .spec("design_space", ScenarioScale::SmallTest)
+///     .expect("registered");
+/// let digest = SpecDigest::of(&spec);
+/// // Worker count is an execution hint, not identity.
+/// assert_eq!(SpecDigest::of(&spec.clone().with_workers(7)), digest);
+/// // The seed is identity.
+/// assert_ne!(SpecDigest::of(&spec.with_seed(1)), digest);
+/// assert_eq!(digest.to_string().len(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpecDigest(u64);
+
+impl SpecDigest {
+    /// Digests a spec's identity.
+    pub fn of(spec: &ScenarioSpec) -> SpecDigest {
+        SpecDigest(qic_sweep::digest_str(&Self::identity_json(spec)))
+    }
+
+    /// The canonical JSON document the digest hashes: the spec with
+    /// `workers` zeroed and the `observe`/`checkpoint` blocks dropped.
+    /// Exposed so cache records can embed the exact identity they were
+    /// keyed on (making corruption checkable without re-running).
+    pub fn identity_json(spec: &ScenarioSpec) -> String {
+        let mut identity = spec.clone();
+        identity.workers = 0;
+        identity.observe = None;
+        identity.checkpoint = None;
+        identity.to_json()
+    }
+
+    /// The raw 64-bit digest.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a digest from its raw value (e.g. a cache record).
+    pub fn from_u64(value: u64) -> SpecDigest {
+        SpecDigest(value)
+    }
+
+    /// Parses the fixed-width hex form produced by [`fmt::Display`].
+    /// Returns `None` unless the input is exactly 16 lower-case hex
+    /// digits — the strictness keeps cache file names canonical.
+    pub fn parse_hex(text: &str) -> Option<SpecDigest> {
+        if text.len() != 16 || !text.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+            return None;
+        }
+        u64::from_str_radix(text, 16).ok().map(SpecDigest)
+    }
+}
+
+impl fmt::Display for SpecDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::spec::{CheckpointSpec, ObserveSpec};
+    use crate::scenario::{ScenarioAxis, ScenarioRegistry, ScenarioScale};
+
+    fn spec() -> ScenarioSpec {
+        ScenarioRegistry::builtin()
+            .spec("design_space", ScenarioScale::SmallTest)
+            .expect("design_space is registered")
+    }
+
+    #[test]
+    fn digest_is_stable_across_json_round_trips() {
+        for entry in ScenarioRegistry::builtin().entries() {
+            for scale in [ScenarioScale::Full, ScenarioScale::SmallTest] {
+                let spec = entry.spec(scale);
+                let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+                assert_eq!(
+                    SpecDigest::of(&back),
+                    SpecDigest::of(&spec),
+                    "{} at {scale:?}",
+                    entry.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn digest_ignores_execution_hints() {
+        let base = SpecDigest::of(&spec());
+        assert_eq!(SpecDigest::of(&spec().with_workers(16)), base);
+        assert_eq!(
+            SpecDigest::of(&spec().with_observe(ObserveSpec::to_dir("target/digest_obs"))),
+            base,
+            "trace export does not change report bytes"
+        );
+        assert_eq!(
+            SpecDigest::of(&spec().with_checkpoint(CheckpointSpec::to_dir("target/digest_ckpt"))),
+            base,
+            "resume bookkeeping does not change report bytes"
+        );
+    }
+
+    #[test]
+    fn digest_changes_with_every_identity_field() {
+        let base = SpecDigest::of(&spec());
+        let mut renamed = spec();
+        renamed.name = "design_space_2".into();
+        assert_ne!(SpecDigest::of(&renamed), base, "name");
+        assert_ne!(
+            SpecDigest::of(&spec().with_seed(spec().seed + 1)),
+            base,
+            "seed"
+        );
+        assert_ne!(
+            SpecDigest::of(&spec().with_replicates(spec().replicates + 1)),
+            base,
+            "replicates"
+        );
+        let mut extra_axis = spec();
+        extra_axis
+            .axes
+            .push(ScenarioAxis::PurifyDepths { depths: vec![3] });
+        assert_ne!(SpecDigest::of(&extra_axis), base, "axes");
+        // Distinct registry presets never collide with each other.
+        let registry = ScenarioRegistry::builtin();
+        let mut seen = std::collections::BTreeMap::new();
+        for entry in registry.entries() {
+            for scale in [ScenarioScale::Full, ScenarioScale::SmallTest] {
+                let spec = entry.spec(scale);
+                if let Some(prev) = seen.insert(SpecDigest::of(&spec), (entry.name, scale)) {
+                    panic!("digest collision: {prev:?} vs ({}, {scale:?})", entry.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hex_form_round_trips_and_rejects_noise() {
+        let digest = SpecDigest::of(&spec());
+        let hex = digest.to_string();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(SpecDigest::parse_hex(&hex), Some(digest));
+        assert_eq!(SpecDigest::from_u64(digest.as_u64()), digest);
+        for bad in ["", "xyz", "123", &format!("{hex}0"), &hex.to_uppercase()] {
+            if bad != hex.as_str() {
+                assert_eq!(SpecDigest::parse_hex(bad), None, "{bad:?}");
+            }
+        }
+    }
+}

@@ -36,6 +36,7 @@
 //! # Ok::<(), qic_core::scenario::ScenarioError>(())
 //! ```
 
+mod digest;
 mod registry;
 mod runner;
 mod spec;
@@ -44,9 +45,12 @@ mod spec;
 // (`qic_sweep::json`), where the campaign record and checkpoint codecs
 // share it; the error type stays re-exported here so `ScenarioError::Json`
 // keeps its established path.
+pub use digest::SpecDigest;
 pub use qic_sweep::json::JsonError;
 pub use registry::{faceoff_spec, fig16_spec, ScenarioEntry, ScenarioRegistry, ScenarioScale};
-pub use runner::{run, run_budgeted, run_shard, ScenarioProgress, ScenarioReport};
+pub use runner::{
+    run, run_budgeted, run_on, run_on_cancellable, run_shard, ScenarioProgress, ScenarioReport,
+};
 pub use spec::{
     ratio_resources, CheckpointSpec, ExperimentSpec, MachineSpec, NetPreset, ObserveSpec,
     ScenarioAxis, ScenarioError, ScenarioSpec, WorkloadSpec,

@@ -1,21 +1,24 @@
 //! The single entry point: `run(&spec) -> ScenarioReport`.
 
 use std::path::Path;
+use std::sync::Arc;
 
-use qic_analytic::figures::pair_budget;
+use qic_analytic::figures::{pair_budget, PairMetric};
 use qic_analytic::plan::ChannelModel;
 use qic_analytic::strategy::PurifyPlacement;
 use qic_net::sim::{BatchDriver, NetworkSim};
 use qic_net::topology::Coord;
 use qic_probe::RecordingProbe;
 use qic_sweep::{
-    Campaign, CampaignProgress, CampaignReport, CheckpointConfig, CheckpointError, JsonlProgress,
-    Metrics, Shard,
+    Campaign, CampaignProgress, CampaignReport, CancelToken, CheckpointConfig, CheckpointError,
+    Executor, JsonlProgress, Metrics, NoProgress, ProgressSink, Shard,
 };
+use qic_workload::Program;
 
 use crate::machine::Machine;
 use crate::scenario::spec::{
-    ExperimentSpec, MachineSpec, ObserveSpec, ScenarioError, ScenarioSpec, WorkloadSpec,
+    ExperimentSpec, MachineSpec, ObserveSpec, ScenarioAxis, ScenarioError, ScenarioSpec,
+    WorkloadSpec,
 };
 use crate::scheduler::ProgramDriver;
 
@@ -170,6 +173,80 @@ pub fn run_budgeted(
     }
 }
 
+/// Runs a scenario on a shared [`Executor`] instead of a transient
+/// per-call thread pool.
+///
+/// The report is **byte-identical** to [`run`]'s: both paths evaluate
+/// the same per-point seeds and fold replicates through the same
+/// buffered aggregation. What changes is scheduling only — the
+/// executor's workers serve this campaign alongside any others
+/// submitted concurrently (fair round-robin at point granularity), so a
+/// long-lived service can run many scenarios without spawning a pool
+/// per request. The spec's `workers` hint is ignored on this path: the
+/// pool was sized when the executor was built (explicit count, else the
+/// `QIC_WORKERS` environment variable, else the machine's parallelism —
+/// see [`Executor::new`]).
+///
+/// # Errors
+///
+/// [`ScenarioError`] if the spec fails validation, or if it has a
+/// checkpoint block — executor runs neither read nor write manifests
+/// (resume bookkeeping belongs to the dedicated [`run_budgeted`] path),
+/// so combining the two would silently disable resume.
+pub fn run_on(spec: &ScenarioSpec, exec: &Executor) -> Result<ScenarioReport, ScenarioError> {
+    let report = run_on_cancellable(spec, exec, Arc::new(NoProgress), &CancelToken::new())?;
+    Ok(report.expect("an uncancelled run completes"))
+}
+
+/// [`run_on`] with live progress and cooperative cancellation — the
+/// service-layer entry point (`qic-serve` streams the sink's events to
+/// job watchers and trips the token on cancel/shutdown).
+///
+/// `progress` hears one start/finish pair per *point* (not per
+/// replicate). Cancelling stops further points from being claimed;
+/// points already evaluating finish, and the call returns `Ok(None)`
+/// instead of a report. A token that is never cancelled makes this
+/// exactly [`run_on`].
+///
+/// # Errors
+///
+/// As [`run_on`]: validation failures and checkpointed specs.
+pub fn run_on_cancellable(
+    spec: &ScenarioSpec,
+    exec: &Executor,
+    progress: Arc<dyn ProgressSink + Send + Sync>,
+    cancel: &CancelToken,
+) -> Result<Option<ScenarioReport>, ScenarioError> {
+    spec.validate()?;
+    if spec.checkpoint.is_some() {
+        return Err(ScenarioError::Spec {
+            scenario: spec.name.clone(),
+            problem: "executor runs do not checkpoint; drop the checkpoint block \
+                      or use run_budgeted for resumable execution"
+                .into(),
+        });
+    }
+    let campaign = campaign(spec);
+    let report = match &spec.experiment {
+        ExperimentSpec::Machine { machine, workload } => {
+            let me = Arc::new(MachineEval::new(spec, machine, workload));
+            campaign.run_on_observed(exec, move |p, ctx| me.eval(p, ctx), progress, cancel)
+        }
+        ExperimentSpec::Channel {
+            placement,
+            hops,
+            metric,
+        } => {
+            let ce = Arc::new(ChannelEval::new(spec, *placement, *hops, *metric));
+            campaign.run_on_observed(exec, move |p, ctx| ce.eval(p, ctx), progress, cancel)
+        }
+    };
+    Ok(report.map(|report| ScenarioReport {
+        spec: spec.clone(),
+        report,
+    }))
+}
+
 fn dispatch(spec: &ScenarioSpec, mode: ExecMode) -> Result<ExecOutcome, ScenarioError> {
     match &spec.experiment {
         ExperimentSpec::Machine { machine, workload } => run_machine(spec, machine, workload, mode),
@@ -274,34 +351,61 @@ fn write_traces(
     }
 }
 
-fn run_machine(
-    spec: &ScenarioSpec,
-    machine: &MachineSpec,
-    workload: &WorkloadSpec,
-    mode: ExecMode,
-) -> Result<ExecOutcome, ScenarioError> {
-    // Unless a workload axis varies it per point, generate the program
-    // once up front (QFT-256 is tens of thousands of instructions).
-    let workload_varies = spec
-        .axes
-        .iter()
-        .any(|a| matches!(a, crate::scenario::ScenarioAxis::Workloads { .. }));
-    let base_program = if workload_varies {
-        None
-    } else {
-        workload.program()
-    };
-    let observe = spec.observe.as_ref();
-    if let Some(obs) = observe {
-        std::fs::create_dir_all(&obs.dir)
-            .unwrap_or_else(|e| panic!("creating observe directory {}: {e}", obs.dir));
+/// The owned evaluator behind every machine experiment: everything one
+/// point evaluation needs, cloned out of the spec so the same struct
+/// serves both execution paths — borrowed by the transient scoped pool
+/// (`run` / `run_shard` / `run_budgeted`) and `Arc`'d into the shared
+/// [`Executor`] (`run_on`), whose tasks must be `Send + 'static`.
+struct MachineEval {
+    name: String,
+    axes: Vec<ScenarioAxis>,
+    machine: MachineSpec,
+    workload: WorkloadSpec,
+    /// Unless a workload axis varies it per point, the program is
+    /// generated once up front (QFT-256 is tens of thousands of
+    /// instructions).
+    base_program: Option<Program>,
+    observe: Option<ObserveSpec>,
+}
+
+impl MachineEval {
+    /// Clones the evaluation state out of a validated spec and creates
+    /// the observe directory if trace export is requested.
+    fn new(spec: &ScenarioSpec, machine: &MachineSpec, workload: &WorkloadSpec) -> MachineEval {
+        let workload_varies = spec
+            .axes
+            .iter()
+            .any(|a| matches!(a, ScenarioAxis::Workloads { .. }));
+        let base_program = if workload_varies {
+            None
+        } else {
+            workload.program()
+        };
+        if let Some(obs) = &spec.observe {
+            std::fs::create_dir_all(&obs.dir)
+                .unwrap_or_else(|e| panic!("creating observe directory {}: {e}", obs.dir));
+        }
+        MachineEval {
+            name: spec.name.clone(),
+            axes: spec.axes.clone(),
+            machine: machine.clone(),
+            workload: workload.clone(),
+            base_program,
+            observe: spec.observe.clone(),
+        }
     }
-    let eval = |point: &qic_sweep::SweepPoint<'_>, ctx: qic_sweep::RunCtx| -> Metrics {
-        let mut net = machine.net_config();
-        let mut layout = machine.layout;
-        let mut wl = workload.clone();
-        let mut fault = machine.fault.clone();
-        for (a, axis) in spec.axes.iter().enumerate() {
+
+    /// Evaluates one `(point, replicate)`: applies every axis to the
+    /// base machine/workload, seeds the net RNG from the derived seed,
+    /// and runs the simulator (degraded fabric when a fault plan is in
+    /// play, probed when trace export is on).
+    fn eval(&self, point: &qic_sweep::SweepPoint<'_>, ctx: qic_sweep::RunCtx) -> Metrics {
+        let observe = self.observe.as_ref();
+        let mut net = self.machine.net_config();
+        let mut layout = self.machine.layout;
+        let mut wl = self.workload.clone();
+        let mut fault = self.machine.fault.clone();
+        for (a, axis) in self.axes.iter().enumerate() {
             axis.apply_machine(point.coord(a), &mut net, &mut layout, &mut wl, &mut fault);
         }
         // Per-point derived seeds follow the engine's replication
@@ -331,7 +435,7 @@ fn run_machine(
                                 .run_traced(&mut driver),
                             None => NetworkSim::with_probe(net, probe).run_traced(&mut driver),
                         };
-                        write_traces(obs, &spec.name, point.index(), ctx.replicate, &probe);
+                        write_traces(obs, &self.name, point.index(), ctx.replicate, &probe);
                         report
                     }
                     None => match degraded {
@@ -343,7 +447,7 @@ fn run_machine(
             }
             program_workload => {
                 let per_point;
-                let program = match &base_program {
+                let program = match &self.base_program {
                     Some(shared) => shared,
                     None => {
                         per_point = program_workload
@@ -367,7 +471,7 @@ fn run_machine(
                                 let (report, probe) =
                                     NetworkSim::with_topology_probe(net, topo, probe)
                                         .run_traced(&mut driver);
-                                write_traces(obs, &spec.name, point.index(), ctx.replicate, &probe);
+                                write_traces(obs, &self.name, point.index(), ctx.replicate, &probe);
                                 report
                             }
                             None => NetworkSim::with_topology(net, topo).run(&mut driver),
@@ -385,7 +489,7 @@ fn run_machine(
                         let (report, probe) =
                             NetworkSim::with_probe(net, probe).run_traced(&mut driver);
                         driver.assert_finished();
-                        write_traces(obs, &spec.name, point.index(), ctx.replicate, &probe);
+                        write_traces(obs, &self.name, point.index(), ctx.replicate, &probe);
                         report.metrics()
                     }
                     (None, None) => {
@@ -397,8 +501,19 @@ fn run_machine(
                 }
             }
         }
-    };
-    if let (ExecMode::Full, Some(obs), None) = (mode, observe, spec.checkpoint.as_ref()) {
+    }
+}
+
+fn run_machine(
+    spec: &ScenarioSpec,
+    machine: &MachineSpec,
+    workload: &WorkloadSpec,
+    mode: ExecMode,
+) -> Result<ExecOutcome, ScenarioError> {
+    let me = MachineEval::new(spec, machine, workload);
+    let eval = |point: &qic_sweep::SweepPoint<'_>, ctx: qic_sweep::RunCtx| me.eval(point, ctx);
+    if let (ExecMode::Full, Some(obs), None) = (mode, me.observe.as_ref(), spec.checkpoint.as_ref())
+    {
         // Campaign-level observability rides along: a machine-
         // readable progress stream (wall-clock, outside the
         // determinism contract) next to the traces. Checkpointed and
@@ -416,24 +531,53 @@ fn run_machine(
     execute(spec, mode, eval)
 }
 
-fn run_channel(
-    spec: &ScenarioSpec,
-    base_placement: PurifyPlacement,
-    base_hops: u32,
-    metric: qic_analytic::figures::PairMetric,
-    mode: ExecMode,
-) -> Result<ExecOutcome, ScenarioError> {
-    execute(spec, mode, |point, _ctx| {
-        let mut placement = base_placement;
-        let mut hops = base_hops;
+/// The owned evaluator behind channel experiments — the closed-form
+/// pair-budget model. Like [`MachineEval`], it serves the scoped pool
+/// borrowed and the shared [`Executor`] `Arc`'d.
+struct ChannelEval {
+    axes: Vec<ScenarioAxis>,
+    placement: PurifyPlacement,
+    hops: u32,
+    metric: PairMetric,
+}
+
+impl ChannelEval {
+    fn new(
+        spec: &ScenarioSpec,
+        placement: PurifyPlacement,
+        hops: u32,
+        metric: PairMetric,
+    ) -> ChannelEval {
+        ChannelEval {
+            axes: spec.axes.clone(),
+            placement,
+            hops,
+            metric,
+        }
+    }
+
+    fn eval(&self, point: &qic_sweep::SweepPoint<'_>, _ctx: qic_sweep::RunCtx) -> Metrics {
+        let mut placement = self.placement;
+        let mut hops = self.hops;
         let mut rates = None;
-        for (a, axis) in spec.axes.iter().enumerate() {
+        for (a, axis) in self.axes.iter().enumerate() {
             axis.apply_channel(point.coord(a), &mut placement, &mut hops, &mut rates);
         }
         let mut model = ChannelModel::ion_trap().with_placement(placement);
         if let Some(rates) = rates {
             model = model.with_rates(rates);
         }
-        Metrics::new().with("pairs", pair_budget(&model, hops, metric))
-    })
+        Metrics::new().with("pairs", pair_budget(&model, hops, self.metric))
+    }
+}
+
+fn run_channel(
+    spec: &ScenarioSpec,
+    base_placement: PurifyPlacement,
+    base_hops: u32,
+    metric: PairMetric,
+    mode: ExecMode,
+) -> Result<ExecOutcome, ScenarioError> {
+    let ce = ChannelEval::new(spec, base_placement, base_hops, metric);
+    execute(spec, mode, |point, ctx| ce.eval(point, ctx))
 }

@@ -1,0 +1,98 @@
+//! `run_on` (shared executor) versus `run` (transient pool): the report
+//! must be byte-identical — the service layer's cache keys on a spec
+//! digest and then serves `run_on` output as if it were `run` output.
+
+use std::sync::Arc;
+
+use qic_core::scenario::{
+    self, CheckpointSpec, ScenarioRegistry, ScenarioScale, ScenarioSpec, SpecDigest,
+};
+use qic_sweep::{CancelToken, Executor, JsonlProgress};
+
+fn preset(name: &str) -> ScenarioSpec {
+    ScenarioRegistry::builtin()
+        .spec(name, ScenarioScale::SmallTest)
+        .unwrap_or_else(|| panic!("{name} is registered"))
+}
+
+#[test]
+fn run_on_matches_run_byte_for_byte() {
+    let exec = Executor::new(2);
+    // One machine preset (simulator path) and one channel spec
+    // (closed-form path) — both families go through the executor.
+    for spec in [
+        preset("design_space"),
+        preset("topology_faceoff"),
+        preset("fig12"),
+    ] {
+        let direct = scenario::run(&spec).expect("direct run");
+        let shared = scenario::run_on(&spec, &exec).expect("executor run");
+        assert_eq!(shared, direct, "{}", spec.name);
+        assert_eq!(
+            shared.report.to_json(),
+            direct.report.to_json(),
+            "{}",
+            spec.name
+        );
+        assert_eq!(
+            shared.report.to_csv(),
+            direct.report.to_csv(),
+            "{}",
+            spec.name
+        );
+        assert_eq!(
+            shared.report.to_record_json(),
+            direct.report.to_record_json(),
+            "{}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn run_on_ignores_the_workers_hint() {
+    let exec = Executor::new(1);
+    let spec = preset("design_space");
+    let hinted = spec.clone().with_workers(6);
+    assert_eq!(
+        SpecDigest::of(&hinted),
+        SpecDigest::of(&spec),
+        "workers is not identity"
+    );
+    assert_eq!(
+        scenario::run_on(&hinted, &exec).unwrap().report.to_json(),
+        scenario::run(&spec).unwrap().report.to_json()
+    );
+}
+
+#[test]
+fn run_on_rejects_checkpointed_specs() {
+    let exec = Executor::new(1);
+    let spec = preset("design_space").with_checkpoint(CheckpointSpec::to_dir("target/run_on_ckpt"));
+    let err = scenario::run_on(&spec, &exec).unwrap_err();
+    assert!(err.to_string().contains("checkpoint"), "{err}");
+    assert!(
+        !std::path::Path::new("target/run_on_ckpt").exists(),
+        "rejection must not touch the manifest directory"
+    );
+}
+
+#[test]
+fn run_on_cancellable_streams_progress_and_stops() {
+    let exec = Executor::new(2);
+    let spec = preset("design_space");
+    // Uncancelled: completes, and the sink hears one finish per point.
+    let sink = Arc::new(JsonlProgress::new(Vec::new(), 8));
+    let report =
+        scenario::run_on_cancellable(&spec, &exec, Arc::clone(&sink) as _, &CancelToken::new())
+            .expect("valid spec")
+            .expect("uncancelled runs complete");
+    assert_eq!(sink.done(), report.report.points.len());
+    // Pre-cancelled: no points run, no report.
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled =
+        scenario::run_on_cancellable(&spec, &exec, Arc::new(qic_sweep::NoProgress), &token)
+            .expect("valid spec");
+    assert!(cancelled.is_none(), "cancelled runs yield no report");
+}

@@ -1,0 +1,281 @@
+//! The JSONL front-end: newline-delimited requests in, newline-delimited
+//! events out — scriptable from the shell (see `examples/serve.rs`).
+//!
+//! # Protocol
+//!
+//! One JSON object per line. Requests:
+//!
+//! ```text
+//! {"op": "submit", "preset": "design_space", "scale": "small"}
+//! {"op": "submit", "spec": "<ScenarioSpec JSON, as a string>"}
+//! {"op": "status", "job": 1}
+//! {"op": "wait", "job": 1}
+//! {"op": "cancel", "job": 1}
+//! {"op": "metrics"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! Responses (one or more lines per request; every line is one object):
+//!
+//! * `{"event": "submitted", "job": 1}` — or
+//!   `{"event": "error", "error": "queue_full", "limit": 64}` when the
+//!   admission bound pushes back.
+//! * `status` answers with the job's current state; `wait` first
+//!   streams `{"event": "progress", "job": 1, "done": 3, "total": 8}`
+//!   lines as points finish, then the terminal
+//!   `{"event": "result", "job": 1, "state": "done",
+//!   "source": "computed", "wall_ms": …, "report": "<record JSON>"}`.
+//!   The embedded report is the campaign's lossless record document —
+//!   byte-identical for cached, coalesced and computed jobs alike.
+//! * `{"event": "bye"}` acknowledges `shutdown` and ends the session.
+//!
+//! With an output directory configured, each completed job's report is
+//! also written to `{dir}/job-N.json` (record JSON) and
+//! `{dir}/job-N.csv` — the same bytes `examples/scenario_run.rs` would
+//! produce for the same spec, which is how the CI smoke test checks
+//! cache hits end to end.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+use std::time::Duration;
+
+use qic_core::scenario::{ScenarioRegistry, ScenarioScale, ScenarioSpec};
+use qic_sweep::json::{get, get_opt, obj, Json, JsonError};
+
+use crate::job::{JobId, JobState};
+use crate::service::{ServeError, ServeHandle};
+
+/// How often `wait` polls for progress changes.
+const WAIT_POLL: Duration = Duration::from_millis(5);
+
+/// Runs the JSONL session loop: reads requests from `input` until EOF
+/// or a `shutdown` op, writing response events to `output` (flushed
+/// after every line, so the stream is pipe- and socket-friendly).
+///
+/// `out_dir`, when set, receives `job-N.json` / `job-N.csv` files for
+/// every job a `wait` resolves as done.
+///
+/// # Errors
+///
+/// Only I/O errors on `output` (or `out_dir` files) are fatal to the
+/// session; malformed requests produce `error` events and the loop
+/// continues.
+pub fn serve_lines<R: BufRead, W: Write>(
+    handle: &ServeHandle,
+    input: R,
+    mut output: W,
+    out_dir: Option<&Path>,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match request_of(&line) {
+            Ok(Request::Shutdown) => {
+                emit(&mut output, obj(vec![("event", Json::Str("bye".into()))]))?;
+                return Ok(());
+            }
+            Ok(req) => handle_request(handle, req, &mut output, out_dir)?,
+            Err(e) => emit(
+                &mut output,
+                obj(vec![
+                    ("event", Json::Str("error".into())),
+                    ("error", Json::Str("bad_request".into())),
+                    ("message", Json::Str(e.to_string())),
+                ]),
+            )?,
+        }
+    }
+    Ok(())
+}
+
+enum Request {
+    Submit(Box<ScenarioSpec>),
+    Status(JobId),
+    Wait(JobId),
+    Cancel(JobId),
+    Metrics,
+    Shutdown,
+}
+
+fn request_of(line: &str) -> Result<Request, JsonError> {
+    let parsed = Json::parse(line)?;
+    let fields = parsed.obj_of("request")?;
+    let op = get(fields, "op", "request")?.str_of("op")?;
+    let job_of = |ctx: &str| -> Result<JobId, JsonError> {
+        Ok(JobId(get(fields, "job", ctx)?.u64_of("job")?))
+    };
+    match op {
+        "submit" => {
+            let spec = match get_opt(fields, "spec") {
+                Some(text) => {
+                    let text = text.str_of("spec")?;
+                    ScenarioSpec::from_json(text)
+                        .map_err(|e| Json::schema_err(format!("spec: {e}")))?
+                }
+                None => {
+                    let preset = get(fields, "preset", "submit")?.str_of("preset")?;
+                    let scale = match get_opt(fields, "scale") {
+                        Some(s) => match s.str_of("scale")? {
+                            "full" => ScenarioScale::Full,
+                            "small" => ScenarioScale::SmallTest,
+                            other => {
+                                return Err(Json::schema_err(format!(
+                                    "scale {other:?} (want \"full\" or \"small\")"
+                                )))
+                            }
+                        },
+                        None => ScenarioScale::Full,
+                    };
+                    ScenarioRegistry::builtin()
+                        .spec(preset, scale)
+                        .ok_or_else(|| Json::schema_err(format!("unknown preset {preset:?}")))?
+                }
+            };
+            Ok(Request::Submit(Box::new(spec)))
+        }
+        "status" => Ok(Request::Status(job_of("status")?)),
+        "wait" => Ok(Request::Wait(job_of("wait")?)),
+        "cancel" => Ok(Request::Cancel(job_of("cancel")?)),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(Json::schema_err(format!("unknown op {other:?}"))),
+    }
+}
+
+fn handle_request<W: Write>(
+    handle: &ServeHandle,
+    req: Request,
+    output: &mut W,
+    out_dir: Option<&Path>,
+) -> std::io::Result<()> {
+    match req {
+        Request::Submit(spec) => match handle.submit(*spec) {
+            Ok(id) => emit(
+                output,
+                obj(vec![
+                    ("event", Json::Str("submitted".into())),
+                    ("job", Json::Int(i128::from(id.0))),
+                ]),
+            ),
+            Err(ServeError::QueueFull { limit }) => emit(
+                output,
+                obj(vec![
+                    ("event", Json::Str("error".into())),
+                    ("error", Json::Str("queue_full".into())),
+                    ("limit", Json::Int(limit as i128)),
+                ]),
+            ),
+            Err(ServeError::ShuttingDown) => emit(
+                output,
+                obj(vec![
+                    ("event", Json::Str("error".into())),
+                    ("error", Json::Str("shutting_down".into())),
+                ]),
+            ),
+        },
+        Request::Status(id) => match handle.status(id) {
+            None => unknown_job(output, id),
+            Some(state) => emit(output, state_event("status", id, &state)),
+        },
+        Request::Wait(id) => {
+            if handle.status(id).is_none() {
+                return unknown_job(output, id);
+            }
+            let mut last_done = usize::MAX;
+            let state = loop {
+                match handle.status(id) {
+                    None => return unknown_job(output, id),
+                    Some(state) if state.is_terminal() => break state,
+                    Some(JobState::Running { done, total }) => {
+                        if done != last_done {
+                            last_done = done;
+                            emit(
+                                output,
+                                obj(vec![
+                                    ("event", Json::Str("progress".into())),
+                                    ("job", Json::Int(i128::from(id.0))),
+                                    ("done", Json::Int(done as i128)),
+                                    ("total", Json::Int(total as i128)),
+                                ]),
+                            )?;
+                        }
+                        std::thread::sleep(WAIT_POLL);
+                    }
+                    Some(_) => std::thread::sleep(WAIT_POLL),
+                }
+            };
+            if let (JobState::Done { report, .. }, Some(dir)) = (&state, out_dir) {
+                std::fs::create_dir_all(dir)?;
+                let stem = dir.join(id.to_string());
+                std::fs::write(stem.with_extension("json"), report.report.to_record_json())?;
+                std::fs::write(stem.with_extension("csv"), report.to_csv())?;
+            }
+            emit(output, state_event("result", id, &state))
+        }
+        Request::Cancel(id) => emit(
+            output,
+            obj(vec![
+                ("event", Json::Str("cancelled".into())),
+                ("job", Json::Int(i128::from(id.0))),
+                ("accepted", Json::Bool(handle.cancel(id))),
+            ]),
+        ),
+        Request::Metrics => {
+            let metrics = handle.metrics();
+            let mut fields = vec![("event".to_string(), Json::Str("metrics".into()))];
+            fields.extend(
+                metrics
+                    .iter()
+                    .map(|(name, value)| (name.to_string(), Json::Float(value))),
+            );
+            emit(output, Json::Obj(fields))
+        }
+        Request::Shutdown => unreachable!("handled by the session loop"),
+    }
+}
+
+/// One terminal-or-status event line for a job state.
+fn state_event(event: &str, id: JobId, state: &JobState) -> Json {
+    let mut fields = vec![
+        ("event", Json::Str(event.into())),
+        ("job", Json::Int(i128::from(id.0))),
+        ("state", Json::Str(state.label().into())),
+    ];
+    match state {
+        JobState::Queued => {}
+        JobState::Running { done, total } => {
+            fields.push(("done", Json::Int(*done as i128)));
+            fields.push(("total", Json::Int(*total as i128)));
+        }
+        JobState::Done {
+            report,
+            source,
+            wall_ns,
+        } => {
+            fields.push(("source", Json::Str(source.label().into())));
+            fields.push(("wall_ms", Json::Float(*wall_ns as f64 / 1e6)));
+            fields.push(("report", Json::Str(report.report.to_record_json())));
+        }
+        JobState::Failed { message } => fields.push(("message", Json::Str(message.clone()))),
+        JobState::Rejected { reason } => fields.push(("reason", Json::Str(reason.clone()))),
+    }
+    obj(fields)
+}
+
+fn unknown_job<W: Write>(output: &mut W, id: JobId) -> std::io::Result<()> {
+    emit(
+        output,
+        obj(vec![
+            ("event", Json::Str("error".into())),
+            ("error", Json::Str("unknown_job".into())),
+            ("job", Json::Int(i128::from(id.0))),
+        ]),
+    )
+}
+
+fn emit<W: Write>(output: &mut W, event: Json) -> std::io::Result<()> {
+    writeln!(output, "{}", event.emit())?;
+    output.flush()
+}

@@ -1,9 +1,10 @@
 //! Campaign definition and execution.
 
 use std::ops::Range;
+use std::sync::Arc;
 
 use crate::derive_seed;
-use crate::exec::{default_workers, run_indexed_observed};
+use crate::exec::{default_workers, run_indexed_observed, CancelToken, Executor};
 use crate::progress::{NoProgress, ProgressSink};
 use crate::report::{CampaignReport, PointReport};
 use crate::shard::Shard;
@@ -159,6 +160,89 @@ impl Campaign {
     {
         let (points, wall_ns) = self.run_range_buffered(0..self.space.len(), &eval, progress);
         self.report_of(points, wall_ns)
+    }
+
+    /// Evaluates the campaign on a shared [`Executor`] instead of the
+    /// per-call transient pool — the multi-tenant path behind
+    /// `qic-serve`, where many campaigns share one machine fairly.
+    ///
+    /// The report is **byte-identical** to [`Campaign::run`]'s (same
+    /// buffered per-point fold, same derived seeds, index-addressed),
+    /// whatever the pool size or concurrent load. Differences from
+    /// `run`:
+    ///
+    /// * scheduling is per **point** (one task per point, replicates
+    ///   evaluated in-task), the granularity at which the executor
+    ///   round-robins between concurrent submissions;
+    /// * the campaign's own [`Campaign::workers`] setting is ignored —
+    ///   the pool was sized at [`Executor::new`] (explicit count >
+    ///   `QIC_WORKERS` > default);
+    /// * `eval` must be `Send + 'static` (the pool's threads outlive
+    ///   this call's borrows).
+    ///
+    /// A panic inside `eval` cancels the remaining points of **this**
+    /// campaign and propagates here; concurrent submissions are
+    /// unaffected.
+    pub fn run_on<F>(&self, exec: &Executor, eval: F) -> CampaignReport
+    where
+        F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Send + Sync + 'static,
+    {
+        self.run_on_observed(exec, eval, Arc::new(NoProgress), &CancelToken::new())
+            .expect("an uncancelled run completes")
+    }
+
+    /// [`Campaign::run_on`] with observability and cancellation:
+    /// `progress` hears every point claim/finish (task indices are
+    /// **point** indices here, with pool-worker attribution), and
+    /// tripping `cancel` stops further point claims — in-flight points
+    /// finish, then the run returns `None`. `Some(report)` is
+    /// byte-identical to [`Campaign::run`]'s.
+    pub fn run_on_observed<F>(
+        &self,
+        exec: &Executor,
+        eval: F,
+        progress: Arc<dyn ProgressSink + Send + Sync>,
+        cancel: &CancelToken,
+    ) -> Option<CampaignReport>
+    where
+        F: Fn(&SweepPoint<'_>, RunCtx) -> Metrics + Send + Sync + 'static,
+    {
+        let n_points = self.space.len();
+        let campaign = Arc::new(self.clone());
+        let task = {
+            let campaign = Arc::clone(&campaign);
+            move |index: usize| -> PointReport {
+                let point = campaign.space.point(index);
+                // The same replicate-buffering fold as the transient
+                // path (`run_range_buffered`), so the report bytes —
+                // including per-metric `samples` arrays — match.
+                let replicates: Vec<Metrics> = (0..campaign.replicates)
+                    .map(|replicate| eval(&point, campaign.ctx(index, replicate)))
+                    .collect();
+                PointReport::from_replicates(
+                    index,
+                    point_params(&campaign.space, index),
+                    replicates,
+                )
+            }
+        };
+        let mut slots: Vec<Option<(PointReport, u64)>> = Vec::new();
+        slots.resize_with(n_points, || None);
+        let complete = exec.run_indexed_observed(
+            n_points,
+            task,
+            |index, point, wall_ns| slots[index] = Some((point, wall_ns)),
+            progress,
+            cancel,
+        );
+        if !complete {
+            return None;
+        }
+        let (points, wall_ns) = slots
+            .into_iter()
+            .map(|s| s.expect("every point completed"))
+            .unzip();
+        Some(self.report_of(points, wall_ns))
     }
 
     /// Evaluates one contiguous shard of the campaign — exactly the

@@ -46,7 +46,6 @@ use crate::campaign::{Campaign, RunCtx};
 use crate::json::{check_fields, get, obj, Json, JsonError};
 use crate::report::{axis_to_json, point_from_json, point_to_json, CampaignReport, PointReport};
 use crate::space::SweepPoint;
-use crate::{splitmix64, GOLDEN};
 use qic_des::metrics::Metrics;
 
 /// Schema version of the checkpoint manifest. Bumped on any
@@ -475,7 +474,8 @@ impl<'a> Manifest<'a> {
     }
 
     /// Fingerprints the campaign spec (name, seed, replicates, axes) by
-    /// hashing its canonical JSON emission with a SplitMix64 byte fold.
+    /// hashing its canonical JSON emission with [`crate::digest_str`] —
+    /// the same primitive behind `qic_core::scenario::SpecDigest`.
     /// Not cryptographic — it guards against *accidental* spec drift
     /// between the run that wrote a manifest and the run resuming it.
     fn spec_hash(&self) -> u64 {
@@ -499,11 +499,7 @@ impl<'a> Manifest<'a> {
             ),
         ])
         .emit();
-        let mut h = GOLDEN;
-        for byte in spec.bytes() {
-            h = splitmix64(h ^ u64::from(byte));
-        }
-        h
+        crate::digest_str(&spec)
     }
 }
 

@@ -81,6 +81,7 @@ pub mod space;
 
 pub use campaign::{Campaign, RunCtx};
 pub use checkpoint::{CampaignProgress, CheckpointConfig, CheckpointError, CHECKPOINT_VERSION};
+pub use exec::{default_workers, parse_workers, CancelToken, Executor};
 pub use progress::{JsonlProgress, NoProgress, ProgressSink};
 // The metric record type lives in `qic-des` (so simulator crates can
 // produce it without depending on the orchestration layer); campaigns
@@ -95,6 +96,8 @@ pub mod prelude {
     pub use crate::campaign::{Campaign, RunCtx};
     pub use crate::checkpoint::{CampaignProgress, CheckpointConfig, CheckpointError};
     pub use crate::derive_seed;
+    pub use crate::digest_str;
+    pub use crate::exec::{CancelToken, Executor};
     pub use crate::progress::{JsonlProgress, NoProgress, ProgressSink};
     pub use crate::report::{CampaignReport, MetricSummary, PointReport};
     pub use crate::shard::{MergeError, Shard};
@@ -125,6 +128,23 @@ pub fn derive_seed(campaign_seed: u64, point_index: u64, replicate: u64) -> u64 
     splitmix64(a ^ GOLDEN.wrapping_mul(replicate.wrapping_add(2)))
 }
 
+/// Fingerprints a canonical document: a SplitMix64 fold over its bytes,
+/// seeded with the golden-ratio constant.
+///
+/// This is the primitive behind the checkpoint manifest's spec hash and
+/// `qic_core::scenario::SpecDigest` (the content-addressed result-cache
+/// key) — both hash the **canonical JSON emission** of an identity, so
+/// the digest is stable across JSON re-encoding round-trips and changes
+/// exactly when the identity changes. Not cryptographic: it guards
+/// against accidental drift, not adversaries.
+pub fn digest_str(text: &str) -> u64 {
+    let mut h = GOLDEN;
+    for byte in text.bytes() {
+        h = splitmix64(h ^ u64::from(byte));
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +165,17 @@ mod tests {
         // (point 0, rep 1) and (point 1, rep 0) must not collide the way
         // naive `s + i + r` mixing would.
         assert_ne!(derive_seed(0, 0, 1), derive_seed(0, 1, 0));
+    }
+
+    #[test]
+    fn digest_str_is_stable_and_sensitive() {
+        assert_eq!(digest_str(""), GOLDEN, "empty fold is the seed");
+        assert_eq!(digest_str("qic"), digest_str("qic"));
+        assert_ne!(digest_str("qic"), digest_str("qiC"));
+        assert_ne!(digest_str("ab"), digest_str("ba"), "order matters");
+        // Pinned value: this primitive keys checkpoint manifests and the
+        // serve result cache on disk — drift would orphan both.
+        assert_eq!(digest_str("qic"), 0x5965_4BAF_691F_DA99);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! The scenario service, drivable from the shell: a JSONL session over
+//! stdin/stdout (default) or a `std::net` TCP listener.
+//!
+//! ```text
+//! serve [--workers N] [--jobs N] [--queue N] [--cache DIR] [--out DIR] [--tcp ADDR]
+//! ```
+//!
+//! One request per line in, one or more events per line out (see
+//! `qic_serve::front` for the protocol). A quick session:
+//!
+//! ```text
+//! $ printf '%s\n' \
+//!     '{"op": "submit", "preset": "design_space", "scale": "small"}' \
+//!     '{"op": "wait", "job": 1}' \
+//!     '{"op": "submit", "preset": "design_space", "scale": "small"}' \
+//!     '{"op": "wait", "job": 2}' \
+//!     '{"op": "metrics"}' \
+//!     '{"op": "shutdown"}' \
+//!   | cargo run --release --example serve -- --cache target/serve_cache
+//! ```
+//!
+//! The second `wait` resolves with `"source": "memory"` — same digest,
+//! same bytes, no recomputation. With `--out DIR`, each completed job
+//! also lands as `job-N.json` / `job-N.csv`, byte-identical to what
+//! `scenario_run` writes for the same spec.
+//!
+//! With `--tcp ADDR` (e.g. `--tcp 127.0.0.1:7878`) the example serves
+//! JSONL sessions over TCP instead, one connection at a time, until a
+//! session sends `shutdown`:
+//!
+//! ```text
+//! $ cargo run --release --example serve -- --tcp 127.0.0.1:7878 &
+//! $ printf '{"op": "metrics"}\n{"op": "shutdown"}\n' | nc 127.0.0.1 7878
+//! ```
+
+use std::io::{BufReader, Write as _};
+use std::path::PathBuf;
+
+use qic::serve::{serve_lines, Serve, ServeConfig};
+
+const USAGE: &str =
+    "usage: serve [--workers N] [--jobs N] [--queue N] [--cache DIR] [--out DIR] [--tcp ADDR]";
+
+struct Cli {
+    config: ServeConfig,
+    out: Option<PathBuf>,
+    tcp: Option<String>,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        config: ServeConfig::default(),
+        out: None,
+        tcp: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                cli.config.workers = value("--workers").parse().expect("--workers wants a count");
+            }
+            "--jobs" => {
+                cli.config.parallel_jobs = value("--jobs").parse().expect("--jobs wants a count");
+            }
+            "--queue" => {
+                cli.config.queue_limit = value("--queue").parse().expect("--queue wants a count");
+            }
+            "--cache" => cli.config.cache_dir = Some(PathBuf::from(value("--cache"))),
+            "--out" => cli.out = Some(PathBuf::from(value("--out"))),
+            "--tcp" => cli.tcp = Some(value("--tcp")),
+            flag => panic!("unknown flag {flag:?}\n{USAGE}"),
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    let serve = Serve::start(cli.config);
+    let handle = serve.handle();
+    eprintln!("serve: ready with {} workers", handle.workers());
+    match &cli.tcp {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_lines(&handle, stdin.lock(), stdout.lock(), cli.out.as_deref())
+                .expect("stdio session");
+        }
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).unwrap_or_else(|e| panic!("binding {addr}: {e}"));
+            eprintln!("serve: listening on {addr}");
+            // One JSONL session per connection, until one says shutdown.
+            for stream in listener.incoming() {
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("serve: accept failed: {e}");
+                        continue;
+                    }
+                };
+                let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                let mut writer = stream;
+                if serve_lines(&handle, reader, &mut writer, cli.out.as_deref()).is_err() {
+                    eprintln!("serve: session dropped");
+                    continue;
+                }
+                let _ = writer.flush();
+                // A session that ends cleanly (EOF or shutdown op) ends
+                // the listener; a dropped connection does not.
+                break;
+            }
+        }
+    }
+    serve.shutdown();
+    eprintln!("serve: drained");
+}

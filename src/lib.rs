@@ -25,6 +25,7 @@
 //! | [`core`] | `qic-core` | machine builder, layouts, logical scheduler, the Scenario API (spec/registry/[`run`]) |
 //! | [`sweep`] | `qic-sweep` | parallel campaign engine: declarative parameter sweeps, deterministic seeding, CSV/JSON reports |
 //! | [`probe`] | `qic-probe` | zero-cost structured tracing: per-resource time series, JSONL event logs, Chrome-trace (Perfetto) export |
+//! | [`serve`] | `qic-serve` | scenario service: shared executor, content-addressed result cache, streaming JSONL job API |
 //!
 //! # Quickstart
 //!
@@ -69,13 +70,14 @@ pub use qic_net as net;
 pub use qic_physics as physics;
 pub use qic_probe as probe;
 pub use qic_purify as purify;
+pub use qic_serve as serve;
 pub use qic_sweep as sweep;
 pub use qic_workload as workload;
 
 pub use qic_core::scenario::{
-    CheckpointSpec, ObserveSpec, ScenarioProgress, ScenarioReport, ScenarioSpec,
+    CheckpointSpec, ObserveSpec, ScenarioProgress, ScenarioReport, ScenarioSpec, SpecDigest,
 };
-pub use qic_sweep::Shard;
+pub use qic_sweep::{Executor, Shard};
 
 /// Runs a scenario: the single entry point for every experiment.
 ///
@@ -90,6 +92,22 @@ pub use qic_sweep::Shard;
 /// [`qic_core::scenario::ScenarioError`] if the spec fails validation.
 pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, qic_core::scenario::ScenarioError> {
     qic_core::scenario::run(spec)
+}
+
+/// Runs a scenario on a shared [`Executor`] instead of a transient
+/// per-call pool — byte-identical to [`run`], but many concurrent
+/// campaigns interleave fairly on one set of workers. The service layer
+/// ([`serve`]) builds on this. See [`qic_core::scenario::run_on`].
+///
+/// # Errors
+///
+/// [`qic_core::scenario::ScenarioError`] if the spec fails validation
+/// or carries a checkpoint block.
+pub fn run_on(
+    spec: &ScenarioSpec,
+    exec: &Executor,
+) -> Result<ScenarioReport, qic_core::scenario::ScenarioError> {
+    qic_core::scenario::run_on(spec, exec)
 }
 
 /// Runs one contiguous shard `i/K` of a scenario's campaign; merging

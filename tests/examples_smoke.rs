@@ -187,6 +187,54 @@ fn resilience_path() {
     );
 }
 
+/// `examples/serve.rs`: a JSONL session over the facade's service
+/// layer — resubmitting a preset is a cache hit with byte-identical
+/// report bytes, and the session ends with `bye`.
+#[test]
+fn serve_path() {
+    use qic::serve::{serve_lines, Serve, ServeConfig};
+    use std::io::Cursor;
+
+    let serve = Serve::start(ServeConfig::default());
+    let script = concat!(
+        "{\"op\": \"submit\", \"preset\": \"design_space\", \"scale\": \"small\"}\n",
+        "{\"op\": \"wait\", \"job\": 1}\n",
+        "{\"op\": \"submit\", \"preset\": \"design_space\", \"scale\": \"small\"}\n",
+        "{\"op\": \"wait\", \"job\": 2}\n",
+        "{\"op\": \"shutdown\"}\n",
+    );
+    let mut out = Vec::new();
+    serve_lines(&serve.handle(), Cursor::new(script), &mut out, None).expect("session runs");
+    serve.shutdown();
+
+    let out = String::from_utf8(out).expect("utf8 events");
+    let results: Vec<&str> = out
+        .lines()
+        .filter(|l| l.contains("\"event\": \"result\""))
+        .collect();
+    assert_eq!(results.len(), 2, "both waits resolve:\n{out}");
+    assert!(results[0].contains("\"state\": \"done\""));
+    assert!(
+        results[1].contains("\"source\": \"memory\"")
+            || results[1].contains("\"source\": \"coalesced\""),
+        "resubmission is served without recomputation:\n{}",
+        results[1]
+    );
+    // The embedded record documents are byte-identical across the
+    // computed and cached paths.
+    let report_of = |line: &str| {
+        let fields = qic::sweep::json::Json::parse(line).expect("event parses");
+        let fields = fields.obj_of("event").expect("object");
+        qic::sweep::json::get(fields, "report", "result")
+            .expect("done events embed the report")
+            .str_of("report")
+            .expect("string")
+            .to_string()
+    };
+    assert_eq!(report_of(results[0]), report_of(results[1]));
+    assert_eq!(out.lines().last(), Some("{\"event\": \"bye\"}"));
+}
+
 /// `examples/shor_pipeline.rs`: all four Shor phases complete on a 6×6
 /// machine under both layouts.
 #[test]
