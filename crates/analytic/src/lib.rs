@@ -18,6 +18,9 @@
 //!   (the ~600-cell rule)?
 //! * [`degraded`] — how much cross-bisection throughput survives when
 //!   links die (the closed-form cross-check for `qic-fault` runs)?
+//! * [`cost`] — what does a (possibly modular) machine cost in dollars
+//!   and area, and what latency/throughput does its shape predict (the
+//!   cost-fidelity Pareto axis for `qic-modular` sweeps)?
 //! * [`figures`] — ready-made series generators for each figure.
 //!
 //! # Example
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod chain;
+pub mod cost;
 pub mod crossover;
 pub mod degraded;
 pub mod figures;
@@ -48,6 +52,7 @@ pub mod strategy;
 /// Convenient glob-import surface: `use qic_analytic::prelude::*;`.
 pub mod prelude {
     pub use crate::chain::chained_error_series;
+    pub use crate::cost::{pareto_front, ComponentCounts, CostEstimate, CostModel, NetworkShape};
     pub use crate::crossover::{ballistic_vs_teleport, CrossoverPoint};
     pub use crate::degraded::{bisection_comm_throughput, degradation_factor};
     pub use crate::figures;

@@ -24,6 +24,7 @@ use qic_bench::hotpath::{
 };
 use qic_des::queue::EventQueue;
 use qic_fault::FaultPlan;
+use qic_modular::{ModularFabric, ModularSpec};
 use qic_net::config::NetConfig;
 use qic_net::routing::{DimensionOrder, MinimalAdaptive, Router};
 use qic_net::sim::{NetworkSim, OneShotDriver};
@@ -116,6 +117,20 @@ fn run_benches(quick: bool) -> Vec<Measured> {
         "adaptive_route_mesh_16x16",
         measure(quick, || {
             MinimalAdaptive.route(&mesh, black_box(src), black_box(dst), &load)
+        }),
+    );
+    // The modular route hot path: a cross-module route over four 4x4
+    // meshes behind an optical switch (distance-table lookups + the
+    // uplink port scan).
+    let modular = ModularFabric::new(
+        Mesh::new(4, 4),
+        &ModularSpec::single().with_modules(4).with_latency_ns(500),
+    );
+    let (msrc, mdst) = (0usize, modular.nodes() - 1);
+    push(
+        "dor_route_modular_4x4x4",
+        measure(quick, || {
+            DimensionOrder.route(&modular, black_box(msrc), black_box(mdst), &no_load)
         }),
     );
 

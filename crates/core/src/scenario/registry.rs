@@ -6,6 +6,7 @@ use std::sync::OnceLock;
 use qic_analytic::figures::PairMetric;
 use qic_analytic::strategy::PurifyPlacement;
 use qic_fault::{FaultPlan, Hotspot};
+use qic_modular::ModularSpec;
 use qic_net::routing::RoutingPolicy;
 use qic_net::topology::TopologyKind;
 
@@ -402,6 +403,78 @@ fn builtin_entries() -> Vec<ScenarioEntry> {
                 })
                 .with_axis(ScenarioAxis::Routings {
                     policies: RoutingPolicy::ALL.to_vec(),
+                })
+            },
+        },
+        ScenarioEntry {
+            name: "modular_faceoff",
+            figure: "—",
+            summary: "The topology faceoff on multi-module machines: 1/2/4 modules over an optical switch",
+            build: |scale| {
+                let (machine, qft) = match scale {
+                    ScenarioScale::Full => (
+                        MachineSpec::preset(NetPreset::Reduced)
+                            .with_purify_depth(2)
+                            .with_resources(12, 12, 6),
+                        64,
+                    ),
+                    // The uplink port class needs one extra teleporter
+                    // set over the flat small machine.
+                    ScenarioScale::SmallTest => (small_machine().with_resources(6, 4, 2), 16),
+                };
+                ScenarioSpec::machine(
+                    "modular_faceoff",
+                    machine.with_modular(
+                        ModularSpec::single()
+                            .with_latency_ns(500)
+                            .with_teleporter_slots(2)
+                            .with_inter_fidelity(0.985),
+                    ),
+                    WorkloadSpec::Qft { qubits: qft },
+                )
+                .with_axis(ScenarioAxis::Topologies {
+                    kinds: TopologyKind::ALL.to_vec(),
+                })
+                .with_axis(ScenarioAxis::Modules {
+                    counts: vec![1, 2, 4],
+                })
+            },
+        },
+        ScenarioEntry {
+            name: "cost_fidelity_pareto",
+            figure: "—",
+            summary: "Cost-fidelity Pareto sweep: fabric × module count × inter-tier unit cost",
+            build: |scale| {
+                let (machine, qubits, comms) = match scale {
+                    ScenarioScale::Full => (
+                        MachineSpec::preset(NetPreset::Reduced)
+                            .with_purify_depth(2)
+                            .with_resources(12, 12, 6),
+                        16,
+                        64,
+                    ),
+                    ScenarioScale::SmallTest => (small_machine().with_resources(6, 4, 2), 8, 16),
+                };
+                ScenarioSpec::machine(
+                    "cost_fidelity_pareto",
+                    machine.with_modular(
+                        ModularSpec::single()
+                            .with_latency_ns(800)
+                            .with_teleporter_slots(2)
+                            .with_inter_fidelity(0.98),
+                    ),
+                    WorkloadSpec::Synthetic {
+                        qubits,
+                        comms,
+                        seed: 2006,
+                    },
+                )
+                .with_axis(ScenarioAxis::Topologies {
+                    kinds: TopologyKind::ALL.to_vec(),
+                })
+                .with_axis(ScenarioAxis::Modules { counts: vec![2, 4] })
+                .with_axis(ScenarioAxis::InterTierCost {
+                    costs: vec![1.0, 4.0, 16.0],
                 })
             },
         },

@@ -3,11 +3,16 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use qic_analytic::cost::{ComponentCounts, CostModel, NetworkShape};
 use qic_analytic::figures::{pair_budget, PairMetric};
 use qic_analytic::plan::ChannelModel;
 use qic_analytic::strategy::PurifyPlacement;
+use qic_fault::FaultPlan;
+use qic_modular::{ModularFabric, ModularSpec};
+use qic_net::config::NetConfig;
+use qic_net::report::NetReport;
 use qic_net::sim::{BatchDriver, NetworkSim};
-use qic_net::topology::Coord;
+use qic_net::topology::{Coord, Topology, TopologyKind};
 use qic_probe::RecordingProbe;
 use qic_sweep::{
     Campaign, CampaignProgress, CampaignReport, CancelToken, CheckpointConfig, CheckpointError,
@@ -15,6 +20,7 @@ use qic_sweep::{
 };
 use qic_workload::Program;
 
+use crate::layout::Layout;
 use crate::machine::Machine;
 use crate::scenario::spec::{
     ExperimentSpec, MachineSpec, ObserveSpec, ScenarioAxis, ScenarioError, ScenarioSpec,
@@ -405,8 +411,16 @@ impl MachineEval {
         let mut layout = self.machine.layout;
         let mut wl = self.workload.clone();
         let mut fault = self.machine.fault.clone();
+        let mut modular = self.machine.modular.clone();
         for (a, axis) in self.axes.iter().enumerate() {
-            axis.apply_machine(point.coord(a), &mut net, &mut layout, &mut wl, &mut fault);
+            axis.apply_machine(
+                point.coord(a),
+                &mut net,
+                &mut layout,
+                &mut wl,
+                &mut fault,
+                &mut modular,
+            );
         }
         // Per-point derived seeds follow the engine's replication
         // contract; the net RNG only draws classical correction bits,
@@ -415,6 +429,9 @@ impl MachineEval {
         // seed: which components die is part of the scenario, not of
         // the replication noise.
         net.seed = ctx.seed;
+        if let Some(m) = modular {
+            return self.eval_modular(&m, net, layout, &wl, fault, (point.index(), ctx.replicate));
+        }
         // Scenarios with a fault plan run over the compiled degraded
         // fabric (even at rate zero, so a fault sweep reports the same
         // metric columns at every point); plain scenarios take the
@@ -499,6 +516,139 @@ impl MachineEval {
                         machine.run(program).net.metrics()
                     }
                 }
+            }
+        }
+    }
+
+    /// Evaluates one point of a modular machine: the composed fabric is
+    /// handed to the simulator directly, the driver addresses the tiled
+    /// grid, and — when the spec asks — cost/fidelity columns ride
+    /// along next to the measured metrics. `trace_tag` is the
+    /// `(point index, replicate)` pair that names any exported traces.
+    fn eval_modular(
+        &self,
+        m: &ModularSpec,
+        mut net: NetConfig,
+        layout: Layout,
+        wl: &WorkloadSpec,
+        fault: Option<FaultPlan>,
+        trace_tag: (usize, u32),
+    ) -> Metrics {
+        let fabric = ModularFabric::new(net.fabric(), m);
+        if m.modules > 1 {
+            // The driver addresses the composed grid: modules tile side
+            // by side, so placement snakes across the full width. A
+            // single module leaves the config untouched — the flat
+            // path's placement (gray-coded on hypercubes) included —
+            // which is what keeps the degenerate case byte-identical.
+            net.mesh_width *= m.modules as u16;
+            net.topology = TopologyKind::Mesh;
+        }
+        let mut metrics = match fault {
+            Some(plan) => self
+                .drive(
+                    plan.compile(fabric.clone()),
+                    net.clone(),
+                    layout,
+                    wl,
+                    trace_tag,
+                )
+                .metrics(),
+            None => self
+                .drive(fabric.clone(), net.clone(), layout, wl, trace_tag)
+                .metrics(),
+        };
+        if m.report_cost {
+            let t = u64::from(net.teleporters_per_node);
+            let g = u64::from(net.generators_per_edge);
+            let p = u64::from(net.purifiers_per_site);
+            let nodes = fabric.nodes() as u64;
+            let intra = fabric.intra_links() as u64;
+            let inter = fabric.inter_links() as u64;
+            let counts = ComponentCounts {
+                nodes,
+                intra_links: intra,
+                inter_links: inter,
+                switch_ports: fabric.switch_ports() as u64,
+                teleporters: nodes * t + fabric.uplink_slots(),
+                generators: (intra + inter) * g,
+                purifiers: nodes * p,
+            };
+            let shape = NetworkShape {
+                avg_distance: fabric.avg_distance(),
+                diameter: fabric.diameter(),
+                bisection_width: fabric.bisection_width(),
+                hop_ns: net.times.teleport(net.hop_cells).as_nanos(),
+                inter_penalty_ns: m.inter.latency_ns * u64::from(fabric.tier_hops()),
+            };
+            let est = CostModel::ion_trap()
+                .with_inter_link_cost(m.inter_unit_cost)
+                .estimate(&counts, &shape);
+            metrics = metrics
+                .with("cost_dollars", est.dollars)
+                .with("cost_area_cells", est.area_cells)
+                .with("predicted_latency_ns", est.predicted_latency_ns)
+                .with("fidelity", fabric.fidelity_estimate());
+        }
+        metrics
+    }
+
+    /// Runs one workload over a caller-supplied topology — the shared
+    /// tail of the modular paths (healthy and degraded compose to
+    /// different concrete types). `trace_tag` is the
+    /// `(point index, replicate)` pair that names any exported traces.
+    fn drive<T: Topology>(
+        &self,
+        topo: T,
+        net: NetConfig,
+        layout: Layout,
+        wl: &WorkloadSpec,
+        trace_tag: (usize, u32),
+    ) -> NetReport {
+        let observe = self.observe.as_ref();
+        match wl {
+            WorkloadSpec::Batch { comms } => {
+                let batch = comms
+                    .iter()
+                    .map(|&((sx, sy), (dx, dy))| (Coord::new(sx, sy), Coord::new(dx, dy)))
+                    .collect();
+                let mut driver = BatchDriver::new(batch);
+                match observe {
+                    Some(obs) => {
+                        let probe = RecordingProbe::with_bins(obs.bins);
+                        let (report, probe) = NetworkSim::with_topology_probe(net, topo, probe)
+                            .run_traced(&mut driver);
+                        write_traces(obs, &self.name, trace_tag.0, trace_tag.1, &probe);
+                        report
+                    }
+                    None => NetworkSim::with_topology(net, topo).run(&mut driver),
+                }
+            }
+            program_workload => {
+                let per_point;
+                let program = match &self.base_program {
+                    Some(shared) => shared,
+                    None => {
+                        per_point = program_workload
+                            .program()
+                            .expect("non-batch workloads generate programs");
+                        &per_point
+                    }
+                };
+                let mut driver = ProgramDriver::new(&net, layout, program)
+                    .expect("validated scenario points fit the grid");
+                let report = match observe {
+                    Some(obs) => {
+                        let probe = RecordingProbe::with_bins(obs.bins);
+                        let (report, probe) = NetworkSim::with_topology_probe(net, topo, probe)
+                            .run_traced(&mut driver);
+                        write_traces(obs, &self.name, trace_tag.0, trace_tag.1, &probe);
+                        report
+                    }
+                    None => NetworkSim::with_topology(net, topo).run(&mut driver),
+                };
+                driver.assert_finished();
+                report
             }
         }
     }

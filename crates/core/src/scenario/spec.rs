@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use qic_analytic::figures::PairMetric;
 use qic_analytic::strategy::PurifyPlacement;
 use qic_fault::{FaultPlan, Hotspot};
+use qic_modular::{Interconnect, ModularSpec};
 use qic_net::config::{ConfigError, NetConfig};
 use qic_net::routing::RoutingPolicy;
 use qic_net::topology::TopologyKind;
@@ -94,6 +95,14 @@ pub struct MachineSpec {
     /// presets use) is the healthy machine — byte-identical to the
     /// pre-fault-layer simulator.
     pub fault: Option<FaultPlan>,
+    /// Optional modular block (`qic-modular`): when set, `modules`
+    /// copies of the `width`×`height` fabric are composed through the
+    /// chosen inter-module tier and every point runs over the
+    /// `ModularFabric`. `None` (the default; all pre-modular presets)
+    /// is the flat machine — byte-identical to the single-tier
+    /// simulator. (Boxed: the block only exists on modular machines,
+    /// and every flat spec would otherwise carry its footprint.)
+    pub modular: Option<Box<ModularSpec>>,
 }
 
 impl MachineSpec {
@@ -114,6 +123,7 @@ impl MachineSpec {
             purify_depth: net.purify_depth,
             outputs_per_comm: net.outputs_per_comm,
             fault: None,
+            modular: None,
         }
     }
 
@@ -167,6 +177,15 @@ impl MachineSpec {
     /// per point).
     pub fn with_fault(mut self, plan: FaultPlan) -> MachineSpec {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Attaches a modular block: the machine becomes `spec.modules`
+    /// copies of its fabric joined through the block's inter-module
+    /// tier (the `Modules` / `InterTierLatency` / `InterTierCost` axes
+    /// override its knobs per point).
+    pub fn with_modular(mut self, spec: ModularSpec) -> MachineSpec {
+        self.modular = Some(Box::new(spec));
         self
     }
 
@@ -395,6 +414,29 @@ pub enum ScenarioAxis {
         /// Link-kill rates in sweep order (probabilities).
         rates: Vec<f64>,
     },
+    /// Sweeps the module count of a modular machine. Overrides the
+    /// machine's [`ModularSpec`] per point, creating a single-module
+    /// default block when the machine carries none, so a count of `1`
+    /// is the flat machine. Campaign axis `modules`.
+    Modules {
+        /// Module counts in sweep order.
+        counts: Vec<u32>,
+    },
+    /// Sweeps the inter-module tier's per-stage latency (nanoseconds).
+    /// Creates a default modular block when the machine carries none.
+    /// Campaign axis `inter_latency`.
+    InterTierLatency {
+        /// Stage latencies in sweep order (nanoseconds).
+        latencies_ns: Vec<u64>,
+    },
+    /// Sweeps the dollars per inter-module link (the cost knob of the
+    /// Pareto front; only the report's cost column changes). Creates a
+    /// default modular block when the machine carries none. Campaign
+    /// axis `inter_cost`.
+    InterTierCost {
+        /// Per-link costs in sweep order.
+        costs: Vec<f64>,
+    },
     /// Sweeps the purification placement of a channel scenario
     /// (Figures 10–12's legend set). Campaign axis `placement`.
     Placements {
@@ -457,6 +499,18 @@ impl ScenarioAxis {
                 Axis::labels("workload", workloads.iter().map(WorkloadSpec::label))
             }
             ScenarioAxis::FaultRate { rates } => Axis::f64s("fault_rate", rates.iter().copied()),
+            ScenarioAxis::Modules { counts } => {
+                Axis::ints("modules", counts.iter().map(|&c| i64::from(c)))
+            }
+            ScenarioAxis::InterTierLatency { latencies_ns } => Axis::ints(
+                "inter_latency",
+                latencies_ns
+                    .iter()
+                    .map(|&l| i64::try_from(l).expect("validated: inter-tier latencies fit i64")),
+            ),
+            ScenarioAxis::InterTierCost { costs } => {
+                Axis::f64s("inter_cost", costs.iter().copied())
+            }
             ScenarioAxis::Placements { placements } => {
                 Axis::labels("placement", placements.iter().map(PurifyPlacement::legend))
             }
@@ -484,6 +538,9 @@ impl ScenarioAxis {
             | ScenarioAxis::Purifiers { values } => values.len(),
             ScenarioAxis::Workloads { workloads } => workloads.len(),
             ScenarioAxis::FaultRate { rates } => rates.len(),
+            ScenarioAxis::Modules { counts } => counts.len(),
+            ScenarioAxis::InterTierLatency { latencies_ns } => latencies_ns.len(),
+            ScenarioAxis::InterTierCost { costs } => costs.len(),
             ScenarioAxis::Placements { placements } => placements.len(),
             ScenarioAxis::Hops { hops } => hops.len(),
             ScenarioAxis::ErrorRateLog {
@@ -524,6 +581,7 @@ impl ScenarioAxis {
         layout: &mut Layout,
         workload: &mut WorkloadSpec,
         fault: &mut Option<FaultPlan>,
+        modular: &mut Option<Box<ModularSpec>>,
     ) {
         match self {
             ScenarioAxis::ResourceRatio { area, ratios } => {
@@ -551,6 +609,15 @@ impl ScenarioAxis {
             ScenarioAxis::Workloads { workloads } => *workload = workloads[coord].clone(),
             ScenarioAxis::FaultRate { rates } => {
                 fault.get_or_insert_with(FaultPlan::healthy).link_kill_rate = rates[coord];
+            }
+            ScenarioAxis::Modules { counts } => {
+                modular.get_or_insert_with(default_modular).modules = counts[coord];
+            }
+            ScenarioAxis::InterTierLatency { latencies_ns } => {
+                modular.get_or_insert_with(default_modular).inter.latency_ns = latencies_ns[coord];
+            }
+            ScenarioAxis::InterTierCost { costs } => {
+                modular.get_or_insert_with(default_modular).inter_unit_cost = costs[coord];
             }
             _ => unreachable!("validated: channel axes never reach machine points"),
         }
@@ -580,6 +647,12 @@ impl ScenarioAxis {
             _ => unreachable!("validated: machine axes never reach channel points"),
         }
     }
+}
+
+/// The modular block a modular axis materialises on a machine that
+/// carries none: the degenerate single-module composition.
+fn default_modular() -> Box<ModularSpec> {
+    Box::new(ModularSpec::single())
 }
 
 /// Resolves a Figure 16 ratio-axis value into the `(t, g, p)` resource
@@ -930,6 +1003,11 @@ impl ScenarioSpec {
                     return Err(self.spec_err("fault rates must be probabilities in [0, 1]"));
                 }
             }
+            if let ScenarioAxis::InterTierLatency { latencies_ns } = axis {
+                if latencies_ns.iter().any(|&l| i64::try_from(l).is_err()) {
+                    return Err(self.spec_err("inter-tier latencies must fit i64 nanoseconds"));
+                }
+            }
         }
         let names: Vec<&str> = self.axes.iter().map(axis_name).collect();
         for (i, n) in names.iter().enumerate() {
@@ -947,6 +1025,7 @@ impl ScenarioSpec {
                     let mut layout = machine.layout;
                     let mut wl = workload.clone();
                     let mut fault = machine.fault.clone();
+                    let mut modular = machine.modular.clone();
                     for (a, axis) in self.axes.iter().enumerate() {
                         axis.apply_machine(
                             point.coord(a),
@@ -954,6 +1033,7 @@ impl ScenarioSpec {
                             &mut layout,
                             &mut wl,
                             &mut fault,
+                            &mut modular,
                         );
                     }
                     net.validate().map_err(|source| ScenarioError::Config {
@@ -961,14 +1041,59 @@ impl ScenarioSpec {
                         point: Some(point.to_string()),
                         source,
                     })?;
+                    // How many modules this point composes; 1 for flat
+                    // machines. Component-count checks below are against
+                    // the composed fabric.
+                    let modules_count = modular.as_ref().map_or(1, |m| m.modules as usize);
+                    if let Some(m) = &modular {
+                        m.validate().map_err(|problem| {
+                            self.spec_err(format!("{point}: modular block: {problem}"))
+                        })?;
+                        if m.modules > 1 {
+                            let composed_w = u32::from(net.mesh_width) * m.modules;
+                            if composed_w > u32::from(u16::MAX) {
+                                return Err(self.spec_err(format!(
+                                    "{point}: {} modules of width {} overflow the u16 \
+                                     addressing grid",
+                                    m.modules, net.mesh_width
+                                )));
+                            }
+                            let base = net.fabric();
+                            let need = (qic_net::topology::Topology::port_classes(&base) as u32
+                                + 1)
+                            .max(2);
+                            if net.teleporters_per_node < need {
+                                return Err(self.spec_err(format!(
+                                    "{point}: modular machines with {} modules on the {} \
+                                     fabric need teleporters ≥ {need} (one class per base \
+                                     dimension plus the uplink class, and bubble flow \
+                                     control)",
+                                    m.modules, net.topology
+                                )));
+                            }
+                        }
+                    }
                     if let Some(plan) = &fault {
                         plan.validate()
                             .map_err(|problem| self.spec_err(format!("{point}: {problem}")))?;
                         // Component indices must exist on this point's
-                        // fabric (the grid and topology are point-local).
+                        // fabric (the grid and topology are point-local;
+                        // a modular block multiplies the counts).
                         let fabric = net.fabric();
-                        let links = qic_net::topology::Topology::links(&fabric);
-                        let nodes = qic_net::topology::Topology::nodes(&fabric);
+                        let (links, nodes) = {
+                            let base_links = qic_net::topology::Topology::links(&fabric);
+                            let base_nodes = qic_net::topology::Topology::nodes(&fabric);
+                            let k = modules_count;
+                            (k * base_links + k * (k - 1) / 2, k * base_nodes)
+                        };
+                        for &dm in &plan.dead_modules {
+                            if dm as usize >= modules_count {
+                                return Err(self.spec_err(format!(
+                                    "{point}: dead module {dm} is off the machine \
+                                     ({modules_count} modules)"
+                                )));
+                            }
+                        }
                         for &l in &plan.dead_links {
                             if l as usize >= links {
                                 return Err(self.spec_err(format!(
@@ -1004,19 +1129,22 @@ impl ScenarioSpec {
                             )));
                         }
                     }
-                    let sites = u32::from(net.mesh_width) * u32::from(net.mesh_height);
+                    // A modular block tiles the modules along X, so the
+                    // addressable grid (and site budget) grows with K.
+                    let grid_width = u32::from(net.mesh_width) * modules_count as u32;
+                    let sites = grid_width * u32::from(net.mesh_height);
                     match &wl {
                         WorkloadSpec::Batch { comms } => {
                             for &((sx, sy), (dx, dy)) in comms {
-                                if sx >= net.mesh_width
+                                if u32::from(sx) >= grid_width
                                     || sy >= net.mesh_height
-                                    || dx >= net.mesh_width
+                                    || u32::from(dx) >= grid_width
                                     || dy >= net.mesh_height
                                 {
                                     return Err(self.spec_err(format!(
                                         "{point}: batch site ({sx},{sy})→({dx},{dy}) is off \
                                          the {}×{} grid",
-                                        net.mesh_width, net.mesh_height
+                                        grid_width, net.mesh_height
                                     )));
                                 }
                                 if (sx, sy) == (dx, dy) {
@@ -1145,6 +1273,9 @@ fn axis_name(axis: &ScenarioAxis) -> &'static str {
         ScenarioAxis::Purifiers { .. } => "p",
         ScenarioAxis::Workloads { .. } => "workload",
         ScenarioAxis::FaultRate { .. } => "fault_rate",
+        ScenarioAxis::Modules { .. } => "modules",
+        ScenarioAxis::InterTierLatency { .. } => "inter_latency",
+        ScenarioAxis::InterTierCost { .. } => "inter_cost",
         ScenarioAxis::Placements { .. } => "placement",
         ScenarioAxis::Hops { .. } => "hops",
         ScenarioAxis::ErrorRateLog { .. } => "error_rate",
@@ -1175,11 +1306,65 @@ fn encode_machine(m: &MachineSpec) -> Json {
         // are byte-identical to the pre-fault-layer schema.
         fields.push(("fault", encode_fault_plan(plan)));
     }
+    if let Some(modular) = &m.modular {
+        // Same only-when-set rule: flat specs keep the pre-modular
+        // schema byte for byte.
+        fields.push(("modular", encode_modular(modular)));
+    }
     obj(fields)
 }
 
-fn encode_fault_plan(plan: &FaultPlan) -> Json {
+fn encode_modular(m: &ModularSpec) -> Json {
     obj(vec![
+        ("modules", Json::Int(i128::from(m.modules))),
+        ("interconnect", Json::Str(m.interconnect.label())),
+        ("latency_ns", Json::Int(i128::from(m.inter.latency_ns))),
+        (
+            "teleporter_slots",
+            Json::Int(i128::from(m.inter.teleporter_slots)),
+        ),
+        ("fidelity", Json::Float(m.inter.fidelity)),
+        ("intra_fidelity", Json::Float(m.intra_fidelity)),
+        ("inter_unit_cost", Json::Float(m.inter_unit_cost)),
+        ("report_cost", Json::Bool(m.report_cost)),
+    ])
+}
+
+fn decode_modular(value: &Json) -> Result<ModularSpec, JsonError> {
+    let f = value.obj_of("modular")?;
+    check_fields(
+        f,
+        &[
+            "modules",
+            "interconnect",
+            "latency_ns",
+            "teleporter_slots",
+            "fidelity",
+            "intra_fidelity",
+            "inter_unit_cost",
+            "report_cost",
+        ],
+        "modular",
+    )?;
+    let interconnect_label = get(f, "interconnect", "modular")?.str_of("interconnect")?;
+    Ok(ModularSpec {
+        modules: get(f, "modules", "modular")?.u32_of("modules")?,
+        interconnect: Interconnect::parse(interconnect_label).ok_or_else(|| {
+            Json::schema_err(format!("unknown interconnect {interconnect_label:?}"))
+        })?,
+        inter: qic_modular::LinkParams {
+            latency_ns: get(f, "latency_ns", "modular")?.u64_of("latency_ns")?,
+            teleporter_slots: get(f, "teleporter_slots", "modular")?.u32_of("teleporter_slots")?,
+            fidelity: get(f, "fidelity", "modular")?.f64_of("fidelity")?,
+        },
+        intra_fidelity: get(f, "intra_fidelity", "modular")?.f64_of("intra_fidelity")?,
+        inter_unit_cost: get(f, "inter_unit_cost", "modular")?.f64_of("inter_unit_cost")?,
+        report_cost: get(f, "report_cost", "modular")?.bool_of("report_cost")?,
+    })
+}
+
+fn encode_fault_plan(plan: &FaultPlan) -> Json {
+    let mut fields = vec![
         ("seed", Json::Int(i128::from(plan.seed))),
         ("link_kill_rate", Json::Float(plan.link_kill_rate)),
         ("node_loss_rate", Json::Float(plan.node_loss_rate)),
@@ -1189,23 +1374,29 @@ fn encode_fault_plan(plan: &FaultPlan) -> Json {
         ),
         ("dead_links", ints(plan.dead_links.iter().copied())),
         ("dead_nodes", ints(plan.dead_nodes.iter().copied())),
-        (
-            "hotspots",
-            Json::Arr(
-                plan.hotspots
-                    .iter()
-                    .map(|h| {
-                        obj(vec![
-                            ("link", Json::Int(i128::from(h.link))),
-                            ("start_ns", Json::Int(i128::from(h.start_ns))),
-                            ("end_ns", Json::Int(i128::from(h.end_ns))),
-                            ("penalty_ns", Json::Int(i128::from(h.penalty_ns))),
-                        ])
-                    })
-                    .collect(),
-            ),
+    ];
+    if !plan.dead_modules.is_empty() {
+        // Emitted only when used, so pre-modular fault documents stay
+        // byte-identical.
+        fields.push(("dead_modules", ints(plan.dead_modules.iter().copied())));
+    }
+    fields.push((
+        "hotspots",
+        Json::Arr(
+            plan.hotspots
+                .iter()
+                .map(|h| {
+                    obj(vec![
+                        ("link", Json::Int(i128::from(h.link))),
+                        ("start_ns", Json::Int(i128::from(h.start_ns))),
+                        ("end_ns", Json::Int(i128::from(h.end_ns))),
+                        ("penalty_ns", Json::Int(i128::from(h.penalty_ns))),
+                    ])
+                })
+                .collect(),
         ),
-    ])
+    ));
+    obj(fields)
 }
 
 fn decode_fault_plan(value: &Json) -> Result<FaultPlan, JsonError> {
@@ -1219,6 +1410,7 @@ fn decode_fault_plan(value: &Json) -> Result<FaultPlan, JsonError> {
             "teleporter_loss_rate",
             "dead_links",
             "dead_nodes",
+            "dead_modules",
             "hotspots",
         ],
         "fault",
@@ -1238,6 +1430,14 @@ fn decode_fault_plan(value: &Json) -> Result<FaultPlan, JsonError> {
             .f64_of("teleporter_loss_rate")?,
         dead_links: u32_list("dead_links")?,
         dead_nodes: u32_list("dead_nodes")?,
+        dead_modules: match get_opt(f, "dead_modules") {
+            Some(v) => v
+                .arr_of("dead_modules")?
+                .iter()
+                .map(|v| v.u32_of("dead_modules"))
+                .collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        },
         hotspots: get(f, "hotspots", "fault")?
             .arr_of("hotspots")?
             .iter()
@@ -1272,6 +1472,7 @@ fn decode_machine(value: &Json) -> Result<MachineSpec, JsonError> {
             "purify_depth",
             "outputs_per_comm",
             "fault",
+            "modular",
         ],
         "machine",
     )?;
@@ -1296,6 +1497,9 @@ fn decode_machine(value: &Json) -> Result<MachineSpec, JsonError> {
         purify_depth: get(f, "purify_depth", "machine")?.u32_of("purify_depth")?,
         outputs_per_comm: get(f, "outputs_per_comm", "machine")?.u32_of("outputs_per_comm")?,
         fault: get_opt(f, "fault").map(decode_fault_plan).transpose()?,
+        modular: get_opt(f, "modular")
+            .map(|v| decode_modular(v).map(Box::new))
+            .transpose()?,
     })
 }
 
@@ -1558,6 +1762,21 @@ fn encode_axis(axis: &ScenarioAxis) -> Json {
                 Json::Arr(rates.iter().map(|&r| Json::Float(r)).collect()),
             ),
         ]),
+        ScenarioAxis::Modules { counts } => obj(vec![
+            ("axis", Json::Str("modules".into())),
+            ("counts", ints(counts.iter().copied())),
+        ]),
+        ScenarioAxis::InterTierLatency { latencies_ns } => obj(vec![
+            ("axis", Json::Str("inter_latency".into())),
+            ("latencies_ns", ints(latencies_ns.iter().copied())),
+        ]),
+        ScenarioAxis::InterTierCost { costs } => obj(vec![
+            ("axis", Json::Str("inter_cost".into())),
+            (
+                "costs",
+                Json::Arr(costs.iter().map(|&c| Json::Float(c)).collect()),
+            ),
+        ]),
         ScenarioAxis::Placements { placements } => obj(vec![
             ("axis", Json::Str("placement".into())),
             (
@@ -1703,6 +1922,32 @@ fn decode_axis(value: &Json) -> Result<ScenarioAxis, JsonError> {
                     .arr_of("rates")?
                     .iter()
                     .map(|v| v.f64_of("rates"))
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "modules" => {
+            check_fields(f, &["axis", "counts"], "axis")?;
+            Ok(ScenarioAxis::Modules {
+                counts: u32_list("counts")?,
+            })
+        }
+        "inter_latency" => {
+            check_fields(f, &["axis", "latencies_ns"], "axis")?;
+            Ok(ScenarioAxis::InterTierLatency {
+                latencies_ns: get(f, "latencies_ns", "axis")?
+                    .arr_of("latencies_ns")?
+                    .iter()
+                    .map(|v| v.u64_of("latencies_ns"))
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "inter_cost" => {
+            check_fields(f, &["axis", "costs"], "axis")?;
+            Ok(ScenarioAxis::InterTierCost {
+                costs: get(f, "costs", "axis")?
+                    .arr_of("costs")?
+                    .iter()
+                    .map(|v| v.f64_of("costs"))
                     .collect::<Result<_, _>>()?,
             })
         }

@@ -1,6 +1,6 @@
 //! `DegradedFabric`: a fault-masking [`Topology`] wrapper.
 
-use qic_net::topology::{Port, Topology};
+use qic_net::topology::{Coord, Port, Topology};
 
 use crate::plan::{FaultPlan, FaultSchedule, Hotspot};
 
@@ -327,6 +327,21 @@ impl<T: Topology> Topology for DegradedFabric<T> {
         self.base.height()
     }
 
+    // The coordinate mapping is the base's, not the row-major default:
+    // a modular base numbers nodes module-major, and masking must not
+    // silently renumber the machine it masks.
+    fn contains(&self, c: Coord) -> bool {
+        self.base.contains(c)
+    }
+
+    fn node_index(&self, c: Coord) -> usize {
+        self.base.node_index(c)
+    }
+
+    fn coord_of(&self, node: usize) -> Coord {
+        self.base.coord_of(node)
+    }
+
     fn ports_per_node(&self) -> usize {
         self.base.ports_per_node()
     }
@@ -429,19 +444,34 @@ impl<T: Topology> Topology for DegradedFabric<T> {
     /// simulator provisions, so reported capacity is never silently
     /// inflated.
     fn teleporter_capacity(&self, node: usize, base: u32) -> u32 {
+        // Degrade whatever pool the base fabric provisions (a healthy
+        // flat fabric keeps the full budget; a modular base may add
+        // gateway slots first), then apply the per-class floor.
+        let pool = self.base.teleporter_capacity(node, base);
         self.plan
-            .teleporter_capacity(node, base)
-            .max((self.base.port_classes() as u32).min(base))
+            .teleporter_capacity(node, pool)
+            .max((self.base.port_classes() as u32).min(pool))
     }
 
     fn hop_penalty_ns(&self, link: usize, now_ns: u64) -> u64 {
-        let mut penalty = 0;
+        // Hot-spot windows stack on whatever static penalty the base
+        // charges (zero for flat fabrics, the inter-tier latency for a
+        // modular base).
+        let mut penalty = self.base.hop_penalty_ns(link, now_ns);
         for h in &self.hotspots {
             if h.link as usize == link && h.covers(now_ns) {
                 penalty += h.penalty_ns;
             }
         }
         penalty
+    }
+
+    fn modules(&self) -> usize {
+        self.base.modules()
+    }
+
+    fn module_of(&self, node: usize) -> usize {
+        self.base.module_of(node)
     }
 
     /// Mean surviving hop distance over reachable ordered pairs (`0.0`

@@ -115,6 +115,11 @@ pub struct FaultPlan {
     pub dead_links: Vec<u32>,
     /// Explicitly lost nodes (dense base-fabric node indices).
     pub dead_nodes: Vec<u32>,
+    /// Explicitly lost whole modules (for hierarchical fabrics such as
+    /// `qic-modular`'s `ModularFabric`: every node of the module is
+    /// masked). Flat fabrics are one module, so only index 0 is valid
+    /// there.
+    pub dead_modules: Vec<u32>,
     /// Transient hot-spot windows.
     pub hotspots: Vec<Hotspot>,
 }
@@ -130,6 +135,7 @@ impl FaultPlan {
             teleporter_loss_rate: 0.0,
             dead_links: Vec::new(),
             dead_nodes: Vec::new(),
+            dead_modules: Vec::new(),
             hotspots: Vec::new(),
         }
     }
@@ -170,6 +176,13 @@ impl FaultPlan {
         self
     }
 
+    /// Explicitly loses a whole module (every node of a hierarchical
+    /// fabric's `module` tile).
+    pub fn with_dead_module(mut self, module: u32) -> FaultPlan {
+        self.dead_modules.push(module);
+        self
+    }
+
     /// Adds a transient hot-spot window.
     pub fn with_hotspot(mut self, hotspot: Hotspot) -> FaultPlan {
         self.hotspots.push(hotspot);
@@ -184,6 +197,7 @@ impl FaultPlan {
             || self.node_loss_rate > 0.0
             || !self.dead_links.is_empty()
             || !self.dead_nodes.is_empty()
+            || !self.dead_modules.is_empty()
     }
 
     /// Whether the plan injects no fault of any kind.
@@ -256,6 +270,21 @@ impl FaultPlan {
                 "explicit dead node {n} out of range (fabric has {nodes} nodes)"
             );
             dead_nodes.push(n);
+        }
+        // A dead module expands to every node the fabric assigns to it.
+        let modules = topo.modules();
+        for &m in &self.dead_modules {
+            assert!(
+                (m as usize) < modules,
+                "explicit dead module {m} out of range (fabric has {modules} modules)"
+            );
+        }
+        if !self.dead_modules.is_empty() {
+            for node in 0..nodes {
+                if self.dead_modules.contains(&(topo.module_of(node) as u32)) {
+                    dead_nodes.push(node as u32);
+                }
+            }
         }
         for node in 0..nodes as u32 {
             if bernoulli(
@@ -466,6 +495,24 @@ mod tests {
             penalty_ns: 5,
         });
         assert!(empty_window.validate().is_err());
+    }
+
+    #[test]
+    fn dead_modules_expand_to_their_nodes() {
+        // A flat fabric is one module: killing module 0 masks all nodes.
+        let plan = FaultPlan::healthy().with_dead_module(0);
+        assert!(plan.masks_topology());
+        assert!(!plan.is_zero());
+        let s = plan.schedule(&Mesh::new(3, 3));
+        assert_eq!(s.dead_nodes, (0..9).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "dead module 1 out of range")]
+    fn out_of_range_dead_module_panics() {
+        let _ = FaultPlan::healthy()
+            .with_dead_module(1)
+            .schedule(&Mesh::new(4, 4));
     }
 
     #[test]

@@ -551,6 +551,10 @@ struct World<T: Topology, P: Probe> {
     /// Cached `topo.fault_aware()`: gates drop/reroute accounting and
     /// the report's fault block, so healthy runs cost (and emit) nothing.
     fault_aware: bool,
+    /// Cached `topo.link_penalties()`: gates the per-hop
+    /// `hop_penalty_ns` lookup, so fabrics without a penalty model pay
+    /// nothing on the hot path.
+    penalties: bool,
     queue: EventQueue<Event>,
     comms: Vec<Comm>,
     tokens: Vec<Token>,
@@ -734,6 +738,7 @@ impl<T: Topology, P: Probe> World<T, P> {
         let waiters = Waiters::new(wait_site0 + nodes);
         let channel_load = vec![0; links];
         let fault_aware = topo.fault_aware();
+        let penalties = topo.link_penalties();
         let route_cache = if router.cacheable() && !fault_aware {
             if nodes <= DENSE_CACHE_MAX_NODES {
                 RouteCache::Dense(vec![None; nodes * nodes])
@@ -768,6 +773,7 @@ impl<T: Topology, P: Probe> World<T, P> {
             classes,
             bubble,
             fault_aware,
+            penalties,
             // Steady state keeps a handful of events in flight per live
             // comm; 32 slots absorb the common case without a regrow.
             queue: EventQueue::with_capacity(32),
@@ -1060,10 +1066,12 @@ impl<T: Topology, P: Probe> World<T, P> {
             self.waiters.push_back(teleset, waiter);
             return false;
         }
-        // Commit. Fault-aware topologies may charge a transient hot-spot
-        // penalty on this link; healthy fabrics add zero (the trait
-        // default), so the lookup is skipped entirely for them.
-        let service = if self.fault_aware {
+        // Commit. Penalty-bearing topologies (fault wrappers with hot
+        // spots, modular fabrics with a slow inter-module tier) may
+        // charge extra service on this link; fabrics without a penalty
+        // model add zero (the trait default), so the lookup is skipped
+        // entirely for them.
+        let service = if self.penalties {
             hop.service + Duration::from_nanos(self.topo.hop_penalty_ns(edge, now.as_nanos()))
         } else {
             hop.service

@@ -359,13 +359,40 @@ pub trait Topology {
     }
 
     /// Extra service nanoseconds a hop over `link` pays at `now_ns`
-    /// (transient hot-spot windows). Zero on healthy fabrics.
+    /// (transient hot-spot windows, or a slower inter-module tier).
     ///
-    /// The simulator consults this only when [`Topology::fault_aware`]
-    /// returns `true` — a penalty model must come with `fault_aware`
-    /// set, or it is (deliberately) never read on the hot path.
+    /// The simulator consults this only when
+    /// [`Topology::link_penalties`] returns `true` — a penalty model
+    /// must come with that flag set, or it is (deliberately) never read
+    /// on the hot path.
     fn hop_penalty_ns(&self, link: usize, now_ns: u64) -> u64 {
         let _ = (link, now_ns);
+        0
+    }
+
+    /// Whether [`Topology::hop_penalty_ns`] can return non-zero for some
+    /// link, i.e. whether the simulator must consult it on every hop.
+    ///
+    /// Defaults to [`Topology::fault_aware`], which preserves the
+    /// historical contract (only fault wrappers charged penalties). A
+    /// healthy composed fabric with a slow inter-module tier overrides
+    /// this to `true` *without* claiming fault-awareness, so fault
+    /// statistics stay off its reports.
+    fn link_penalties(&self) -> bool {
+        self.fault_aware()
+    }
+
+    /// Number of modules this fabric is composed of. Flat (single-chip)
+    /// fabrics are one module; a hierarchical wrapper such as
+    /// `qic-modular`'s `ModularFabric` reports its tile count so fault
+    /// plans can address whole modules (`dead_modules`).
+    fn modules(&self) -> usize {
+        1
+    }
+
+    /// The module a node belongs to (`0 ≤ module < modules()`).
+    fn module_of(&self, node: usize) -> usize {
+        let _ = node;
         0
     }
 

@@ -1,0 +1,111 @@
+//! Cost–fidelity Pareto fronts for modular machines.
+//!
+//! The single-chip fabrics answer "which topology is fastest"; the
+//! modular sweep asks the budget question behind every scaling plan:
+//! *how many modules can you afford before the inter-tier links eat
+//! your fidelity?* This example runs the `cost_fidelity_pareto` preset
+//! (fabric × module count × inter-tier unit cost) through `qic::run`,
+//! prints the full sweep with its cost/fidelity/latency columns, strips
+//! the dominated points with `pareto_front`, and then re-runs the sweep
+//! with a fat-tree inter tier to show how the switch choice moves the
+//! front.
+//!
+//! Run with `cargo run --release --example modular_pareto`.
+
+use qic::prelude::*;
+
+/// Runs one sweep and returns `(report, pareto-front indices)`.
+fn sweep(spec: &ScenarioSpec) -> (qic::sweep::CampaignReport, Vec<usize>) {
+    let report = qic::run(spec).expect("modular presets validate").report;
+    let coords: Vec<(f64, f64)> = report
+        .points
+        .iter()
+        .map(|p| {
+            (
+                p.mean("cost_dollars").expect("modular points price out"),
+                p.mean("fidelity").expect("modular points report fidelity"),
+            )
+        })
+        .collect();
+    let front = pareto_front(&coords);
+    (report, front)
+}
+
+fn print_table(title: &str, report: &qic::sweep::CampaignReport, front: &[usize]) {
+    println!("{title}");
+    println!(
+        "  {:>10} {:>8} {:>10} {:>10} {:>9} {:>14} {:>14}",
+        "topology", "modules", "unit cost", "dollars", "fidelity", "pred lat (ns)", "makespan (µs)"
+    );
+    for (i, p) in report.points.iter().enumerate() {
+        let marker = if front.contains(&i) { "*" } else { " " };
+        println!(
+            "{marker} {:>10} {:>8} {:>10} {:>10.0} {:>9.4} {:>14.0} {:>14.1}",
+            p.param("topology"),
+            p.param("modules"),
+            p.param("inter_cost"),
+            p.mean("cost_dollars").unwrap(),
+            p.mean("fidelity").unwrap(),
+            p.mean("predicted_latency_ns").unwrap(),
+            p.mean("makespan_us").unwrap(),
+        );
+    }
+}
+
+fn main() {
+    // The registered preset behind `qic::run` / campaigns / qic-serve.
+    // SmallTest keeps the example quick; swap in `ScenarioScale::Full`
+    // for the 8×8-module version of the same chart.
+    let spec = ScenarioRegistry::builtin()
+        .spec("cost_fidelity_pareto", ScenarioScale::SmallTest)
+        .expect("registered");
+    let (optical, optical_front) = sweep(&spec);
+    print_table(
+        "fabric × modules × inter-tier unit cost, optical-switch tier:",
+        &optical,
+        &optical_front,
+    );
+    println!(
+        "\n(* = on the cost-fidelity Pareto front: no point is at most as\n\
+         expensive with strictly higher estimated end-to-end fidelity)"
+    );
+
+    // The same machines behind a radix-2 fat tree: more switch ports
+    // (cost) and an extra stage per crossing (fidelity, latency).
+    let mut fat = spec.clone();
+    fat.name = "cost_fidelity_pareto_fat_tree".into();
+    let ExperimentSpec::Machine { machine, .. } = &mut fat.experiment else {
+        unreachable!("the pareto preset is a machine scenario");
+    };
+    let modular = machine
+        .modular
+        .take()
+        .expect("the pareto preset is modular");
+    machine.modular = Some(Box::new(
+        (*modular).with_interconnect(Interconnect::FatTree { radix: 2 }),
+    ));
+    let (fat_tree, fat_front) = sweep(&fat);
+    println!();
+    print_table(
+        "same sweep behind a radix-2 fat tree:",
+        &fat_tree,
+        &fat_front,
+    );
+
+    // Headline: what the front costs at each tier choice.
+    let cheapest = |report: &qic::sweep::CampaignReport, front: &[usize]| {
+        let i = front[0]; // fronts are sorted by ascending cost
+        (
+            report.points[i].mean("cost_dollars").unwrap(),
+            report.points[i].mean("fidelity").unwrap(),
+        )
+    };
+    let (oc, of) = cheapest(&optical, &optical_front);
+    let (fc, ff) = cheapest(&fat_tree, &fat_front);
+    println!(
+        "\nreading: the cheapest undominated optical-switch machine is ${oc:.0}\n\
+         at fidelity {of:.4}; the fat tree's entry point is ${fc:.0} at {ff:.4}.\n\
+         Choose the switch by where your budget crosses the front, not by\n\
+         port count alone."
+    );
+}

@@ -20,7 +20,8 @@
 //! | [`analytic`] | `qic-analytic` | chained-channel error & resource models (Figs 9–12) |
 //! | [`des`] | `qic-des` | deterministic discrete-event engine |
 //! | [`net`] | `qic-net` | interconnect fabrics (mesh/torus/hypercube), routing policies, virtual wires, the communication simulator (Figs 4–6, 13, 16) |
-//! | [`fault`] | `qic-fault` | deterministic fault injection: declarative `FaultPlan`s compiled into `DegradedFabric` wrappers (dead links/nodes, degraded pools, hot spots) |
+//! | [`fault`] | `qic-fault` | deterministic fault injection: declarative `FaultPlan`s compiled into `DegradedFabric` wrappers (dead links/nodes/modules, degraded pools, hot spots) |
+//! | [`modular`] | `qic-modular` | hierarchical multi-module fabrics: K on-module fabrics joined by an optical-switch or fat-tree tier with per-tier link parameters |
 //! | [`workload`] | `qic-workload` | QFT / modular-arithmetic instruction streams |
 //! | [`core`] | `qic-core` | machine builder, layouts, logical scheduler, the Scenario API (spec/registry/[`run`]) |
 //! | [`sweep`] | `qic-sweep` | parallel campaign engine: declarative parameter sweeps, deterministic seeding, CSV/JSON reports |
@@ -66,6 +67,7 @@ pub use qic_core as core;
 pub use qic_des as des;
 pub use qic_fault as fault;
 pub use qic_iontrap as iontrap;
+pub use qic_modular as modular;
 pub use qic_net as net;
 pub use qic_physics as physics;
 pub use qic_probe as probe;
@@ -148,6 +150,9 @@ pub fn run_budgeted(
 /// (`qic-analytic`); the qubit-to-site placement keeps the plain
 /// `Placement` name (`qic-core`).
 pub mod prelude {
+    pub use qic_analytic::cost::{
+        pareto_front, ComponentCounts, CostEstimate, CostModel, NetworkShape,
+    };
     pub use qic_analytic::figures;
     pub use qic_analytic::figures::PairMetric;
     pub use qic_analytic::link::{link_cost, link_state, raw_link_state, LinkSpec};
@@ -155,6 +160,7 @@ pub mod prelude {
     pub use qic_analytic::strategy::PurifyPlacement;
     pub use qic_core::prelude::*;
     pub use qic_fault::prelude::*;
+    pub use qic_modular::{Interconnect, LinkParams, ModularFabric, ModularSpec, RouteProfile};
     pub use qic_net::routing::{Router, RoutingPolicy};
     pub use qic_net::topology::{
         Coord, Fabric, Hypercube, Mesh, Port, Topology, TopologyKind, Torus,

@@ -264,3 +264,77 @@ fn shor_pipeline_path() {
         }
     }
 }
+
+/// `examples/modular_pareto.rs`: the cost-fidelity sweep runs through
+/// the scenario entry point, every point prices out, the Pareto front
+/// is coherent (ascending cost, no dominated member), and swapping the
+/// inter tier to a fat tree genuinely moves the chart.
+#[test]
+fn modular_pareto_path() {
+    let spec = ScenarioRegistry::builtin()
+        .spec("cost_fidelity_pareto", ScenarioScale::SmallTest)
+        .expect("registered");
+    let sweep = |spec: &ScenarioSpec| {
+        let report = qic::run(spec).expect("modular presets validate").report;
+        let coords: Vec<(f64, f64)> = report
+            .points
+            .iter()
+            .map(|p| {
+                (
+                    p.mean("cost_dollars").expect("points price out"),
+                    p.mean("fidelity").expect("points report fidelity"),
+                )
+            })
+            .collect();
+        let front = pareto_front(&coords);
+        assert!(
+            !front.is_empty(),
+            "{}: the front cannot be empty",
+            spec.name
+        );
+        for pair in front.windows(2) {
+            assert!(
+                coords[pair[0]].0 <= coords[pair[1]].0 && coords[pair[0]].1 < coords[pair[1]].1,
+                "{}: the front ascends in both cost and fidelity",
+                spec.name
+            );
+        }
+        for (i, &(cost, fidelity)) in coords.iter().enumerate() {
+            if front.contains(&i) {
+                continue;
+            }
+            // Off the front means some front member is at least as good
+            // on both axes (duplicates count: ties keep one member).
+            assert!(
+                front
+                    .iter()
+                    .any(|&j| coords[j].0 <= cost && coords[j].1 >= fidelity),
+                "{}: point {i} is off the front, so a member must cover it",
+                spec.name
+            );
+        }
+        (report, coords)
+    };
+    let (_, optical) = sweep(&spec);
+
+    // The fat-tree variant (the example's second act): extra switch
+    // stages must show up as strictly higher cost and lower estimated
+    // fidelity on otherwise identical machines.
+    let mut fat = spec;
+    fat.name = "cost_fidelity_pareto_fat_tree".into();
+    let ExperimentSpec::Machine { machine, .. } = &mut fat.experiment else {
+        unreachable!("the pareto preset is a machine scenario");
+    };
+    let modular = machine
+        .modular
+        .take()
+        .expect("the pareto preset is modular");
+    machine.modular = Some(Box::new(
+        (*modular).with_interconnect(Interconnect::FatTree { radix: 2 }),
+    ));
+    let (_, fat_tree) = sweep(&fat);
+    for (o, f) in optical.iter().zip(&fat_tree) {
+        assert!(f.0 > o.0, "fat tree adds switch ports: {} !> {}", f.0, o.0);
+        assert!(f.1 < o.1, "fat tree adds a stage: {} !< {}", f.1, o.1);
+    }
+}
